@@ -1,0 +1,109 @@
+// Command npss-exp regenerates the paper's evaluation artifacts: the
+// Table 1 individual-module tests, the Table 2 combined test, the
+// Figure 1 control-flow trace, the Figure 2 network inventory, the
+// section 4.1 incremental-change scenarios, the section 4.2
+// extended-model (lines) scenarios, and the ablation comparisons.
+//
+// Examples:
+//
+//	npss-exp -exp table1
+//	npss-exp -exp table2 -transient 1.0
+//	npss-exp -exp all
+//	npss-exp -exp table1 -timescale 0.01   # actually sleep 1% of the
+//	                                       # simulated network delays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"npss/internal/exper"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, all")
+	transient := flag.Float64("transient", 0.5, "transient length, s")
+	step := flag.Float64("step", 5e-4, "integration step, s")
+	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
+	calls := flag.Int("calls", 200, "operation count for the ablation timings")
+	flag.Parse()
+
+	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale}
+
+	run := map[string]func(){
+		"table1": func() {
+			fmt.Println("== Table 1: TESS and Schooner individual module tests ==")
+			fmt.Print(exper.FormatTable1(exper.Table1(spec)))
+		},
+		"table2": func() {
+			fmt.Println("== Table 2: TESS and Schooner combined test ==")
+			fmt.Print(exper.FormatTable2(exper.Table2(spec)))
+		},
+		"fig1": func() {
+			events, err := exper.Fig1()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(exper.FormatFig1(events))
+		},
+		"fig2": func() {
+			out, err := exper.Fig2()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(out)
+		},
+		"incremental": func() {
+			fmt.Println("== Section 4.1: incremental changes ==")
+			fmt.Print(exper.FormatScenarios(exper.Incremental()))
+		},
+		"lines": func() {
+			fmt.Println("== Section 4.2: the extended Schooner model (lines) ==")
+			fmt.Print(exper.FormatScenarios(exper.Lines()))
+		},
+		"zooming": func() {
+			fmt.Println("== Zooming: mixed-fidelity component substitution ==")
+			rows, err := exper.Zooming(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(exper.FormatZooming(rows))
+		},
+		"ablations": func() {
+			fmt.Println("== Ablations ==")
+			var all []exper.AblationResult
+			rpc, err := exper.RPCvsMsgPass(*calls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, rpc...)
+			cache, err := exper.NameCache(*calls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, cache...)
+			utsn, err := exper.UTSvsNative(*calls * 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, utsn...)
+			fmt.Print(exper.FormatAblations(all))
+		},
+	}
+
+	if *which == "all" {
+		for _, name := range []string{"fig1", "fig2", "table1", "table2", "incremental", "lines", "zooming", "ablations"} {
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := run[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "npss-exp: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	fn()
+}

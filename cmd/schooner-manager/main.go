@@ -1,0 +1,52 @@
+// Command schooner-manager runs the persistent Schooner Manager as a
+// real TCP daemon, for deployments where every machine is a separate
+// operating system process (the multi-process equivalent of the
+// in-process simulated testbed).
+//
+// Example, emulating a two-machine deployment on one workstation:
+//
+//	schooner-manager -host avs-sparc -listen 127.0.0.1:7500 \
+//	    -hosts "cray-lerc=cray-ymp@127.0.0.1:7501"
+//	schooner-server -host cray-lerc -listen 127.0.0.1:7501 \
+//	    -hosts "cray-lerc=cray-ymp@127.0.0.1:7501"
+//
+// The Manager is persistent: it serves any number of lines and
+// simulation runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"npss/internal/daemon"
+	"npss/internal/schooner"
+)
+
+func main() {
+	host := flag.String("host", "avs-sparc", "logical machine name the Manager runs on")
+	listen := flag.String("listen", "127.0.0.1:7500", "socket address to listen on")
+	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
+	flag.Parse()
+
+	hosts, err := daemon.ParseHosts(*hostTable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := daemon.BuildTransport(hosts, *host, *listen, map[string]string{
+		*host + ":schx-manager": *listen,
+	})
+	mgr, err := schooner.StartManager(tr, *host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schooner-manager: serving on %s as %s:schx-manager\n", *listen, *host)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("schooner-manager: shutting down")
+	mgr.Stop()
+}

@@ -1,0 +1,71 @@
+// Command schooner-server runs one machine's Schooner Server as a real
+// TCP daemon: it instantiates procedure files as processes when the
+// Manager asks. There is one Server per machine in a deployment.
+//
+// The server's registry holds the four adapted TESS procedure files
+// (npss-shaft, npss-duct, npss-comb, npss-nozl); -programs selects
+// additional demo sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"npss/internal/daemon"
+	"npss/internal/npssproc"
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+func main() {
+	host := flag.String("host", "", "logical machine name this Server serves (must appear in -hosts)")
+	listen := flag.String("listen", "", "socket address to listen on (must match this host's -hosts entry)")
+	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
+	flag.Parse()
+	if *host == "" || *listen == "" {
+		fmt.Fprintln(os.Stderr, "schooner-server: -host and -listen are required")
+		os.Exit(2)
+	}
+
+	hosts, err := daemon.ParseHosts(*hostTable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := daemon.BuildTransport(hosts, "", "", map[string]string{
+		*host + ":" + schooner.ServerPort: *listen,
+	})
+
+	reg := schooner.NewRegistry()
+	if err := npssproc.RegisterAll(reg); err != nil {
+		log.Fatal(err)
+	}
+	// A demo echo procedure for connectivity checks.
+	reg.MustRegister(&schooner.Program{
+		Path:     "/npss/echo",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export echo prog("x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					return []uts.Value{uts.DoubleVal(in[0].F)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	})
+
+	srv, err := schooner.StartServer(tr, *host, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schooner-server: %s serving on %s (programs: %v)\n", *host, *listen, reg.Paths())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("schooner-server: shutting down")
+	srv.Stop()
+}

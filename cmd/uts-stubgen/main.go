@@ -1,0 +1,59 @@
+// Command uts-stubgen is the Schooner stub compiler for Go: it reads a
+// UTS specification file and writes a Go source file containing client
+// stubs for every import declaration and implementation binders for
+// every export declaration.
+//
+// Usage:
+//
+//	uts-stubgen -pkg mystubs -o stubs_gen.go spec.uts
+//
+// With -o omitted, the generated source goes to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npss/internal/stubgen"
+	"npss/internal/uts"
+)
+
+func main() {
+	pkg := flag.String("pkg", "stubs", "package name for the generated file")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: uts-stubgen [-pkg name] [-o file.go] spec.uts\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+	text, err := os.ReadFile(src)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := uts.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	code, err := stubgen.Generate(spec, stubgen.Options{Package: *pkg, Source: src})
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uts-stubgen:", err)
+	os.Exit(1)
+}

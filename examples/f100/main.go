@@ -1,0 +1,99 @@
+// F100: the paper's combined experiment (Table 2) as a runnable
+// program. The full TESS F100 engine network is built in the
+// executive's Network Editor; six computations are placed on remote
+// machines through their modules' machine widgets (one combustor on an
+// SGI at Arizona, two ducts on the LeRC Cray Y-MP, one nozzle on an
+// SGI at LeRC, two shafts on the LeRC RS/6000); the engine is balanced
+// with Newton-Raphson and flown through a one-second throttle
+// transient with the Improved Euler method; and the results are
+// verified against the local-compute-only run.
+//
+// Run with: go run ./examples/f100
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"npss/internal/core"
+	"npss/internal/engine"
+	"npss/internal/exper"
+	"npss/internal/trace"
+)
+
+func main() {
+	tb, err := exper.NewTestbed(exper.SparcUA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+	exec, err := tb.NewExecutive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exec.Destroy()
+
+	// The run: balance, then a 1 s transient with a throttle chop at
+	// t=0.1 s, Improved Euler at 0.5 ms (the paper's method).
+	must(exec.Network.SetParam(core.InstSystem, "transient seconds", 1.0))
+	must(exec.Network.SetParam(core.InstSystem, "transient method", "Modified Euler"))
+	must(exec.Network.SetParam(core.InstComb, "fuel schedule", "0:1.4852, 0.1:1.30"))
+
+	fmt.Println("== local-compute-only run (the verification baseline) ==")
+	local, err := exec.Run(core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("local", local)
+
+	// The paper's placements, via each module's machine widget.
+	for inst, machineName := range exper.Table2Placements() {
+		must(exec.SetRemote(inst, machineName, ""))
+	}
+	fmt.Println("\n== six remote computations ==")
+	for inst, m := range exper.Table2Placements() {
+		fmt.Printf("  %-22s -> %-16s (%s)\n", inst, m, exper.Site(m))
+	}
+	calls := trace.Get("schooner.client.calls")
+	start := time.Now()
+	remote, err := exec.Run(core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("remote", remote)
+	fmt.Printf("\n%d RPCs in %v wall, %v simulated network time\n",
+		trace.Get("schooner.client.calls")-calls,
+		time.Since(start).Round(time.Millisecond),
+		tb.Net.TotalSimDelay().Round(time.Millisecond))
+
+	// The paper's correctness criterion.
+	worst := 0.0
+	for i := range local.State {
+		d := math.Abs(local.State[i]-remote.State[i]) / math.Max(math.Abs(local.State[i]), 1)
+		if d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("largest relative state deviation from the local run: %.2e\n", worst)
+	if worst > 1e-6 {
+		log.Fatal("remote run diverged from the local baseline")
+	}
+	fmt.Println("remote results match the local-compute-only run.")
+}
+
+func report(label string, r *core.RunResult) {
+	fmt.Printf("%s steady:  thrust=%.1f kN  NL=%.4f NH=%.4f T4=%.1f K (%d iterations)\n",
+		label, r.Steady.Thrust/1000, r.Steady.NL, r.Steady.NH, r.Steady.T4, r.SteadyIters)
+	fmt.Printf("%s final:   thrust=%.1f kN  NL=%.4f NH=%.4f T4=%.1f K\n",
+		label, r.Final.Thrust/1000, r.Final.NL, r.Final.NH, r.Final.T4)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+var _ = engine.NumStates

@@ -1,0 +1,99 @@
+// Flight profile: the executive-capability list of the paper's
+// section 2.4 — "start" the engine and "fly" it through a flight
+// profile, and test operation of the engine in the presence of
+// failures.
+//
+// The engine balances at sea-level static, accelerates with an
+// afterburner takeoff, climbs to altitude while the flight condition
+// (altitude and Mach) follows a schedule, suffers a partial combustor
+// failure at cruise (the failure-testing capability — modeled as a
+// combustion-efficiency collapse through the combustor's transient
+// control schedule), and recovers.
+//
+// Run with: go run ./examples/flightprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"npss/internal/engine"
+)
+
+func main() {
+	e, err := engine.NewF100(engine.DefaultF100())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The mission, as schedules over a 20-second (time-compressed)
+	// profile:
+	//   t=0..2    static, military power
+	//   t=2..4    afterburner takeoff (nozzle opens with it)
+	//   t=4..10   climb: altitude 0 -> 8 km, Mach 0 -> 0.85, AB off
+	//   t=10..13  cruise
+	//   t=13..14  partial combustor failure (efficiency collapses 40%)
+	//   t=14..20  recovery and continued cruise
+	mustSched := func(times, values []float64) *engine.Schedule {
+		s, err := engine.NewSchedule(times, values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	e.AltSched = mustSched(
+		[]float64{4, 10, 20},
+		[]float64{0, 8000, 8000})
+	e.MachSched = mustSched(
+		[]float64{4, 10, 20},
+		[]float64{0, 0.85, 0.85})
+	e.Fuel = mustSched(
+		[]float64{0, 4, 10, 20},
+		[]float64{1.4852, 1.4852, 1.05, 1.05})
+	e.AugFuel = mustSched(
+		[]float64{2, 2.5, 3.8, 4.2},
+		[]float64{0, 1.8, 1.8, 0})
+	e.NozzleArea = mustSched(
+		[]float64{2, 2.5, 3.8, 4.2},
+		[]float64{1, 1.22, 1.22, 1})
+	// The failure: combustion efficiency collapses to 60% for a second
+	// (the combustor's transient control schedule doubles as the
+	// failure-injection lever).
+	e.CombStator = mustSched(
+		[]float64{13, 13.1, 14, 14.1},
+		[]float64{1, 0.6, 0.6, 1})
+
+	x := append([]float64(nil), e.DesignState...)
+	if _, _, err := e.Balance(x, engine.SteadyOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("balanced at sea-level static; flying the profile")
+	fmt.Printf("%6s %8s %6s %10s %8s %8s %8s %8s\n",
+		"t s", "alt m", "Mach", "thrust kN", "fuel", "NL", "NH", "T4 K")
+
+	next := 0.0
+	_, err = e.Transient(x, engine.TransientOptions{
+		Duration: 20, Step: 5e-4,
+		Observe: func(t float64, o engine.Outputs) {
+			if t+1e-9 < next {
+				return
+			}
+			next += 1.0
+			alt := e.AltSched.At(t)
+			mach := e.MachSched.At(t)
+			note := ""
+			switch {
+			case o.AugFuel > 0:
+				note = "  <- afterburner"
+			case t >= 13 && t < 14.2:
+				note = "  <- combustor failure"
+			}
+			fmt.Printf("%6.1f %8.0f %6.2f %10.1f %8.3f %8.4f %8.4f %8.1f%s\n",
+				t, alt, mach, o.Thrust/1000, o.Fuel, o.NL, o.NH, o.T4, note)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprofile complete: takeoff, afterburner, climb, failure, recovery.")
+}

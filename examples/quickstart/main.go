@@ -1,0 +1,115 @@
+// Quickstart: the smallest complete Schooner program.
+//
+// It builds a simulated two-site network, starts the Manager and the
+// per-machine Servers, registers a procedure file, and then does what
+// a Schooner application does: contact the Manager (sch_contact_schx),
+// ask for a remote procedure to be started on a chosen machine, and
+// call it through UTS-marshaled RPC — including one call to a
+// Cray-hosted Fortran procedure whose exported name was upper-cased by
+// its compiler, resolved through the Manager's case synonyms.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"npss/internal/machine"
+	"npss/internal/netsim"
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+func main() {
+	// --- The machines. A Sun workstation runs the application; an
+	// SGI and a Cray are available for remote computations.
+	net := netsim.New()
+	net.MustAddHost("sparc10", machine.SPARC)
+	net.MustAddHost("sgi4d", machine.SGI)
+	net.MustAddHost("cray-ymp", machine.CrayYMP)
+	net.SetLink("sparc10", "cray-ymp", netsim.MultiGateway)
+	tr := schooner.NewSimTransport(net)
+
+	// --- The procedure files available on the remote machines.
+	registry := schooner.NewRegistry()
+	registry.MustRegister(&schooner.Program{
+		Path:     "/home/demo/geom",
+		Language: schooner.LangFortran, // Fortran: names are case-folded
+		Build: func() (*schooner.Instance, error) {
+			hypot := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export hypot prog("a" val double, "b" val double, "c" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					a, b := in[0].F, in[1].F
+					s := a*a + b*b
+					// A deliberately simple square root.
+					x := s
+					for i := 0; i < 40; i++ {
+						x = (x + s/x) / 2
+					}
+					return []uts.Value{uts.DoubleVal(x)}, nil
+				},
+			}
+			return schooner.NewInstance(hypot)
+		},
+	})
+
+	// --- The Schooner system processes: one Manager for the program,
+	// one Server per machine.
+	mgr, err := schooner.StartManager(tr, "sparc10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Stop()
+	for _, h := range []string{"sgi4d", "cray-ymp"} {
+		srv, err := schooner.StartServer(tr, h, registry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Stop()
+	}
+
+	// --- The application: register a line, start the remote
+	// procedure, import its specification, call it.
+	client := &schooner.Client{Transport: tr, Host: "sparc10", ManagerHost: "sparc10"}
+	line, err := client.ContactSchx("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer line.IQuit()
+
+	imp := uts.MustParseProc(`import hypot prog("a" val double, "b" val double, "c" res double)`)
+	if err := line.Import(imp); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, machineName := range []string{"sgi4d", "cray-ymp"} {
+		// The user's machine widget selection, in API form. Moving the
+		// computation means quitting and restarting the line here; the
+		// F100 example shows the widget-driven version.
+		ln, err := client.ContactSchx("quickstart-" + machineName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ln.Import(imp); err != nil {
+			log.Fatal(err)
+		}
+		if err := ln.StartRemote("/home/demo/geom", machineName); err != nil {
+			log.Fatal(err)
+		}
+		out, err := ln.Call("hypot", uts.DoubleVal(3), uts.DoubleVal(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch, _ := tr.HostArch(machineName)
+		fmt.Printf("hypot(3, 4) on %-8s (%s floating point) = %.15g\n",
+			machineName, arch.Double.Name(), out[0].F)
+		ln.IQuit()
+	}
+
+	fmt.Println("\nnetwork traffic by link:")
+	for name, st := range net.Stats() {
+		fmt.Printf("  %-36s %4d messages, %6d bytes, %v simulated delay\n",
+			name, st.Messages, st.Bytes, st.SimDelay.Round(1e6))
+	}
+}

@@ -1,0 +1,3 @@
+module npss
+
+go 1.22

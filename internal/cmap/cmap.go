@@ -1,0 +1,288 @@
+// Package cmap implements turbomachinery performance maps for the
+// TESS engine components: rectangular-grid compressor maps (corrected
+// speed x beta line -> corrected flow, pressure ratio, efficiency) and
+// turbine maps (corrected speed x pressure ratio -> corrected flow,
+// efficiency), with bilinear interpolation, inversion of the pressure
+// ratio to locate the operating point, an analytic map generator for
+// building engines without proprietary map data, and a text file
+// format — in TESS the compressor and turbine modules read their
+// performance maps from files selected with the AVS browser widget.
+package cmap
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table2D is a rectangular interpolation table: Z[i][j] is the value
+// at (X[i], Y[j]). X and Y must be strictly increasing. Lookups clamp
+// to the table edges, the standard practice for engine maps (operating
+// beyond the map holds the edge value rather than extrapolating into
+// nonsense).
+type Table2D struct {
+	X []float64
+	Y []float64
+	Z [][]float64
+}
+
+// NewTable2D validates and builds a table.
+func NewTable2D(x, y []float64, z [][]float64) (*Table2D, error) {
+	if len(x) < 2 || len(y) < 2 {
+		return nil, fmt.Errorf("cmap: table needs at least a 2x2 grid, got %dx%d", len(x), len(y))
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			return nil, fmt.Errorf("cmap: X not strictly increasing at %d", i)
+		}
+	}
+	for j := 1; j < len(y); j++ {
+		if y[j] <= y[j-1] {
+			return nil, fmt.Errorf("cmap: Y not strictly increasing at %d", j)
+		}
+	}
+	if len(z) != len(x) {
+		return nil, fmt.Errorf("cmap: Z has %d rows, want %d", len(z), len(x))
+	}
+	for i, row := range z {
+		if len(row) != len(y) {
+			return nil, fmt.Errorf("cmap: Z row %d has %d columns, want %d", i, len(row), len(y))
+		}
+	}
+	return &Table2D{X: x, Y: y, Z: z}, nil
+}
+
+// bracket finds i such that v is in [s[i], s[i+1]], clamping.
+func bracket(s []float64, v float64) (int, float64) {
+	if v <= s[0] {
+		return 0, 0
+	}
+	n := len(s)
+	if v >= s[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, (v - s[lo]) / (s[lo+1] - s[lo])
+}
+
+// At evaluates the table at (x, y) with clamped bilinear interpolation.
+func (t *Table2D) At(x, y float64) float64 {
+	i, fx := bracket(t.X, x)
+	j, fy := bracket(t.Y, y)
+	z00 := t.Z[i][j]
+	z01 := t.Z[i][j+1]
+	z10 := t.Z[i+1][j]
+	z11 := t.Z[i+1][j+1]
+	return z00*(1-fx)*(1-fy) + z10*fx*(1-fy) + z01*(1-fx)*fy + z11*fx*fy
+}
+
+// CompressorMap maps (corrected speed, beta) to normalized corrected
+// flow, pressure-ratio factor, and efficiency factor. All outputs are
+// normalized to 1.0 at the design point (speed=1, beta=0.5); the
+// engine component applies design-point scaling. Beta runs from 0
+// (surge side: high pressure, low flow) to 1 (choke side).
+type CompressorMap struct {
+	Name string
+	Wc   *Table2D // corrected flow, normalized
+	PR   *Table2D // (PR-1)/(PRdesign-1), normalized
+	Eff  *Table2D // adiabatic efficiency, normalized
+}
+
+// Lookup interpolates the map.
+func (m *CompressorMap) Lookup(speed, beta float64) (wc, prFactor, eff float64) {
+	return m.Wc.At(speed, beta), m.PR.At(speed, beta), m.Eff.At(speed, beta)
+}
+
+// BetaForPR inverts the map at fixed corrected speed: the beta at
+// which the pressure-ratio factor equals prFactor. The map must be
+// monotonically decreasing in beta at fixed speed (checked by
+// Validate). Out-of-range targets clamp to the map edge, mirroring the
+// clamped interpolation; callers detect surge/choke by the returned
+// beta hitting 0 or 1.
+func (m *CompressorMap) BetaForPR(speed, prFactor float64) float64 {
+	lo, hi := 0.0, 1.0
+	fLo := m.PR.At(speed, lo)
+	fHi := m.PR.At(speed, hi)
+	if prFactor >= fLo {
+		return lo
+	}
+	if prFactor <= fHi {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.PR.At(speed, mid) > prFactor {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Validate checks the physical sanity the engine depends on: positive
+// flow and efficiency, and pressure ratio strictly decreasing in beta
+// at every tabulated speed (required for BetaForPR).
+func (m *CompressorMap) Validate() error {
+	for _, t := range []*Table2D{m.Wc, m.PR, m.Eff} {
+		if t == nil {
+			return fmt.Errorf("cmap: compressor map %q missing a table", m.Name)
+		}
+	}
+	for i := range m.Wc.X {
+		for j := range m.Wc.Y {
+			if m.Wc.Z[i][j] <= 0 {
+				return fmt.Errorf("cmap: %q: non-positive flow at (%d,%d)", m.Name, i, j)
+			}
+			if m.Eff.Z[i][j] <= 0 || m.Eff.Z[i][j] > 1.2 {
+				return fmt.Errorf("cmap: %q: implausible efficiency %g at (%d,%d)", m.Name, m.Eff.Z[i][j], i, j)
+			}
+			if j > 0 && m.PR.Z[i][j] >= m.PR.Z[i][j-1] {
+				return fmt.Errorf("cmap: %q: PR not decreasing in beta at speed %g", m.Name, m.PR.X[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TurbineMap maps (corrected speed, pressure ratio factor) to
+// normalized corrected flow and efficiency. The pressure-ratio axis is
+// normalized so 1.0 is the design expansion ratio.
+type TurbineMap struct {
+	Name string
+	Wc   *Table2D
+	Eff  *Table2D
+}
+
+// Lookup interpolates the map.
+func (m *TurbineMap) Lookup(speed, prFactor float64) (wc, eff float64) {
+	return m.Wc.At(speed, prFactor), m.Eff.At(speed, prFactor)
+}
+
+// Validate checks positive flow, plausible efficiency, and flow
+// non-decreasing in expansion ratio (turbines swallow more as the
+// pressure ratio rises until choke).
+func (m *TurbineMap) Validate() error {
+	if m.Wc == nil || m.Eff == nil {
+		return fmt.Errorf("cmap: turbine map %q missing a table", m.Name)
+	}
+	for i := range m.Wc.X {
+		for j := range m.Wc.Y {
+			if m.Wc.Z[i][j] <= 0 {
+				return fmt.Errorf("cmap: %q: non-positive flow at (%d,%d)", m.Name, i, j)
+			}
+			if m.Eff.Z[i][j] <= 0 || m.Eff.Z[i][j] > 1.2 {
+				return fmt.Errorf("cmap: %q: implausible efficiency %g at (%d,%d)", m.Name, m.Eff.Z[i][j], i, j)
+			}
+			if j > 0 && m.Wc.Z[i][j] < m.Wc.Z[i][j-1]-1e-12 {
+				return fmt.Errorf("cmap: %q: flow decreasing in PR at speed %g", m.Name, m.Wc.X[i])
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateCompressor builds a smooth analytic compressor map on the
+// given speed grid with nBeta beta lines. The shapes follow standard
+// map topology: flow grows with speed and toward choke; pressure
+// capability grows with speed and toward surge; efficiency peaks at
+// the design point (speed 1, beta 0.5) and falls off quadratically.
+func GenerateCompressor(name string, speeds []float64, nBeta int) (*CompressorMap, error) {
+	if nBeta < 2 {
+		return nil, fmt.Errorf("cmap: need at least 2 beta lines")
+	}
+	betas := make([]float64, nBeta)
+	for j := range betas {
+		betas[j] = float64(j) / float64(nBeta-1)
+	}
+	wc := make([][]float64, len(speeds))
+	pr := make([][]float64, len(speeds))
+	eff := make([][]float64, len(speeds))
+	for i, s := range speeds {
+		wc[i] = make([]float64, nBeta)
+		pr[i] = make([]float64, nBeta)
+		eff[i] = make([]float64, nBeta)
+		for j, b := range betas {
+			wc[i][j] = math.Pow(s, 1.25) * (1 + 0.40*(b-0.5))
+			pr[i][j] = math.Pow(s, 1.8) * (1 - 0.55*(b-0.5))
+			e := 1 - 0.35*(b-0.5)*(b-0.5) - 0.50*(s-1)*(s-1)
+			if e < 0.35 {
+				e = 0.35
+			}
+			eff[i][j] = e
+		}
+	}
+	wcT, err := NewTable2D(speeds, betas, wc)
+	if err != nil {
+		return nil, err
+	}
+	prT, err := NewTable2D(speeds, betas, pr)
+	if err != nil {
+		return nil, err
+	}
+	effT, err := NewTable2D(speeds, betas, eff)
+	if err != nil {
+		return nil, err
+	}
+	m := &CompressorMap{Name: name, Wc: wcT, PR: prT, Eff: effT}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GenerateTurbine builds a smooth analytic turbine map: flow rises
+// with expansion ratio and saturates (chokes); efficiency peaks where
+// the blade speed ratio is at design.
+func GenerateTurbine(name string, speeds []float64, prFactors []float64) (*TurbineMap, error) {
+	wc := make([][]float64, len(speeds))
+	eff := make([][]float64, len(speeds))
+	for i, s := range speeds {
+		wc[i] = make([]float64, len(prFactors))
+		eff[i] = make([]float64, len(prFactors))
+		for j, pf := range prFactors {
+			// tanh-shaped choking, normalized to 1 at pf=1.
+			wc[i][j] = math.Tanh(1.8*pf) / math.Tanh(1.8) * (1 + 0.05*(1-s))
+			// Efficiency: optimal at blade-speed ratio = design.
+			u := s / math.Sqrt(math.Max(pf, 0.05))
+			e := 1 - 0.30*(u-1)*(u-1)
+			if e < 0.35 {
+				e = 0.35
+			}
+			eff[i][j] = e
+		}
+	}
+	wcT, err := NewTable2D(speeds, prFactors, wc)
+	if err != nil {
+		return nil, err
+	}
+	effT, err := NewTable2D(speeds, prFactors, eff)
+	if err != nil {
+		return nil, err
+	}
+	m := &TurbineMap{Name: name, Wc: wcT, Eff: effT}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DefaultSpeeds is the standard speed grid for generated maps. The
+// grid extends to 120% corrected speed: on a cold day at altitude the
+// corrected speed runs well above mechanical design speed, and an
+// engine balanced there must still be on the map.
+func DefaultSpeeds() []float64 {
+	return []float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20}
+}
+
+// DefaultPRFactors is the standard turbine expansion-ratio grid.
+func DefaultPRFactors() []float64 {
+	return []float64{0.20, 0.40, 0.60, 0.80, 1.00, 1.20, 1.40, 1.60}
+}

@@ -1,0 +1,266 @@
+package cmap
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2DValidation(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}}
+	if _, err := NewTable2D([]float64{0, 1}, []float64{0, 1}, ok); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		x, y []float64
+		z    [][]float64
+	}{
+		{[]float64{0}, []float64{0, 1}, ok},                          // short X
+		{[]float64{0, 1}, []float64{0}, ok},                          // short Y
+		{[]float64{1, 0}, []float64{0, 1}, ok},                       // X not increasing
+		{[]float64{0, 0}, []float64{0, 1}, ok},                       // X duplicate
+		{[]float64{0, 1}, []float64{1, 0}, ok},                       // Y not increasing
+		{[]float64{0, 1}, []float64{0, 1}, ok[:1]},                   // short Z
+		{[]float64{0, 1}, []float64{0, 1}, [][]float64{{1}, {2, 3}}}, // ragged Z
+	}
+	for i, c := range cases {
+		if _, err := NewTable2D(c.x, c.y, c.z); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTable2DInterpolation(t *testing.T) {
+	// Bilinear on z = 2x + 3y must be exact.
+	x := []float64{0, 1, 2}
+	y := []float64{0, 10}
+	z := make([][]float64, 3)
+	for i := range z {
+		z[i] = make([]float64, 2)
+		for j := range z[i] {
+			z[i][j] = 2*x[i] + 3*y[j]
+		}
+	}
+	tab, err := NewTable2D(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, y, want float64 }{
+		{0, 0, 0}, {2, 10, 34}, {1, 5, 17}, {0.5, 2.5, 8.5}, {1.5, 7.5, 25.5},
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+	// Clamping at edges.
+	if tab.At(-5, 0) != 0 || tab.At(99, 10) != 34 || tab.At(1, -4) != 2 || tab.At(1, 40) != 32 {
+		t.Error("clamping wrong")
+	}
+}
+
+func TestQuickInterpolationWithinBounds(t *testing.T) {
+	m, err := GenerateCompressor("q", DefaultSpeeds(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 0.4 + r.Float64()*0.8
+		b := r.Float64()
+		wc, pr, eff := m.Lookup(s, b)
+		// Interpolated values stay within the table's global min/max.
+		return wc > 0 && pr > 0 && eff > 0.3 && eff <= 1.0 && wc < 2 && pr < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratedCompressorDesignPoint(t *testing.T) {
+	m, err := GenerateCompressor("fan", DefaultSpeeds(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, pr, eff := m.Lookup(1.0, 0.5)
+	if math.Abs(wc-1) > 1e-9 || math.Abs(pr-1) > 1e-9 || math.Abs(eff-1) > 1e-9 {
+		t.Errorf("design point = %g, %g, %g, want 1,1,1", wc, pr, eff)
+	}
+	// Surge side has more pressure and less flow than choke side.
+	wcS, prS, _ := m.Lookup(1.0, 0.0)
+	wcC, prC, _ := m.Lookup(1.0, 1.0)
+	if !(prS > prC && wcS < wcC) {
+		t.Errorf("map topology wrong: surge (%g,%g) choke (%g,%g)", wcS, prS, wcC, prC)
+	}
+	// Higher speed means more flow and pressure.
+	wcHi, prHi, _ := m.Lookup(1.1, 0.5)
+	if !(wcHi > 1 && prHi > 1) {
+		t.Error("speed scaling wrong")
+	}
+}
+
+func TestBetaForPRInverts(t *testing.T) {
+	m, _ := GenerateCompressor("fan", DefaultSpeeds(), 11)
+	for _, s := range []float64{0.6, 0.85, 1.0, 1.08} {
+		for _, b := range []float64{0.05, 0.3, 0.5, 0.7, 0.95} {
+			_, pr, _ := m.Lookup(s, b)
+			got := m.BetaForPR(s, pr)
+			if math.Abs(got-b) > 1e-9 {
+				t.Errorf("BetaForPR(%g, %g) = %g, want %g", s, pr, got, b)
+			}
+		}
+	}
+	// Out of range clamps to the edges.
+	if m.BetaForPR(1, 99) != 0 {
+		t.Error("above-surge PR did not clamp to beta 0")
+	}
+	if m.BetaForPR(1, -99) != 1 {
+		t.Error("below-choke PR did not clamp to beta 1")
+	}
+}
+
+func TestGeneratedTurbine(t *testing.T) {
+	m, err := GenerateTurbine("hpt", DefaultSpeeds(), DefaultPRFactors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, eff := m.Lookup(1.0, 1.0)
+	if math.Abs(wc-1) > 1e-9 {
+		t.Errorf("design flow = %g", wc)
+	}
+	if eff <= 0.6 || eff > 1.0 {
+		t.Errorf("design eff = %g", eff)
+	}
+	// Choking: flow saturates with expansion ratio.
+	w1, _ := m.Lookup(1.0, 1.2)
+	w2, _ := m.Lookup(1.0, 1.6)
+	if w2 < w1 {
+		t.Error("turbine flow decreased with PR")
+	}
+	if (w2-w1)/w1 > 0.06 {
+		t.Errorf("turbine not choking: %g -> %g", w1, w2)
+	}
+}
+
+func TestCompressorValidateCatchesBadMaps(t *testing.T) {
+	m, _ := GenerateCompressor("fan", DefaultSpeeds(), 5)
+	// Break monotonicity.
+	m.PR.Z[0][1] = m.PR.Z[0][0] + 1
+	if err := m.Validate(); err == nil {
+		t.Error("non-monotone PR accepted")
+	}
+	m, _ = GenerateCompressor("fan", DefaultSpeeds(), 5)
+	m.Eff.Z[2][2] = 1.5
+	if err := m.Validate(); err == nil {
+		t.Error("efficiency > 1.2 accepted")
+	}
+	m, _ = GenerateCompressor("fan", DefaultSpeeds(), 5)
+	m.Wc.Z[1][1] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative flow accepted")
+	}
+	m, _ = GenerateCompressor("fan", DefaultSpeeds(), 5)
+	m.Wc = nil
+	if err := m.Validate(); err == nil {
+		t.Error("missing table accepted")
+	}
+}
+
+func TestTurbineValidateCatchesBadMaps(t *testing.T) {
+	m, _ := GenerateTurbine("hpt", DefaultSpeeds(), DefaultPRFactors())
+	m.Wc.Z[0][3] = m.Wc.Z[0][2] / 2
+	if err := m.Validate(); err == nil {
+		t.Error("decreasing turbine flow accepted")
+	}
+	m, _ = GenerateTurbine("hpt", DefaultSpeeds(), DefaultPRFactors())
+	m.Eff = nil
+	if err := m.Validate(); err == nil {
+		t.Error("missing table accepted")
+	}
+}
+
+func TestCompressorFileRoundTrip(t *testing.T) {
+	m, _ := GenerateCompressor("fan", DefaultSpeeds(), 7)
+	var buf bytes.Buffer
+	if err := WriteCompressor(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "fan" {
+		t.Errorf("name = %q", got.Name)
+	}
+	for _, s := range []float64{0.55, 0.9, 1.05} {
+		for _, b := range []float64{0.1, 0.5, 0.9} {
+			w1, p1, e1 := m.Lookup(s, b)
+			w2, p2, e2 := got.Lookup(s, b)
+			if w1 != w2 || p1 != p2 || e1 != e2 {
+				t.Fatalf("round trip differs at (%g,%g)", s, b)
+			}
+		}
+	}
+}
+
+func TestTurbineFileRoundTrip(t *testing.T) {
+	m, _ := GenerateTurbine("lpt", DefaultSpeeds(), DefaultPRFactors())
+	var buf bytes.Buffer
+	if err := WriteTurbine(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTurbine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "lpt" {
+		t.Errorf("name = %q", got.Name)
+	}
+	w1, e1 := m.Lookup(0.8, 0.9)
+	w2, e2 := got.Lookup(0.8, 0.9)
+	if w1 != w2 || e1 != e2 {
+		t.Error("round trip differs")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header",
+		"compressor fan\nbetas 0 1\n",           // wrong keyword order
+		"compressor fan\nspeeds 0 1\nbetas 0\n", // short vector
+		"compressor fan\nspeeds 0 1\nbetas 0 1\ntable wc\n1 2\n",                        // truncated table
+		"compressor fan\nspeeds 0 1\nbetas 0 1\ntable pr\n1 2\n3 4\n",                   // wrong table name
+		"compressor fan\nspeeds 0 x\nbetas 0 1\n",                                       // bad number
+		"turbine t\nspeeds 0 1\nprs 0 1\ntable wc\n1 2\n3 4\ntable eff\n.9 .9\n.9 .9\n", // missing end
+	}
+	for i, src := range cases {
+		if _, err := ReadCompressor(strings.NewReader(src)); err == nil {
+			t.Errorf("compressor case %d accepted", i)
+		}
+	}
+	if _, err := ReadTurbine(strings.NewReader("compressor c\n")); err == nil {
+		t.Error("turbine reader accepted compressor header")
+	}
+	// A valid turbine with invalid physics (eff > 1.2) fails Validate.
+	bad := "turbine t\nspeeds 0 1\nprs 0 1\ntable wc\n1 2\n3 4\ntable eff\n2 2\n2 2\nend\n"
+	if _, err := ReadTurbine(strings.NewReader(bad)); err == nil {
+		t.Error("implausible turbine accepted")
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	s := DefaultSpeeds()
+	if s[0] != 0.5 || s[len(s)-1] != 1.2 {
+		t.Errorf("speeds = %v", s)
+	}
+	p := DefaultPRFactors()
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			t.Fatal("PR factors not increasing")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package cmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The map file format is a plain text format in the spirit of the map
+// files TESS reads through the AVS browser widget:
+//
+//	# comment
+//	compressor fan
+//	speeds 0.5 0.7 0.9 1.0 1.1
+//	betas 0 0.25 0.5 0.75 1
+//	table wc
+//	 <one row per speed, one column per beta>
+//	table pr
+//	 ...
+//	table eff
+//	 ...
+//	end
+//
+// Turbine maps use "turbine <name>" and "prs" instead of "betas", with
+// tables wc and eff.
+
+// WriteCompressor serializes a compressor map.
+func WriteCompressor(w io.Writer, m *CompressorMap) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# NPSS performance map\ncompressor %s\n", m.Name)
+	writeVector(bw, "speeds", m.Wc.X)
+	writeVector(bw, "betas", m.Wc.Y)
+	writeTable(bw, "wc", m.Wc)
+	writeTable(bw, "pr", m.PR)
+	writeTable(bw, "eff", m.Eff)
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// WriteTurbine serializes a turbine map.
+func WriteTurbine(w io.Writer, m *TurbineMap) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# NPSS performance map\nturbine %s\n", m.Name)
+	writeVector(bw, "speeds", m.Wc.X)
+	writeVector(bw, "prs", m.Wc.Y)
+	writeTable(bw, "wc", m.Wc)
+	writeTable(bw, "eff", m.Eff)
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+func writeVector(w io.Writer, name string, v []float64) {
+	fmt.Fprint(w, name)
+	for _, x := range v {
+		fmt.Fprintf(w, " %.17g", x)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeTable(w io.Writer, name string, t *Table2D) {
+	fmt.Fprintf(w, "table %s\n", name)
+	for _, row := range t.Z {
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.17g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// mapReader parses the shared file structure.
+type mapReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (r *mapReader) next() ([]string, error) {
+	for r.sc.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		return strings.Fields(text), nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+func (r *mapReader) errf(format string, args ...any) error {
+	return fmt.Errorf("cmap: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+func (r *mapReader) vector(keyword string) ([]float64, error) {
+	fields, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if fields[0] != keyword {
+		return nil, r.errf("expected %q, found %q", keyword, fields[0])
+	}
+	v := make([]float64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, r.errf("bad number %q", f)
+		}
+		v = append(v, x)
+	}
+	if len(v) < 2 {
+		return nil, r.errf("%s needs at least 2 values", keyword)
+	}
+	return v, nil
+}
+
+func (r *mapReader) table(name string, nx, ny int) (*Table2D, []float64, []float64, error) {
+	fields, err := r.next()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(fields) != 2 || fields[0] != "table" || fields[1] != name {
+		return nil, nil, nil, r.errf("expected \"table %s\"", name)
+	}
+	z := make([][]float64, nx)
+	for i := 0; i < nx; i++ {
+		row, err := r.next()
+		if err != nil {
+			return nil, nil, nil, r.errf("table %s truncated", name)
+		}
+		if len(row) != ny {
+			return nil, nil, nil, r.errf("table %s row %d has %d values, want %d", name, i, len(row), ny)
+		}
+		z[i] = make([]float64, ny)
+		for j, f := range row {
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, nil, r.errf("bad number %q", f)
+			}
+			z[i][j] = x
+		}
+	}
+	return &Table2D{Z: z}, nil, nil, nil
+}
+
+// ReadCompressor parses a compressor map file.
+func ReadCompressor(rd io.Reader) (*CompressorMap, error) {
+	r := &mapReader{sc: bufio.NewScanner(rd)}
+	fields, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 2 || fields[0] != "compressor" {
+		return nil, r.errf(`expected "compressor <name>"`)
+	}
+	name := fields[1]
+	speeds, err := r.vector("speeds")
+	if err != nil {
+		return nil, err
+	}
+	betas, err := r.vector("betas")
+	if err != nil {
+		return nil, err
+	}
+	tables := make(map[string]*Table2D, 3)
+	for _, tn := range []string{"wc", "pr", "eff"} {
+		t, _, _, err := r.table(tn, len(speeds), len(betas))
+		if err != nil {
+			return nil, err
+		}
+		full, err := NewTable2D(speeds, betas, t.Z)
+		if err != nil {
+			return nil, err
+		}
+		tables[tn] = full
+	}
+	if fields, err := r.next(); err != nil || fields[0] != "end" {
+		return nil, r.errf(`expected "end"`)
+	}
+	m := &CompressorMap{Name: name, Wc: tables["wc"], PR: tables["pr"], Eff: tables["eff"]}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadTurbine parses a turbine map file.
+func ReadTurbine(rd io.Reader) (*TurbineMap, error) {
+	r := &mapReader{sc: bufio.NewScanner(rd)}
+	fields, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 2 || fields[0] != "turbine" {
+		return nil, r.errf(`expected "turbine <name>"`)
+	}
+	name := fields[1]
+	speeds, err := r.vector("speeds")
+	if err != nil {
+		return nil, err
+	}
+	prs, err := r.vector("prs")
+	if err != nil {
+		return nil, err
+	}
+	tables := make(map[string]*Table2D, 2)
+	for _, tn := range []string{"wc", "eff"} {
+		t, _, _, err := r.table(tn, len(speeds), len(prs))
+		if err != nil {
+			return nil, err
+		}
+		full, err := NewTable2D(speeds, prs, t.Z)
+		if err != nil {
+			return nil, err
+		}
+		tables[tn] = full
+	}
+	if fields, err := r.next(); err != nil || fields[0] != "end" {
+		return nil, r.errf(`expected "end"`)
+	}
+	m := &TurbineMap{Name: name, Wc: tables["wc"], Eff: tables["eff"]}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"npss/internal/cmap"
+	"npss/internal/engine"
+)
+
+// TestBrowserWidgetLoadsMapFile verifies the TESS behavior that the
+// compressor module's browser widget selects the performance map: when
+// the named file exists, the engine runs on it.
+func TestBrowserWidgetLoadsMapFile(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+
+	// Baseline with the built-in generated map.
+	tb.exec.Network.SetParam(InstComb, "fuel flow", 1.34)
+	base, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write a stage-stacked HPC map (a different speedline shape) and
+	// point the browser widget at it.
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "hpc.map")
+	m, err := engine.DefaultStageStack().GenerateMap("hpc-file", cmap.DefaultSpeeds(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmap.WriteCompressor(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := tb.exec.Network.SetParam(InstHPC, "performance map", mapPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Engine.HPC.Map.Name != "hpc-file" {
+		t.Errorf("engine map = %q, want the file's map", loaded.Engine.HPC.Map.Name)
+	}
+	// Off-design (fuel 1.34 < design), the different map shape gives a
+	// different operating point.
+	if loaded.Steady.NH == base.Steady.NH {
+		t.Error("loaded map had no effect on the operating point")
+	}
+
+	// A corrupt map file is an error, not a silent fallback.
+	if err := os.WriteFile(mapPath, []byte("compressor broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.exec.Run(RunOptions{SkipTransient: true}); err == nil {
+		t.Error("corrupt map file accepted")
+	}
+
+	// A missing file keeps the generated map.
+	if err := tb.exec.Network.SetParam(InstHPC, "performance map", filepath.Join(dir, "missing.map")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steady.NH != base.Steady.NH {
+		t.Error("missing file did not fall back to the generated map")
+	}
+}
+
+// TestBrowserWidgetLoadsTurbineMap covers the turbine side of the map
+// library.
+func TestBrowserWidgetLoadsTurbineMap(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "hpt.map")
+	m, err := cmap.GenerateTurbine("hpt-file", cmap.DefaultSpeeds(), cmap.DefaultPRFactors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmap.WriteTurbine(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := tb.exec.Network.SetParam(InstHPT, "performance map", mapPath); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.HPT.Map.Name != "hpt-file" {
+		t.Errorf("turbine map = %q", res.Engine.HPT.Map.Name)
+	}
+}

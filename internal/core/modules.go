@@ -1,0 +1,569 @@
+// Package core is the prototype NPSS simulation executive: the
+// combination of the AVS-style dataflow framework (package dataflow)
+// and the Schooner heterogeneous RPC facility (package schooner) that
+// the paper builds and evaluates. TESS engine components appear as
+// modules with control-panel widgets; four of them — shaft, duct,
+// combustor, and nozzle — are adapted so their computations execute
+// remotely: each carries a radio-button widget selecting the machine
+// and a type-in widget for the executable pathname, registers a line
+// with the Manager from its compute function, and shuts its line down
+// from its destroy function.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"npss/internal/dataflow"
+	"npss/internal/engine"
+	"npss/internal/npssproc"
+	"npss/internal/schooner"
+)
+
+// Local is the machine widget option meaning "compute in-process".
+const Local = "local"
+
+// stationType is the dataflow port type for engine station data.
+const stationType = "station"
+
+// remoteModule is the common adaptation machinery: the Schooner line
+// management the paper describes adding to each converted AVS module.
+type remoteModule struct {
+	exec     *Executive
+	instance string
+	path     string // default executable pathname
+
+	mu          sync.Mutex
+	line        *schooner.Line
+	started     bool
+	machine     string
+	startedPath string // the pathname the running line was started with
+}
+
+// addRemoteWidgets declares the two widgets of the adaptation: the
+// radio buttons selecting the remote machine and the type-in holding
+// the executable pathname.
+func (r *remoteModule) addRemoteWidgets(s *dataflow.Spec) {
+	options := append([]string{Local}, r.exec.Machines...)
+	s.AddRadio("machine", options...)
+	s.AddTypeIn("path", r.path)
+}
+
+// ensureStarted registers with the Manager and starts the remote
+// process the first time the module computes with a non-local machine
+// selection — the dynamic startup protocol of section 4.1.
+func (r *remoteModule) ensureStarted(c *dataflow.Context) error {
+	if r.instance == "" {
+		r.instance = c.Instance()
+	}
+	machineSel, err := c.TextParam("machine")
+	if err != nil {
+		return err
+	}
+	path, err := c.TextParam("path")
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if machineSel == Local {
+		// Back to in-process computation: the remote line, if any,
+		// shuts down (the module was, in effect, removed from the
+		// remote machine).
+		if r.started {
+			r.line.IQuit()
+			r.line, r.started = nil, false
+		}
+		r.machine = Local
+		return nil
+	}
+	if r.started && r.machine == machineSel && r.startedPath == path {
+		return nil
+	}
+	if r.started {
+		// Machine or executable changed: shut down the old line and
+		// start anew — re-placement or code substitution through the
+		// widgets.
+		r.line.IQuit()
+		r.line, r.started = nil, false
+	}
+	ln, err := r.exec.Client.ContactSchx(r.instance)
+	if err != nil {
+		return fmt.Errorf("core: %s: %w", r.instance, err)
+	}
+	if err := ln.StartRemote(path, machineSel); err != nil {
+		ln.IQuit()
+		return fmt.Errorf("core: %s: %w", r.instance, err)
+	}
+	if err := npssproc.RegisterImports(ln); err != nil {
+		ln.IQuit()
+		return fmt.Errorf("core: %s: %w", r.instance, err)
+	}
+	r.line, r.started, r.machine, r.startedPath = ln, true, machineSel, path
+	return nil
+}
+
+// Line returns the module's Schooner line, or nil when computing
+// locally.
+func (r *remoteModule) Line() *schooner.Line {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return nil
+	}
+	return r.line
+}
+
+// Remote reports the selected machine ("local" when in-process).
+func (r *remoteModule) Remote() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return Local
+	}
+	return r.machine
+}
+
+// destroy is sch_i_quit: called from the module's Destroy.
+func (r *remoteModule) destroy() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		r.line.IQuit()
+		r.line, r.started = nil, false
+	}
+}
+
+// InletModule models the engine inlet.
+type InletModule struct{}
+
+// Spec declares the inlet's ports and widgets.
+func (m *InletModule) Spec(s *dataflow.Spec) {
+	s.SetName("inlet")
+	s.OutPort("out", stationType)
+	s.AddDial("recovery", 0.8, 1.0, 0.995)
+}
+
+// Compute publishes the inlet's presence; the physics run inside the
+// system module's engine evaluation.
+func (m *InletModule) Compute(c *dataflow.Context) error {
+	rec, err := c.FloatParam("recovery")
+	if err != nil {
+		return err
+	}
+	return c.Out("out", rec)
+}
+
+// Destroy is a no-op: the inlet has no remote computation.
+func (m *InletModule) Destroy() {}
+
+// CompressorModule models the fan or the high-pressure compressor.
+type CompressorModule struct {
+	Spool string // "low" (fan) or "high" (HPC)
+}
+
+// Spec declares the compressor's ports and widgets, including the
+// browser widget selecting the performance map file, as in TESS.
+func (m *CompressorModule) Spec(s *dataflow.Spec) {
+	s.SetName("compressor")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	s.AddBrowser("performance map", "/maps/"+m.Spool+"-compressor.map")
+	s.AddTypeIn("stator schedule", "")
+	s.AddDial("stator angle", 0.7, 1.3, 1.0)
+}
+
+// Compute forwards station data; physics run in the system module.
+func (m *CompressorModule) Compute(c *dataflow.Context) error {
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy is a no-op.
+func (m *CompressorModule) Destroy() {}
+
+// TurbineModule models the high- or low-pressure turbine.
+type TurbineModule struct {
+	Spool string
+}
+
+// Spec declares ports and the map browser widget.
+func (m *TurbineModule) Spec(s *dataflow.Spec) {
+	s.SetName("turbine")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	s.AddBrowser("performance map", "/maps/"+m.Spool+"-turbine.map")
+}
+
+// Compute forwards station data.
+func (m *TurbineModule) Compute(c *dataflow.Context) error {
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy is a no-op.
+func (m *TurbineModule) Destroy() {}
+
+// BleedModule models the compressor bleed extraction.
+type BleedModule struct{}
+
+// Spec declares ports and the bleed fraction dial.
+func (m *BleedModule) Spec(s *dataflow.Spec) {
+	s.SetName("bleed")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	s.AddDial("bleed fraction", 0, 0.10, 0.03)
+}
+
+// Compute forwards station data.
+func (m *BleedModule) Compute(c *dataflow.Context) error {
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy is a no-op.
+func (m *BleedModule) Destroy() {}
+
+// MixingVolumeModule models the mixer volume joining core and bypass.
+type MixingVolumeModule struct{}
+
+// Spec declares two inputs (core and bypass) and one output.
+func (m *MixingVolumeModule) Spec(s *dataflow.Spec) {
+	s.SetName("mixing volume")
+	s.InPort("core", stationType)
+	s.InPort("bypass", stationType)
+	s.OutPort("out", stationType)
+	s.AddDial("volume", 0.05, 2.0, 0.70)
+}
+
+// Compute forwards station data.
+func (m *MixingVolumeModule) Compute(c *dataflow.Context) error {
+	return c.Out("out", c.In("core"))
+}
+
+// Destroy is a no-op.
+func (m *MixingVolumeModule) Destroy() {}
+
+// ShaftModule is one of the four adapted modules: its computation (the
+// spool acceleration from the torque balance) can execute remotely.
+// Its control panel matches the paper's Figure 2 description: widgets
+// for moment inertia, spool speed, and spool speed-op.
+type ShaftModule struct {
+	remoteModule
+	Spool string // "low" or "high"
+
+	mu    sync.Mutex
+	ecorr float64
+	haveE bool
+}
+
+// NewShaftModule builds a shaft module bound to an executive.
+func NewShaftModule(exec *Executive, instance, spool string) *ShaftModule {
+	return &ShaftModule{
+		remoteModule: remoteModule{exec: exec, instance: instance, path: npssproc.ShaftPath},
+		Spool:        spool,
+	}
+}
+
+// Spec declares the shaft's ports and widgets.
+func (m *ShaftModule) Spec(s *dataflow.Spec) {
+	s.SetName("shaft")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	s.AddDial("moment inertia", 0.5, 50, map[string]float64{"low": 9.0, "high": 4.5}[m.Spool])
+	s.AddDial("spool speed", 1000, 20000, map[string]float64{"low": 10000, "high": 13500}[m.Spool])
+	s.AddDial("spool speed-op", 0.5, 1.1, 1.0)
+	m.addRemoteWidgets(s)
+}
+
+// Compute performs the Schooner registration when a remote machine is
+// selected (the code the paper adds to each adapted module's compute
+// function) and forwards station data.
+func (m *ShaftModule) Compute(c *dataflow.Context) error {
+	if err := m.ensureStarted(c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.haveE = false // re-placement invalidates the setup constant
+	m.mu.Unlock()
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy shuts down the module's line (sch_i_quit).
+func (m *ShaftModule) Destroy() { m.destroy() }
+
+// Hook returns the engine shaft hook routed through this module: the
+// remote setshaft/shaft pair when a machine is selected, the local
+// computation otherwise.
+func (m *ShaftModule) Hook() func(qTur, qCom, inertia, omega float64) (float64, error) {
+	return func(qTur, qCom, inertia, omega float64) (float64, error) {
+		ln := m.Line()
+		if ln == nil {
+			return engine.ShaftAccel(qTur, qCom, inertia, omega)
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.haveE {
+			// setshaft: called once at the start of a steady-state
+			// computation.
+			e, err := npssproc.Setshaft(ln, []float64{0, 0, 0, 0}, 1, []float64{0, 0, 0, 0}, 1)
+			if err != nil {
+				return 0, err
+			}
+			m.ecorr, m.haveE = e, true
+		}
+		// The paper's shaft signature carries energy (power) terms.
+		return npssproc.Shaft(ln,
+			[]float64{qCom * omega, 0, 0, 0}, 1,
+			[]float64{qTur * omega, 0, 0, 0}, 1,
+			m.ecorr, omega, inertia)
+	}
+}
+
+// DuctModule is an adapted module: a pressure-loss duct whose flow
+// computation can execute remotely.
+type DuctModule struct {
+	remoteModule
+	Station string // engine duct id: "bypass", "mixer-core", ...
+
+	mu    sync.Mutex
+	xkd   float64
+	haveK bool
+}
+
+// NewDuctModule builds a duct module bound to an executive.
+func NewDuctModule(exec *Executive, instance, station string) *DuctModule {
+	return &DuctModule{
+		remoteModule: remoteModule{exec: exec, instance: instance, path: npssproc.DuctPath},
+		Station:      station,
+	}
+}
+
+// Spec declares the duct's ports and widgets. The augmentor duct
+// additionally carries the afterburner fuel controls.
+func (m *DuctModule) Spec(s *dataflow.Spec) {
+	s.SetName("duct")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	if m.Station == "mixer-core" {
+		s.AddDial("aug fuel", 0, 6, 0)
+		s.AddTypeIn("aug fuel schedule", "")
+	}
+	m.addRemoteWidgets(s)
+}
+
+// Compute performs Schooner registration and forwards station data.
+func (m *DuctModule) Compute(c *dataflow.Context) error {
+	if err := m.ensureStarted(c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.haveK = false
+	m.mu.Unlock()
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy shuts down the module's line.
+func (m *DuctModule) Destroy() { m.destroy() }
+
+// Hook returns the duct flow computation routed through this module.
+// The design conditions are used by the remote setduct call that sizes
+// the orifice constant on first use.
+func (m *DuctModule) Hook(des engine.DuctDesign) func(k, pUp, tUp, far, pDown float64) (float64, error) {
+	return func(k, pUp, tUp, far, pDown float64) (float64, error) {
+		ln := m.Line()
+		if ln == nil {
+			return engine.DuctFlow(k, pUp, tUp, far, pDown)
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.haveK {
+			xkd, err := npssproc.Setduct(ln, des.W, des.P, des.T, des.FAR, des.DP)
+			if err != nil {
+				return 0, err
+			}
+			m.xkd, m.haveK = xkd, true
+		}
+		return npssproc.Duct(ln, m.xkd, pUp, tUp, far, pDown)
+	}
+}
+
+// CombustorModule is an adapted module: the combustor computation can
+// execute remotely. Its widgets include the fuel flow and the
+// transient control schedules TESS provides for the combustor.
+type CombustorModule struct {
+	remoteModule
+
+	mu    sync.Mutex
+	xkc   float64
+	haveK bool
+}
+
+// NewCombustorModule builds the combustor module.
+func NewCombustorModule(exec *Executive, instance string) *CombustorModule {
+	return &CombustorModule{
+		remoteModule: remoteModule{exec: exec, instance: instance, path: npssproc.CombPath},
+	}
+}
+
+// Spec declares the combustor's ports and widgets.
+func (m *CombustorModule) Spec(s *dataflow.Spec) {
+	s.SetName("combustor")
+	s.InPort("in", stationType)
+	s.OutPort("out", stationType)
+	// Zero means "use the design-point fuel flow".
+	s.AddDial("fuel flow", 0, 10, 0)
+	s.AddTypeIn("fuel schedule", "")
+	s.AddTypeIn("stator schedule", "")
+	s.AddDial("efficiency", 0.8, 1.0, 0.995)
+	m.addRemoteWidgets(s)
+}
+
+// Compute performs Schooner registration and forwards station data.
+func (m *CombustorModule) Compute(c *dataflow.Context) error {
+	if err := m.ensureStarted(c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.haveK = false
+	m.mu.Unlock()
+	return c.Out("out", c.In("in"))
+}
+
+// Destroy shuts down the module's line.
+func (m *CombustorModule) Destroy() { m.destroy() }
+
+// Hook returns the combustor computation routed through this module.
+func (m *CombustorModule) Hook(des engine.CombDesign) func(k, pUp, tUp, farUp, pDown, wf, eta, stator float64) (float64, float64, float64, error) {
+	return func(k, pUp, tUp, farUp, pDown, wf, eta, stator float64) (float64, float64, float64, error) {
+		ln := m.Line()
+		if ln == nil {
+			return engine.CombustorCompute(k, pUp, tUp, farUp, pDown, wf, eta, stator)
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.haveK {
+			xkc, err := npssproc.Setcomb(ln, des.W, des.P, des.T, des.DP)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			m.xkc, m.haveK = xkc, true
+		}
+		return npssproc.Comb(ln, m.xkc, pUp, tUp, farUp, pDown, wf, eta, stator)
+	}
+}
+
+// NozzleModule is an adapted module: the nozzle computation can
+// execute remotely. Its widgets include the area schedule (the
+// transient control schedule TESS provides for the nozzle).
+type NozzleModule struct {
+	remoteModule
+
+	mu    sync.Mutex
+	a8    float64
+	haveA bool
+}
+
+// NewNozzleModule builds the nozzle module.
+func NewNozzleModule(exec *Executive, instance string) *NozzleModule {
+	return &NozzleModule{
+		remoteModule: remoteModule{exec: exec, instance: instance, path: npssproc.NozlPath},
+	}
+}
+
+// Spec declares the nozzle's ports and widgets.
+func (m *NozzleModule) Spec(s *dataflow.Spec) {
+	s.SetName("nozzle")
+	s.InPort("in", stationType)
+	s.AddTypeIn("area schedule", "")
+	m.addRemoteWidgets(s)
+}
+
+// Compute performs Schooner registration.
+func (m *NozzleModule) Compute(c *dataflow.Context) error {
+	if err := m.ensureStarted(c); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.haveA = false
+	m.mu.Unlock()
+	return nil
+}
+
+// Destroy shuts down the module's line.
+func (m *NozzleModule) Destroy() { m.destroy() }
+
+// Hook returns the nozzle computation routed through this module. The
+// remote setnozl sizes the throat area once from design conditions; a
+// mismatch between the engine's area and the remote sizing would
+// indicate a marshaling defect, so the remote value is used.
+func (m *NozzleModule) Hook(des engine.NozzleDesign) func(a8, pt, tt, far, pamb, stator float64) (float64, float64, error) {
+	return func(a8, pt, tt, far, pamb, stator float64) (float64, float64, error) {
+		ln := m.Line()
+		if ln == nil {
+			return engine.NozzleCompute(a8, pt, tt, far, pamb, stator)
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.haveA {
+			a, err := npssproc.Setnozl(ln, des.W, des.P, des.T, des.FAR, des.Pamb)
+			if err != nil {
+				return 0, 0, err
+			}
+			m.a8, m.haveA = a, true
+		}
+		return npssproc.Nozl(ln, m.a8, pt, tt, far, pamb, stator)
+	}
+}
+
+// SystemModule provides overall control of the simulation run: the
+// solution method widgets of the TESS system module (steady state:
+// Newton-Raphson or Fourth-order Runge-Kutta; transient: Modified
+// Euler, Fourth-order Runge-Kutta, Adams, or Gear), the transient
+// length, and the flight condition.
+type SystemModule struct{}
+
+// Spec declares the system module's widgets.
+func (m *SystemModule) Spec(s *dataflow.Spec) {
+	s.SetName("system")
+	s.AddChoice("steady method", "Newton-Raphson", "Fourth-order Runge-Kutta")
+	s.AddChoice("transient method", "Modified Euler", "Fourth-order Runge-Kutta", "Adams", "Gear")
+	s.AddDial("transient seconds", 0.01, 30, 1.0)
+	s.AddDial("time step", 1e-4, 0.05, 5e-4)
+	s.AddDial("altitude", 0, 20000, 0)
+	s.AddDial("mach", 0, 2.2, 0)
+}
+
+// Compute is a no-op: the run is driven by Executive.Run.
+func (m *SystemModule) Compute(c *dataflow.Context) error { return nil }
+
+// Destroy is a no-op.
+func (m *SystemModule) Destroy() {}
+
+// ParseSchedule parses a transient control schedule written in a
+// type-in widget as "time:value, time:value, ..." (the widget
+// equivalent of TESS's specify-angles-at-certain-times interface). An
+// empty string yields nil.
+func ParseSchedule(text string) (*engine.Schedule, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, nil
+	}
+	var times, values []float64
+	for _, part := range strings.Split(text, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("core: schedule entry %q not of form time:value", part)
+		}
+		tt, err := strconv.ParseFloat(strings.TrimSpace(kv[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad schedule time %q", kv[0])
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad schedule value %q", kv[1])
+		}
+		times = append(times, tt)
+		values = append(values, v)
+	}
+	return engine.NewSchedule(times, values)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"npss/internal/dataflow"
+	"npss/internal/engine"
+)
+
+// MonitorModule realizes the paper's monitoring requirement: "the user
+// will also need the ability to monitor the simulation through
+// selectively viewing graphical results or monitoring particular
+// values from selected component codes". A monitor module is placed in
+// the network like any other module; its choice widget selects the
+// variable, and during a transient the executive streams every step's
+// value into it. Series returns the recorded trace (what AVS would
+// hand to a graphing module).
+type MonitorModule struct {
+	mu      sync.Mutex
+	samples []Sample
+	varName string
+}
+
+// Sample is one recorded point of a monitored variable.
+type Sample struct {
+	T     float64
+	Value float64
+}
+
+// MonitorVariables lists the engine outputs a monitor can watch.
+func MonitorVariables() []string {
+	return []string{"thrust", "NL", "NH", "T4", "W2", "fuel", "fan beta", "nozzle flow"}
+}
+
+// Spec declares the monitor's widgets.
+func (m *MonitorModule) Spec(s *dataflow.Spec) {
+	s.SetName("monitor")
+	s.AddChoice("variable", MonitorVariables()...)
+}
+
+// Compute latches the selected variable and clears the series (a
+// recompute means the panel changed: a fresh trace).
+func (m *MonitorModule) Compute(c *dataflow.Context) error {
+	v, err := c.TextParam("variable")
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.varName = v
+	m.samples = m.samples[:0]
+	m.mu.Unlock()
+	return nil
+}
+
+// Destroy is a no-op.
+func (m *MonitorModule) Destroy() {}
+
+// observe records one transient step.
+func (m *MonitorModule) observe(t float64, out engine.Outputs) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var v float64
+	switch m.varName {
+	case "thrust":
+		v = out.Thrust
+	case "NL":
+		v = out.NL
+	case "NH":
+		v = out.NH
+	case "T4":
+		v = out.T4
+	case "W2":
+		v = out.W2
+	case "fuel":
+		v = out.Fuel
+	case "fan beta":
+		v = out.FanBeta
+	case "nozzle flow":
+		v = out.NozzleFlow
+	default:
+		return
+	}
+	m.samples = append(m.samples, Sample{T: t, Value: v})
+}
+
+// Variable reports which engine output the monitor is recording.
+func (m *MonitorModule) Variable() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.varName
+}
+
+// Series returns a copy of the recorded trace.
+func (m *MonitorModule) Series() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// AddMonitor places a monitor module into the executive's network,
+// watching the given variable.
+func (x *Executive) AddMonitor(instance, variable string) (*MonitorModule, error) {
+	if x.Network == nil {
+		return nil, fmt.Errorf("core: no network loaded")
+	}
+	m := &MonitorModule{}
+	if _, err := x.Network.Add(instance, "monitor", m); err != nil {
+		return nil, err
+	}
+	if err := x.Network.SetParam(instance, "variable", variable); err != nil {
+		x.Network.Remove(instance)
+		return nil, err
+	}
+	return m, nil
+}
+
+// monitors collects the network's monitor modules.
+func (x *Executive) monitors() []*MonitorModule {
+	var out []*MonitorModule
+	for _, node := range x.Network.Nodes() {
+		if m, ok := node.Module().(*MonitorModule); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMonitorRecordsTransient(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+	mon, err := tb.exec.AddMonitor("thrust monitor", "thrust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, err := tb.exec.AddMonitor("NH monitor", "NH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttle chop so the traces move.
+	if err := tb.exec.Network.SetParam(InstComb, "fuel schedule", "0:1.48, 0.05:1.30"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.exec.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := mon.Series()
+	// 0.2 s at 1 ms: 200 steps.
+	if len(series) < 150 {
+		t.Fatalf("monitor recorded %d samples", len(series))
+	}
+	if series[0].T <= 0 || series[len(series)-1].T < 0.19 {
+		t.Errorf("time range wrong: %g .. %g", series[0].T, series[len(series)-1].T)
+	}
+	// The trace must show the deceleration.
+	if series[len(series)-1].Value >= series[0].Value {
+		t.Errorf("thrust trace did not fall: %g -> %g", series[0].Value, series[len(series)-1].Value)
+	}
+	if got := nh.Series(); len(got) != len(series) {
+		t.Errorf("second monitor recorded %d samples, want %d", len(got), len(series))
+	}
+	if mon.Variable() != "thrust" || nh.Variable() != "NH" {
+		t.Error("monitor variables wrong")
+	}
+	// The final sample matches the run's final outputs.
+	if last := series[len(series)-1].Value; last != res.Final.Thrust {
+		t.Errorf("last sample %g != final thrust %g", last, res.Final.Thrust)
+	}
+	// A fresh run clears and re-records.
+	if err := tb.exec.Network.MarkDirty("thrust monitor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.exec.Run(RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Series()) > len(series) {
+		t.Error("monitor did not clear between runs")
+	}
+}
+
+func TestAddMonitorValidation(t *testing.T) {
+	tb := newTestbed(t)
+	if _, err := tb.exec.AddMonitor("m", "warp factor"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := tb.exec.Network.Node("m"); err == nil {
+		t.Error("failed monitor left in network")
+	}
+	if _, err := tb.exec.AddMonitor("ok", "T4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.exec.AddMonitor("ok", "T4"); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+}
+
+// TestAfterburnerThroughWidgets lights the augmentor via the augmentor
+// duct module's afterburner widgets, with a coordinated nozzle area
+// schedule, and watches thrust through a monitor module.
+func TestAfterburnerThroughWidgets(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+	dry, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.exec.Network.SetParam(InstAugDuct, "aug fuel schedule", "0.02:0, 0.08:2.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.exec.Network.SetParam(InstNozzle, "area schedule", "0.02:1.0, 0.08:1.25"); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tb.exec.AddMonitor("thrust", "thrust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.exec.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Thrust < 1.10*dry.Steady.Thrust {
+		t.Errorf("afterburner light raised thrust only to %.1f kN (dry %.1f)",
+			res.Final.Thrust/1000, dry.Steady.Thrust/1000)
+	}
+	series := mon.Series()
+	if len(series) == 0 || series[len(series)-1].Value <= series[0].Value {
+		t.Error("monitor did not record the thrust rise")
+	}
+	if res.Final.AugFuel != 2.0 {
+		t.Errorf("aug fuel = %g", res.Final.AugFuel)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"npss/internal/dataflow"
+	"npss/internal/npssproc"
+	"npss/internal/schooner"
+)
+
+// TestBuildEngineFromScratch exercises the paper's "build an engine
+// from scratch by selecting engine components and linking them
+// together" capability: a network assembled module by module in the
+// editor runs at every stage, absent modules contributing design
+// defaults.
+func TestBuildEngineFromScratch(t *testing.T) {
+	tb := newTestbed(t)
+	exec := NewExecutive(tb.exec.Client, tb.exec.Machines)
+	cat := exec.Catalog()
+
+	// Stage 1: an empty network runs entirely on defaults.
+	exec.Network = dataflow.NewNetwork("scratch")
+	res, err := exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatalf("empty network: %v", err)
+	}
+	if res.Steady.Thrust <= 0 {
+		t.Fatal("empty network produced no engine")
+	}
+	base := res.Steady.Thrust
+
+	// Stage 2: drop in a combustor module and throttle it.
+	m, err := cat.New("combustor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Network.Add(InstComb, "combustor", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Network.SetParam(InstComb, "fuel flow", 1.30); err != nil {
+		t.Fatal(err)
+	}
+	res, err = exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatalf("combustor-only network: %v", err)
+	}
+	if res.Steady.Thrust >= base {
+		t.Errorf("throttled combustor did not reduce thrust: %g vs %g", res.Steady.Thrust, base)
+	}
+
+	// Stage 3: add a shaft module and send its computation remote —
+	// a partially built engine still supports the adaptation.
+	sm, err := cat.New("shaft-low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Network.Add(InstLowShaft, "shaft-low", sm); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.SetRemote(InstLowShaft, "rs6000-lerc", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err = exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatalf("partial network with remote shaft: %v", err)
+	}
+	if got := exec.RemotePlacements()[InstLowShaft]; got != "rs6000-lerc" {
+		t.Errorf("shaft placed on %q", got)
+	}
+	exec.Destroy()
+}
+
+// TestSubstituteComponentCode exercises "modify the engine model by
+// substituting different codes for one or more engine components": the
+// user types a different executable pathname into the shaft module's
+// path widget and gets a different shaft code — here, one with a
+// friction term that slows the spools.
+func TestSubstituteComponentCode(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+
+	// Register the alternative shaft code on the deployment's
+	// "filesystem": identical signature, extra friction drag.
+	frictional := &schooner.Program{
+		Path:     "/npss/npss-shaft-friction",
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			setshaft := npssproc.BindSetshaft(func(ecom []float64, incom int32, etur []float64, intur int32) (float64, error) {
+				return 1.0, nil
+			})
+			shaft := npssproc.BindShaft(func(ecom []float64, incom int32, etur []float64, intur int32, ecorr, xspool, xmyi float64) (float64, error) {
+				if xspool <= 0 || xmyi <= 0 {
+					return 0, fmt.Errorf("shaft: bad state")
+				}
+				var pc, pt float64
+				for i := int32(0); i < incom; i++ {
+					pc += ecom[i]
+				}
+				for i := int32(0); i < intur; i++ {
+					pt += etur[i]
+				}
+				const friction = 120e3 // W of parasitic drag
+				return ecorr * (pt - pc - friction) / (xmyi * xspool), nil
+			})
+			return schooner.NewInstance(setshaft, shaft)
+		},
+	}
+	if err := tb.reg.Register(frictional); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline with the standard code.
+	if err := tb.exec.SetRemote(InstLowShaft, "sgi-lerc", ""); err != nil {
+		t.Fatal(err)
+	}
+	std, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Substitute: same module, different pathname in the type-in.
+	if err := tb.exec.SetRemote(InstLowShaft, "local", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.exec.SetRemote(InstLowShaft, "sgi-lerc", "/npss/npss-shaft-friction"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tb.exec.Run(RunOptions{SkipTransient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frictional code balances with a slower low spool.
+	if sub.Steady.NL >= std.Steady.NL {
+		t.Errorf("substituted code had no effect: NL %g vs %g", sub.Steady.NL, std.Steady.NL)
+	}
+}

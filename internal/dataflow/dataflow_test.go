@@ -1,0 +1,502 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// source emits its "value" dial on port "out".
+type source struct{ destroyed bool }
+
+func (s *source) Spec(sp *Spec) {
+	sp.SetName("source")
+	sp.OutPort("out", "number")
+	sp.AddDial("value", 0, 100, 5)
+}
+
+func (s *source) Compute(c *Context) error {
+	v, err := c.FloatParam("value")
+	if err != nil {
+		return err
+	}
+	return c.Out("out", v)
+}
+
+func (s *source) Destroy() { s.destroyed = true }
+
+// doubler multiplies its input by its "gain" slider.
+type doubler struct{ computes int }
+
+func (d *doubler) Spec(sp *Spec) {
+	sp.SetName("doubler")
+	sp.InPort("in", "number")
+	sp.OutPort("out", "number")
+	sp.AddSlider("gain", 0, 10, 2)
+}
+
+func (d *doubler) Compute(c *Context) error {
+	d.computes++
+	in, _ := c.In("in").(float64)
+	g, err := c.FloatParam("gain")
+	if err != nil {
+		return err
+	}
+	return c.Out("out", in*g)
+}
+
+func (d *doubler) Destroy() {}
+
+// sink records the last value it saw.
+type sink struct{ last float64 }
+
+func (s *sink) Spec(sp *Spec) {
+	sp.SetName("sink")
+	sp.InPort("in", "number")
+}
+
+func (s *sink) Compute(c *Context) error {
+	if v, ok := c.In("in").(float64); ok {
+		s.last = v
+	}
+	return nil
+}
+
+func (s *sink) Destroy() {}
+
+// textModule exercises the string widget kinds used by the adapted
+// engine modules (machine radio buttons + pathname type-in).
+type textModule struct{ machine, path string }
+
+func (m *textModule) Spec(sp *Spec) {
+	sp.SetName("text")
+	sp.AddRadio("machine", "sparc-lerc", "cray-lerc", "rs6000-lerc")
+	sp.AddTypeIn("path", "/npss/shaft")
+	sp.AddBrowser("map", "/maps/fan.map")
+	sp.AddChoice("method", "Newton-Raphson", "Fourth-order Runge-Kutta")
+}
+
+func (m *textModule) Compute(c *Context) error {
+	var err error
+	if m.machine, err = c.TextParam("machine"); err != nil {
+		return err
+	}
+	m.path, err = c.TextParam("path")
+	return err
+}
+
+func (m *textModule) Destroy() {}
+
+func buildPipeline(t *testing.T) (*Network, *source, *doubler, *sink) {
+	t.Helper()
+	n := NewNetwork("test")
+	src := &source{}
+	dbl := &doubler{}
+	snk := &sink{}
+	if _, err := n.Add("src", "source", src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Add("dbl", "doubler", dbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Add("snk", "sink", snk); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("src", "out", "dbl", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("dbl", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+	return n, src, dbl, snk
+}
+
+func TestPipelineExecution(t *testing.T) {
+	n, _, _, snk := buildPipeline(t)
+	computed, err := n.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 3 {
+		t.Errorf("computed %d modules, want 3", computed)
+	}
+	if snk.last != 10 { // 5 * 2
+		t.Errorf("sink saw %g, want 10", snk.last)
+	}
+	// Nothing dirty: second Execute computes nothing.
+	computed, err = n.Execute()
+	if err != nil || computed != 0 {
+		t.Errorf("idle Execute computed %d, err %v", computed, err)
+	}
+}
+
+func TestWidgetChangePropagates(t *testing.T) {
+	n, _, dbl, snk := buildPipeline(t)
+	n.Execute()
+	if err := n.SetParam("src", "value", 7.0); err != nil {
+		t.Fatal(err)
+	}
+	computed, err := n.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src recomputes, new output propagates through dbl to snk.
+	if computed != 3 {
+		t.Errorf("computed %d, want 3", computed)
+	}
+	if snk.last != 14 {
+		t.Errorf("sink saw %g, want 14", snk.last)
+	}
+	// Changing only the doubler's gain recomputes dbl and snk, not src.
+	before := dbl.computes
+	n.SetParam("dbl", "gain", 3.0)
+	computed, _ = n.Execute()
+	if computed != 2 {
+		t.Errorf("computed %d, want 2", computed)
+	}
+	if dbl.computes != before+1 || snk.last != 21 {
+		t.Errorf("dbl computes %d, sink %g", dbl.computes, snk.last)
+	}
+}
+
+func TestUnchangedOutputDoesNotPropagate(t *testing.T) {
+	n, _, dbl, _ := buildPipeline(t)
+	n.Execute()
+	// Recompute src with the same value: same output, dbl untouched.
+	before := dbl.computes
+	n.MarkDirty("src")
+	computed, _ := n.Execute()
+	if computed != 1 {
+		t.Errorf("computed %d, want 1", computed)
+	}
+	if dbl.computes != before {
+		t.Error("unchanged output propagated")
+	}
+}
+
+func TestConnectionValidation(t *testing.T) {
+	n := NewNetwork("t")
+	n.Add("a", "source", &source{})
+	n.Add("b", "doubler", &doubler{})
+	n.Add("c", "sink", &sink{})
+	cases := []struct{ fn, fp, tn, tp string }{
+		{"ghost", "out", "b", "in"},  // unknown from
+		{"a", "out", "ghost", "in"},  // unknown to
+		{"a", "bogus", "b", "in"},    // unknown out port
+		{"a", "out", "b", "bogus"},   // unknown in port
+		{"a", "out", "a", "nothing"}, // source has no inputs
+	}
+	for _, c := range cases {
+		if err := n.Connect(c.fn, c.fp, c.tn, c.tp); err == nil {
+			t.Errorf("Connect(%v) succeeded", c)
+		}
+	}
+	// Double-driving an input is rejected.
+	if err := n.Connect("a", "out", "b", "in"); err != nil {
+		t.Fatal(err)
+	}
+	n.Add("a2", "source", &source{})
+	if err := n.Connect("a2", "out", "b", "in"); err == nil {
+		t.Error("double-driven input accepted")
+	}
+}
+
+func TestPortTypeChecking(t *testing.T) {
+	n := NewNetwork("t")
+	n.Add("a", "source", &source{})
+	tm := &textModule{}
+	n.Add("tm", "text", tm)
+	// textModule has no ports at all, but build a mismatch via a
+	// custom module with a differently typed port.
+	n.Add("s", "stringsink", &stringSink{})
+	if err := n.Connect("a", "out", "s", "in"); err == nil ||
+		!strings.Contains(err.Error(), "type mismatch") {
+		t.Errorf("type mismatch not caught: %v", err)
+	}
+}
+
+type stringSink struct{}
+
+func (s *stringSink) Spec(sp *Spec) { sp.InPort("in", "text") }
+func (s *stringSink) Compute(c *Context) error {
+	return nil
+}
+func (s *stringSink) Destroy() {}
+
+func TestCycleRejected(t *testing.T) {
+	n := NewNetwork("t")
+	n.Add("d1", "doubler", &doubler{})
+	n.Add("d2", "doubler", &doubler{})
+	if err := n.Connect("d1", "out", "d2", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("d2", "out", "d1", "in"); err == nil {
+		t.Error("cycle accepted")
+	}
+	// The failed connect left the network consistent.
+	if _, err := n.Execute(); err != nil {
+		t.Errorf("network broken after rejected cycle: %v", err)
+	}
+}
+
+func TestRemoveCallsDestroy(t *testing.T) {
+	n, src, _, snk := buildPipeline(t)
+	if err := n.Remove("src"); err != nil {
+		t.Fatal(err)
+	}
+	if !src.destroyed {
+		t.Error("Destroy not called")
+	}
+	if _, err := n.Node("src"); err == nil {
+		t.Error("removed node still present")
+	}
+	// Network still executes (dbl has no input now; in is nil -> 0).
+	if _, err := n.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if snk.last != 0 {
+		t.Errorf("sink saw %g after upstream removal", snk.last)
+	}
+	if err := n.Remove("ghost"); err == nil {
+		t.Error("removing unknown instance succeeded")
+	}
+}
+
+func TestClearDestroysAll(t *testing.T) {
+	n, src, _, _ := buildPipeline(t)
+	n.Clear()
+	if !src.destroyed {
+		t.Error("Clear did not destroy modules")
+	}
+	if len(n.Nodes()) != 0 {
+		t.Error("nodes remain after Clear")
+	}
+}
+
+func TestDuplicateInstanceRejected(t *testing.T) {
+	n := NewNetwork("t")
+	n.Add("a", "source", &source{})
+	if _, err := n.Add("a", "source", &source{}); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+	if _, err := n.Add("", "source", &source{}); err == nil {
+		t.Error("empty instance name accepted")
+	}
+	if _, err := n.Add("b", "nil", nil); err == nil {
+		t.Error("nil module accepted")
+	}
+}
+
+func TestWidgetKindsAndValidation(t *testing.T) {
+	n := NewNetwork("t")
+	tm := &textModule{}
+	n.Add("tm", "text", tm)
+	// Radio accepts only declared options.
+	if err := n.SetParam("tm", "machine", "cray-lerc"); err != nil {
+		t.Errorf("valid radio option rejected: %v", err)
+	}
+	if err := n.SetParam("tm", "machine", "vax-780"); err == nil {
+		t.Error("unknown radio option accepted")
+	}
+	if err := n.SetParam("tm", "machine", 5.0); err == nil {
+		t.Error("numeric radio value accepted")
+	}
+	// TypeIn takes any text.
+	if err := n.SetParam("tm", "path", "/somewhere/else"); err != nil {
+		t.Errorf("typein rejected: %v", err)
+	}
+	if err := n.SetParam("tm", "path", 5.0); err == nil {
+		t.Error("numeric typein accepted")
+	}
+	// Dial bounds enforced.
+	n2, _, _, _ := buildPipeline(t)
+	if err := n2.SetParam("src", "value", 101.0); err == nil {
+		t.Error("out-of-bounds dial accepted")
+	}
+	if err := n2.SetParam("src", "value", "fast"); err == nil {
+		t.Error("non-numeric dial accepted")
+	}
+	// Unknown widget / instance.
+	if err := n.SetParam("tm", "bogus", 1.0); err == nil {
+		t.Error("unknown widget accepted")
+	}
+	if err := n.SetParam("ghost", "x", 1.0); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	// Defaults flow to Compute.
+	if _, err := n.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.machine != "cray-lerc" || tm.path != "/somewhere/else" {
+		t.Errorf("widget values: %q %q", tm.machine, tm.path)
+	}
+}
+
+func TestWidgetAccessors(t *testing.T) {
+	n, _, _, _ := buildPipeline(t)
+	node, _ := n.Node("src")
+	ws := node.Widgets()
+	if len(ws) != 1 || ws[0].Name != "value" || ws[0].Kind != Dial {
+		t.Fatalf("widgets = %+v", ws)
+	}
+	if v, err := ws[0].Float(); err != nil || v != 5 {
+		t.Errorf("Float = %g, %v", v, err)
+	}
+	if _, err := ws[0].Text(); err == nil {
+		t.Error("Text on dial succeeded")
+	}
+	for k, want := range map[WidgetKind]string{
+		Dial: "dial", Slider: "slider", TypeIn: "typein",
+		Radio: "radio", Browser: "browser", Choice: "choice",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestInstancesOf(t *testing.T) {
+	n := NewNetwork("f100-ish")
+	for i := 0; i < 2; i++ {
+		n.Add(fmt.Sprintf("shaft-%d", i), "shaft", &textModule{})
+		n.Add(fmt.Sprintf("duct-%d", i), "duct", &textModule{})
+	}
+	n.Add("combustor", "combustor", &textModule{})
+	if got := n.InstancesOf("shaft"); len(got) != 2 || got[0] != "shaft-0" {
+		t.Errorf("InstancesOf(shaft) = %v", got)
+	}
+	if got := n.InstancesOf("nozzle"); len(got) != 0 {
+		t.Errorf("InstancesOf(nozzle) = %v", got)
+	}
+}
+
+func catalog() *Catalog {
+	c := NewCatalog()
+	c.MustRegister("source", func() Module { return &source{} })
+	c.MustRegister("doubler", func() Module { return &doubler{} })
+	c.MustRegister("sink", func() Module { return &sink{} })
+	c.MustRegister("text", func() Module { return &textModule{} })
+	return c
+}
+
+func TestCatalog(t *testing.T) {
+	c := catalog()
+	if got := c.Types(); len(got) != 4 || got[0] != "doubler" {
+		t.Errorf("Types = %v", got)
+	}
+	if _, err := c.New("source"); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.New("ghost"); err == nil {
+		t.Error("unknown type constructed")
+	}
+	if err := c.Register("source", func() Module { return nil }); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if err := c.Register("", nil); err == nil {
+		t.Error("empty registration accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n, _, _, _ := buildPipeline(t)
+	n.SetParam("src", "value", 9.0)
+	tm := &textModule{}
+	n.Add("tm", "text", tm)
+	n.SetParam("tm", "machine", "rs6000-lerc")
+	n.SetParam("tm", "path", "/npss/npss-shaft")
+
+	var buf bytes.Buffer
+	if err := Save(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()), catalog())
+	if err != nil {
+		t.Fatalf("Load: %v\nfile:\n%s", err, buf.String())
+	}
+	if got.Name != "test" || len(got.Nodes()) != 4 {
+		t.Fatalf("loaded %q with %d nodes", got.Name, len(got.Nodes()))
+	}
+	// Widget values survive.
+	node, _ := got.Node("src")
+	if v, _ := node.widget("value").Float(); v != 9 {
+		t.Errorf("reloaded dial = %g", v)
+	}
+	node, _ = got.Node("tm")
+	if s, _ := node.widget("machine").Text(); s != "rs6000-lerc" {
+		t.Errorf("reloaded radio = %q", s)
+	}
+	// The reloaded network executes identically.
+	if _, err := got.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := got.Output("dbl", "out")
+	if err != nil || v.(float64) != 18 {
+		t.Errorf("reloaded pipeline output = %v, %v", v, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module \"a\" source\nend",                        // module before header
+		"network t\nmodule \"a\" ghost\nend",              // unknown type
+		"network t\nmodule \"a\"\nend",                    // short module
+		"network t\nnetwork t2\nend",                      // duplicate header
+		"network t\nparam \"a\" \"v\" 1\nend",             // param for unknown module
+		"network t\nconnect \"a\" \"o\" \"b\" \"i\"\nend", // unknown connect
+		"network t\nfrobnicate\nend",                      // unknown directive
+		"network t\nmodule \"a\" source\n",                // missing end
+		"network t\nmodule \"a source\nend",               // unterminated quote
+	}
+	for i, src := range cases {
+		if _, err := Load(strings.NewReader(src), catalog()); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOutputBeforeExecute(t *testing.T) {
+	n, _, _, _ := buildPipeline(t)
+	if _, err := n.Output("src", "out"); err == nil {
+		t.Error("output available before execute")
+	}
+	if _, err := n.Output("ghost", "out"); err == nil {
+		t.Error("output of unknown instance")
+	}
+	n.Execute()
+	v, err := n.Output("src", "out")
+	if err != nil || v.(float64) != 5 {
+		t.Errorf("Output = %v, %v", v, err)
+	}
+}
+
+func TestComputeErrorPropagates(t *testing.T) {
+	n := NewNetwork("t")
+	n.Add("bad", "bad", &badModule{})
+	if _, err := n.Execute(); err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Errorf("Execute error = %v", err)
+	}
+}
+
+type badModule struct{}
+
+func (b *badModule) Spec(sp *Spec)            {}
+func (b *badModule) Compute(c *Context) error { return fmt.Errorf("deliberate failure") }
+func (b *badModule) Destroy()                 {}
+
+func TestDisconnect(t *testing.T) {
+	n, _, _, snk := buildPipeline(t)
+	n.Execute()
+	if err := n.Disconnect("src", "out", "dbl", "in"); err != nil {
+		t.Fatal(err)
+	}
+	n.Execute()
+	if snk.last != 0 {
+		t.Errorf("sink saw %g after disconnect", snk.last)
+	}
+	if err := n.Disconnect("src", "out", "dbl", "in"); err == nil {
+		t.Error("double disconnect succeeded")
+	}
+}

@@ -1,0 +1,226 @@
+package dataflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The Network Editor lets the user "create, modify, and save programs"
+// — this file implements the save/load format:
+//
+//	network f100
+//	module "fan" compressor
+//	param "fan" "stator angle" 1.0
+//	param "fan" "machine" "cray-lerc"
+//	connect "inlet" "out" "fan" "in"
+//	end
+//
+// Loading needs a factory for each module type name; factories are
+// held in a Catalog (the editor's module palette).
+
+// Factory builds a fresh module instance of one type.
+type Factory func() Module
+
+// Catalog is the module palette: type name -> factory.
+type Catalog struct {
+	mu        sync.Mutex
+	factories map[string]Factory
+}
+
+// NewCatalog creates an empty palette.
+func NewCatalog() *Catalog {
+	return &Catalog{factories: make(map[string]Factory)}
+}
+
+// Register adds a module type.
+func (c *Catalog) Register(typeName string, f Factory) error {
+	if typeName == "" || f == nil {
+		return fmt.Errorf("dataflow: catalog entry needs a name and a factory")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.factories[typeName]; dup {
+		return fmt.Errorf("dataflow: module type %q already registered", typeName)
+	}
+	c.factories[typeName] = f
+	return nil
+}
+
+// MustRegister is Register for static palettes.
+func (c *Catalog) MustRegister(typeName string, f Factory) {
+	if err := c.Register(typeName, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates a module type.
+func (c *Catalog) New(typeName string) (Module, error) {
+	c.mu.Lock()
+	f, ok := c.factories[typeName]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dataflow: unknown module type %q (have %v)", typeName, c.Types())
+	}
+	return f(), nil
+}
+
+// Types lists registered type names, sorted.
+func (c *Catalog) Types() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.factories))
+	for t := range c.factories {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the network in the editor file format. Widget values are
+// saved so a reloaded network reproduces the control panels.
+func Save(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %s\n", n.Name)
+	for _, node := range n.Nodes() {
+		fmt.Fprintf(bw, "module %q %s\n", node.Name, node.Type)
+		for _, wd := range node.Widgets() {
+			switch v := wd.value.(type) {
+			case float64:
+				fmt.Fprintf(bw, "param %q %q %.17g\n", node.Name, wd.Name, v)
+			case string:
+				fmt.Fprintf(bw, "param %q %q %q\n", node.Name, wd.Name, v)
+			}
+		}
+	}
+	for _, c := range n.conns {
+		fmt.Fprintf(bw, "connect %q %q %q %q\n", c.fromNode, c.fromPort, c.toNode, c.toPort)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Load reads a network file, instantiating modules from the catalog.
+func Load(r io.Reader, cat *Catalog) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	var n *Network
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "network":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dataflow: line %d: network needs a name", lineNo)
+			}
+			if n != nil {
+				return nil, fmt.Errorf("dataflow: line %d: duplicate network header", lineNo)
+			}
+			n = NewNetwork(fields[1])
+		case "module":
+			if n == nil {
+				return nil, fmt.Errorf("dataflow: line %d: module before network header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataflow: line %d: module needs instance and type", lineNo)
+			}
+			m, err := cat.New(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dataflow: line %d: %w", lineNo, err)
+			}
+			if _, err := n.Add(fields[1], fields[2], m); err != nil {
+				return nil, fmt.Errorf("dataflow: line %d: %w", lineNo, err)
+			}
+		case "param":
+			if n == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("dataflow: line %d: bad param", lineNo)
+			}
+			var v any = fields[3]
+			if f, err := strconv.ParseFloat(fields[3], 64); err == nil && !strings.HasPrefix(fields[3], `"`) {
+				// Numbers were written unquoted; splitQuoted keeps the
+				// quote marker for strings.
+				v = f
+			} else {
+				v = strings.Trim(fields[3], `"`)
+			}
+			if err := n.SetParam(fields[1], fields[2], v); err != nil {
+				return nil, fmt.Errorf("dataflow: line %d: %w", lineNo, err)
+			}
+		case "connect":
+			if n == nil || len(fields) != 5 {
+				return nil, fmt.Errorf("dataflow: line %d: bad connect", lineNo)
+			}
+			if err := n.Connect(fields[1], fields[2], fields[3], fields[4]); err != nil {
+				return nil, fmt.Errorf("dataflow: line %d: %w", lineNo, err)
+			}
+		case "end":
+			if n == nil {
+				return nil, fmt.Errorf("dataflow: line %d: end before network header", lineNo)
+			}
+			return n, nil
+		default:
+			return nil, fmt.Errorf("dataflow: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("dataflow: missing \"end\"")
+}
+
+// splitQuoted splits a line into fields, honoring double quotes.
+// Quoted strings keep a leading quote marker so the caller can tell
+// "1.5" (string) from 1.5 (number); the marker is stripped for all
+// non-numeric uses via strings.Trim.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			fields = append(fields, `"`+line[i+1:j]+`"`)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			fields = append(fields, line[i:j])
+			i = j
+		}
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	// Strip quote markers from all but param values (position 3 of a
+	// param directive); the caller handles that one specially.
+	for k := range fields {
+		if fields[k][0] == '"' && !(fields[0] == "param" && k == 3) {
+			fields[k] = strings.Trim(fields[k], `"`)
+		}
+	}
+	return fields, nil
+}

@@ -1,0 +1,527 @@
+package engine
+
+import (
+	"fmt"
+
+	"npss/internal/gasdyn"
+	"npss/internal/solver"
+)
+
+// Hooks are the component computations the engine calls through
+// indirection. The defaults run locally; the prototype executive
+// (package core) replaces the four the paper adapted — shaft, duct,
+// combustor, and nozzle — with versions that invoke the computation on
+// a remote machine through Schooner. Every hook is a pure function of
+// its arguments, which is what made the adaptation possible.
+type Hooks struct {
+	// Shaft receives the spool id ("low" or "high") so each shaft
+	// instance can be routed to its own remote computation, as in the
+	// paper's combined test where the two shaft modules ran on an
+	// RS/6000 while two duct instances ran on a Cray.
+	Shaft func(spool string, qTur, qCom, inertia, omega float64) (float64, error)
+	// Duct receives the duct site id ("bypass", "bleed", "mixer-core",
+	// "mixer-bypass").
+	Duct      func(id string, k, pUp, tUp, far, pDown float64) (float64, error)
+	Combustor func(k, pUp, tUp, farUp, pDown, wf, eta, stator float64) (w, tOut, farOut float64, err error)
+	Nozzle    func(a8, pt, tt, far, pamb, stator float64) (w, thrust float64, err error)
+}
+
+// LocalHooks returns hooks that execute every computation in-process.
+func LocalHooks() Hooks {
+	return Hooks{
+		Shaft: func(spool string, qTur, qCom, inertia, omega float64) (float64, error) {
+			return ShaftAccel(qTur, qCom, inertia, omega)
+		},
+		Duct: func(id string, k, pUp, tUp, far, pDown float64) (float64, error) {
+			return DuctFlow(k, pUp, tUp, far, pDown)
+		},
+		Combustor: CombustorCompute,
+		Nozzle:    NozzleCompute,
+	}
+}
+
+// DuctIDs lists the engine's duct sites in airflow order.
+func DuctIDs() []string {
+	return []string{"bypass", "bleed", "mixer-core", "mixer-bypass"}
+}
+
+// SpoolIDs lists the engine's spools.
+func SpoolIDs() []string { return []string{"low", "high"} }
+
+// Volume indices in the engine state vector.
+const (
+	VFanExit  = iota // V1: fan discharge (core + bypass plenum)
+	VHPCExit         // V2: compressor discharge
+	VCombExit        // V3: combustor exit / HPT inlet
+	VHPTExit         // V4: HPT exit / LPT inlet (receives cooling bleed)
+	VLPTExit         // V5: LPT exit, core mixer inlet
+	VBypExit         // V6: bypass duct exit, bypass mixer inlet
+	VMixExit         // V7: mixer/augmentor exit, nozzle inlet
+	NumVolumes
+)
+
+// NumStates is the length of the engine state vector:
+// [omegaL, omegaH, P and T for each volume].
+const NumStates = 2 + 2*NumVolumes
+
+// Engine is the assembled two-spool mixed-flow turbofan.
+type Engine struct {
+	Inlet *Inlet
+	Fan   *Compressor // low spool
+	HPC   *Compressor // high spool
+	HPT   *Turbine    // high spool
+	LPT   *Turbine    // low spool
+
+	Volumes [NumVolumes]*Volume
+
+	// Shaft inertias, kg m^2.
+	InertiaL, InertiaH float64
+	// Design mechanical spool speeds, rad/s (for output normalization;
+	// the component NDes fields hold corrected map references).
+	NLDes, NHDes float64
+
+	// Duct/orifice constants (sized at design).
+	KByp, KBleed, KComb, KMixCore, KMixByp float64
+
+	// Nozzle throat area, m^2.
+	A8 float64
+	// Combustion efficiency.
+	BurnEff float64
+
+	// Controls: fuel flow (kg/s) and the transient control schedules
+	// (dimensionless factors around 1.0) for the stator angles of the
+	// compressor (fan+HPC), combustor, and nozzle — the three
+	// components TESS gives transient control schedules.
+	Fuel       *Schedule
+	FanStator  *Schedule
+	HPCStator  *Schedule
+	CombStator *Schedule
+	NozzleArea *Schedule // A8 multiplier
+	// AugFuel is the augmentor (afterburner) fuel flow, kg/s, burned
+	// in the mixer volume upstream of the nozzle. Zero at design; the
+	// F100 is an augmented turbofan, and lighting the augmentor is how
+	// it reaches maximum power. Opening the nozzle area alongside is
+	// the schedule's job, as in the real engine.
+	AugFuel *Schedule
+	// AugEff is the augmentor combustion efficiency.
+	AugEff float64
+
+	// Flight condition. Alt and Mach hold the current point; when the
+	// profile schedules are non-nil they drive the condition through a
+	// transient, so the engine can be "flown through a flight profile"
+	// as the paper's executive goals describe.
+	Alt, Mach float64
+	AltSched  *Schedule
+	MachSched *Schedule
+
+	// Hooks route the four adapted computations.
+	Hooks Hooks
+
+	// DesignState is the state vector at the design point, the
+	// natural initial guess for balancing.
+	DesignState []float64
+	// DesignFuel is the design-point fuel flow, kg/s.
+	DesignFuel float64
+	// DesignDucts, DesignComb, and DesignNozzle record the design
+	// conditions each flow element was sized at. The executive passes
+	// them to the remote set* procedures, which recompute the sizing
+	// constants on the remote machine (the paper's pattern of a setup
+	// procedure called once at the start of a steady-state
+	// computation).
+	DesignDucts  map[string]DuctDesign
+	DesignComb   CombDesign
+	DesignNozzle NozzleDesign
+}
+
+// DuctDesign holds one duct's sizing conditions.
+type DuctDesign struct {
+	W   float64 // design flow, kg/s
+	P   float64 // upstream total pressure, Pa
+	T   float64 // upstream total temperature, K
+	FAR float64
+	DP  float64 // design pressure drop, Pa
+}
+
+// CombDesign holds the combustor's sizing conditions.
+type CombDesign struct {
+	W  float64 // design air flow, kg/s
+	P  float64
+	T  float64
+	DP float64
+}
+
+// NozzleDesign holds the nozzle's sizing conditions.
+type NozzleDesign struct {
+	W    float64 // design total flow, kg/s
+	P    float64 // nozzle inlet total pressure, Pa
+	T    float64
+	FAR  float64
+	Pamb float64
+}
+
+// Outputs are the observable results of one evaluation pass.
+type Outputs struct {
+	Thrust     float64 // gross thrust, N
+	Fuel       float64 // total fuel flow (core + augmentor), kg/s
+	AugFuel    float64 // augmentor fuel flow, kg/s
+	W2         float64 // fan inlet airflow, kg/s
+	NL, NH     float64 // spool speeds, fraction of design
+	T4         float64 // combustor exit (volume) temperature, K
+	FanBeta    float64 // fan operating beta (0 surge .. 1 choke)
+	HPCBeta    float64
+	BPR        float64 // bypass ratio
+	NozzleFlow float64 // kg/s
+}
+
+// UnpackState copies the state vector into the engine's volumes and
+// returns the spool speeds.
+func (e *Engine) UnpackState(x []float64) (omegaL, omegaH float64, err error) {
+	if len(x) != NumStates {
+		return 0, 0, fmt.Errorf("engine: state vector has %d entries, want %d", len(x), NumStates)
+	}
+	omegaL, omegaH = x[0], x[1]
+	for i, v := range e.Volumes {
+		v.P = x[2+2*i]
+		v.T = x[2+2*i+1]
+	}
+	return omegaL, omegaH, nil
+}
+
+// PackState writes spool speeds and volume states into x.
+func (e *Engine) PackState(x []float64, omegaL, omegaH float64) {
+	x[0], x[1] = omegaL, omegaH
+	for i, v := range e.Volumes {
+		x[2+2*i] = v.P
+		x[2+2*i+1] = v.T
+	}
+}
+
+// Eval performs one full algebraic pass at time t and state x,
+// returning the state derivatives and the engine outputs. It is the
+// single place the component computations are invoked, always in
+// airflow order; the hook indirection decides where each computation
+// physically executes.
+func (e *Engine) Eval(t float64, x []float64, dx []float64) (Outputs, error) {
+	var out Outputs
+	omegaL, omegaH, err := e.UnpackState(x)
+	if err != nil {
+		return out, err
+	}
+	if omegaL <= 0 || omegaH <= 0 {
+		return out, fmt.Errorf("engine: non-positive spool speed (NL=%g NH=%g)", omegaL, omegaH)
+	}
+	for _, v := range e.Volumes {
+		v.BeginPass()
+	}
+	v1 := e.Volumes[VFanExit]
+	v2 := e.Volumes[VHPCExit]
+	v3 := e.Volumes[VCombExit]
+	v4 := e.Volumes[VHPTExit]
+	v5 := e.Volumes[VLPTExit]
+	v6 := e.Volumes[VBypExit]
+	v7 := e.Volumes[VMixExit]
+
+	// Ambient and inlet, following the flight profile when one is set.
+	alt, mach := e.Alt, e.Mach
+	if e.AltSched != nil {
+		alt = e.AltSched.At(t)
+	}
+	if e.MachSched != nil {
+		mach = e.MachSched.At(t)
+	}
+	pamb, _ := gasdyn.StandardAtmosphere(alt)
+	p2, t2 := e.Inlet.Compute(alt, mach)
+
+	// Fan.
+	fan, err := e.Fan.Compute(p2, t2, 0, v1.P, omegaL, e.FanStator.At(t))
+	if err != nil {
+		return out, err
+	}
+	v1.AddIn(Stream{W: fan.W, Tt: fan.Tt, FAR: 0})
+	v1.UpdateFAR()
+
+	// Bypass duct V1 -> V6.
+	wByp, err := e.Hooks.Duct("bypass", e.KByp, v1.P, v1.T, v1.FAR, v6.P)
+	if err != nil {
+		return out, err
+	}
+	v1.AddOut(wByp)
+	v6.AddIn(Stream{W: wByp, Tt: v1.T, FAR: v1.FAR})
+
+	// High-pressure compressor V1 -> V2.
+	hpc, err := e.HPC.Compute(v1.P, v1.T, v1.FAR, v2.P, omegaH, e.HPCStator.At(t))
+	if err != nil {
+		return out, err
+	}
+	v1.AddOut(hpc.W)
+	v2.AddIn(Stream{W: hpc.W, Tt: hpc.Tt, FAR: v1.FAR})
+	v2.UpdateFAR()
+
+	// Cooling bleed V2 -> V4.
+	wBleed, err := e.Hooks.Duct("bleed", e.KBleed, v2.P, v2.T, v2.FAR, v4.P)
+	if err != nil {
+		return out, err
+	}
+	v2.AddOut(wBleed)
+	v4.AddIn(Stream{W: wBleed, Tt: v2.T, FAR: v2.FAR})
+
+	// Combustor V2 -> V3.
+	wf := e.Fuel.At(t)
+	w3, t3, far3, err := e.Hooks.Combustor(e.KComb, v2.P, v2.T, v2.FAR, v3.P, wf, e.BurnEff, e.CombStator.At(t))
+	if err != nil {
+		return out, err
+	}
+	wAir := w3 - wf
+	if wAir < 0 {
+		wAir = 0
+	}
+	v2.AddOut(wAir)
+	v3.AddInEnthalpy(w3, gasdyn.H(t3, far3), far3)
+	v3.UpdateFAR()
+
+	// High-pressure turbine V3 -> V4.
+	hpt, err := e.HPT.Compute(v3.P, v3.T, v3.FAR, v4.P, omegaH)
+	if err != nil {
+		return out, err
+	}
+	v3.AddOut(hpt.W)
+	v4.AddIn(Stream{W: hpt.W, Tt: hpt.Tt, FAR: v3.FAR})
+	v4.UpdateFAR()
+
+	// Low-pressure turbine V4 -> V5.
+	lpt, err := e.LPT.Compute(v4.P, v4.T, v4.FAR, v5.P, omegaL)
+	if err != nil {
+		return out, err
+	}
+	v4.AddOut(lpt.W)
+	v5.AddIn(Stream{W: lpt.W, Tt: lpt.Tt, FAR: v4.FAR})
+	v5.UpdateFAR()
+	v6.UpdateFAR()
+
+	// Mixer: core side V5 -> V7 and bypass side V6 -> V7.
+	wMixCore, err := e.Hooks.Duct("mixer-core", e.KMixCore, v5.P, v5.T, v5.FAR, v7.P)
+	if err != nil {
+		return out, err
+	}
+	v5.AddOut(wMixCore)
+	v7.AddIn(Stream{W: wMixCore, Tt: v5.T, FAR: v5.FAR})
+	wMixByp, err := e.Hooks.Duct("mixer-bypass", e.KMixByp, v6.P, v6.T, v6.FAR, v7.P)
+	if err != nil {
+		return out, err
+	}
+	v6.AddOut(wMixByp)
+	v7.AddIn(Stream{W: wMixByp, Tt: v6.T, FAR: v6.FAR})
+
+	// Augmentor: afterburner fuel burns in the mixer volume.
+	wfa := 0.0
+	if e.AugFuel != nil {
+		wfa = e.AugFuel.At(t)
+	}
+	if wfa < 0 {
+		return out, fmt.Errorf("engine: negative augmentor fuel %g", wfa)
+	}
+	if wfa > 0 {
+		v7.AddFuel(wfa, e.AugEff*gasdyn.FuelLHV)
+	}
+	v7.UpdateFAR()
+	if v7.FAR > gasdyn.FARStoich {
+		return out, fmt.Errorf("engine: augmentor drives FAR to %.4f beyond stoichiometric", v7.FAR)
+	}
+
+	// Nozzle V7 -> ambient.
+	w8, thrust, err := e.Hooks.Nozzle(e.A8, v7.P, v7.T, v7.FAR, pamb, e.NozzleArea.At(t))
+	if err != nil {
+		return out, err
+	}
+	v7.AddOut(w8)
+
+	// Shaft dynamics.
+	dOmegaL, err := e.Hooks.Shaft("low", lpt.Torque, fan.Torque, e.InertiaL, omegaL)
+	if err != nil {
+		return out, err
+	}
+	dOmegaH, err := e.Hooks.Shaft("high", hpt.Torque, hpc.Torque, e.InertiaH, omegaH)
+	if err != nil {
+		return out, err
+	}
+
+	if dx != nil {
+		if len(dx) != NumStates {
+			return out, fmt.Errorf("engine: derivative vector has %d entries, want %d", len(dx), NumStates)
+		}
+		dx[0], dx[1] = dOmegaL, dOmegaH
+		for i, v := range e.Volumes {
+			dP, dT, err := v.Derivatives()
+			if err != nil {
+				return out, err
+			}
+			dx[2+2*i] = dP
+			dx[2+2*i+1] = dT
+		}
+	}
+
+	out = Outputs{
+		Thrust:     thrust,
+		Fuel:       wf + wfa,
+		AugFuel:    wfa,
+		W2:         fan.W,
+		NL:         omegaL / e.NLDes,
+		NH:         omegaH / e.NHDes,
+		T4:         v3.T,
+		FanBeta:    fan.Beta,
+		HPCBeta:    hpc.Beta,
+		NozzleFlow: w8,
+	}
+	if hpc.W > 0 {
+		out.BPR = wByp / hpc.W
+	}
+	return out, nil
+}
+
+// System adapts the engine to the solver.System signature.
+func (e *Engine) System() solver.System {
+	return func(t float64, x, dx []float64) error {
+		_, err := e.Eval(t, x, dx)
+		return err
+	}
+}
+
+// scaledSystem wraps the system with per-state scaling so pressures
+// (1e5..2.5e6 Pa), temperatures (1e2..2e3 K) and speeds (1e3 rad/s)
+// are comparable for the solvers. xs = x / scale.
+func (e *Engine) scales() []float64 {
+	s := make([]float64, NumStates)
+	for i, v := range e.DesignState {
+		s[i] = v
+	}
+	return s
+}
+
+// SteadyOptions configures a steady-state balance.
+type SteadyOptions struct {
+	// Method selects "newton-raphson" (default) or "rk4" (pseudo-
+	// transient marching), the two steady-state options of the TESS
+	// system module.
+	Method string
+	// Tol is the convergence tolerance (default 1e-9).
+	Tol float64
+}
+
+// Balance finds the steady operating point for the current controls
+// (fuel at t=0, schedules at t=0), updating x in place. x is typically
+// seeded with DesignState. It returns the outputs at the balanced
+// point and the iteration/step count.
+func (e *Engine) Balance(x []float64, opt SteadyOptions) (Outputs, int, error) {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.Method == "" {
+		opt.Method = "newton-raphson"
+	}
+	scales := e.scales()
+	switch normalizeMethod(opt.Method) {
+	case "newtonraphson", "newton":
+		res := func(xs, r []float64) error {
+			xx := make([]float64, NumStates)
+			for i := range xx {
+				xx[i] = xs[i] * scales[i]
+			}
+			dx := make([]float64, NumStates)
+			if _, err := e.Eval(0, xx, dx); err != nil {
+				return err
+			}
+			// Scale residuals to per-second fractional rates.
+			for i := range r {
+				r[i] = dx[i] / scales[i]
+			}
+			// Shaft residuals use the power balance (accel times
+			// speed) rather than the bare acceleration: torque is
+			// P/omega, so d(omega)/dt vanishes as omega grows without
+			// bound, which creates a spurious root at infinite speed
+			// that Newton can fall into from far-off-design guesses.
+			r[0] *= xs[0]
+			r[1] *= xs[1]
+			return nil
+		}
+		xs := make([]float64, NumStates)
+		for i := range xs {
+			xs[i] = x[i] / scales[i]
+		}
+		iters, err := solver.Newton(res, xs, solver.NewtonOptions{
+			Tol: opt.Tol, MaxIter: 200, Relax: 0.9, MaxStep: 0.15,
+		})
+		if err != nil {
+			return Outputs{}, iters, err
+		}
+		for i := range x {
+			x[i] = xs[i] * scales[i]
+		}
+		out, err := e.Eval(0, x, make([]float64, NumStates))
+		return out, iters, err
+	case "rk4":
+		steps, err := solver.MarchToSteady(e.System(), x, 5e-4, opt.Tol, 400000)
+		if err != nil {
+			return Outputs{}, steps, err
+		}
+		out, err := e.Eval(0, x, make([]float64, NumStates))
+		return out, steps, err
+	}
+	return Outputs{}, 0, fmt.Errorf("engine: unknown steady-state method %q", opt.Method)
+}
+
+func normalizeMethod(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c-'A'+'a')
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// TransientOptions configures a transient run.
+type TransientOptions struct {
+	// Method is the transient integrator (default Modified Euler, the
+	// method the paper's combined experiment used).
+	Method solver.Method
+	// Duration is the transient length, s (default 1.0, as in the
+	// paper's experiments).
+	Duration float64
+	// Step is the integration step, s (default 0.5 ms).
+	Step float64
+	// Observe, when non-nil, is called after every step.
+	Observe func(t float64, out Outputs)
+}
+
+// Transient integrates the engine from the state in x for the
+// configured duration, updating x in place, and returns the outputs at
+// the final time.
+func (e *Engine) Transient(x []float64, opt TransientOptions) (Outputs, error) {
+	if opt.Duration == 0 {
+		opt.Duration = 1.0
+	}
+	if opt.Step == 0 {
+		opt.Step = 5e-4
+	}
+	integ, err := solver.New(opt.Method)
+	if err != nil {
+		return Outputs{}, err
+	}
+	var obs func(t float64, x []float64)
+	if opt.Observe != nil {
+		obs = func(t float64, x []float64) {
+			out, err := e.Eval(t, x, nil)
+			if err == nil {
+				opt.Observe(t, out)
+			}
+		}
+	}
+	if err := solver.Integrate(integ, e.System(), x, 0, opt.Duration, opt.Step, obs); err != nil {
+		return Outputs{}, err
+	}
+	return e.Eval(opt.Duration, x, make([]float64, NumStates))
+}

@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"npss/internal/cmap"
+	"npss/internal/gasdyn"
+)
+
+// F100Config holds the design-point choices for the F100-class
+// two-spool mixed-flow turbofan. Defaults model a low-bypass augmented
+// fighter engine of the F100's era (dry, no afterburner combustion).
+type F100Config struct {
+	W2      float64 // design fan airflow, kg/s
+	BPR     float64 // design bypass ratio
+	FanPR   float64 // fan pressure ratio
+	HPCPR   float64 // high-pressure compressor pressure ratio
+	T4      float64 // combustor exit total temperature, K
+	FanEff  float64
+	HPCEff  float64
+	HPTEff  float64
+	LPTEff  float64
+	BurnEff float64
+	// AugEff is the augmentor combustion efficiency.
+	AugEff float64
+	// Pressure losses as fractions.
+	InletRec float64 // inlet total pressure recovery
+	DPComb   float64 // combustor pressure loss
+	DPByp    float64 // bypass duct pressure loss
+	DPMix    float64 // mixer pressure loss (to the lower-pressure side)
+	// Bleed fraction of core flow (compressor discharge to turbine
+	// exit cooling return).
+	BleedFrac float64
+	// Design spool speeds, rad/s.
+	NL, NH float64
+	// Spool inertias, kg m^2.
+	InertiaL, InertiaH float64
+	// Volumes, m^3.
+	VolFan, VolHPC, VolComb, VolHPT, VolLPT, VolByp, VolMix float64
+}
+
+// DefaultF100 returns the baseline configuration.
+func DefaultF100() F100Config {
+	return F100Config{
+		W2: 100, BPR: 0.7, FanPR: 3.05, HPCPR: 8.0, T4: 1650,
+		FanEff: 0.85, HPCEff: 0.86, HPTEff: 0.88, LPTEff: 0.90, BurnEff: 0.995, AugEff: 0.93,
+		InletRec: 0.995, DPComb: 0.04, DPByp: 0.035, DPMix: 0.02,
+		BleedFrac: 0.03,
+		NL:        10000 * math.Pi / 30, // 10 krpm
+		NH:        13500 * math.Pi / 30, // 13.5 krpm
+		InertiaL:  9.0, InertiaH: 4.5,
+		VolFan: 0.35, VolHPC: 0.22, VolComb: 0.28, VolHPT: 0.25,
+		VolLPT: 0.40, VolByp: 0.55, VolMix: 0.70,
+	}
+}
+
+// NewF100 sizes an F100-class engine at sea-level-static conditions:
+// it runs the design cycle pass, scales the component maps, sizes the
+// duct orifices and nozzle area, and records the design state vector.
+// The returned engine is balanced: Eval at DesignState gives (near-)
+// zero derivatives.
+func NewF100(cfg F100Config) (*Engine, error) {
+	if cfg.W2 <= 0 || cfg.BPR < 0 || cfg.FanPR <= 1 || cfg.HPCPR <= 1 || cfg.T4 <= 600 {
+		return nil, fmt.Errorf("engine: implausible design configuration %+v", cfg)
+	}
+	e := &Engine{
+		Inlet:    &Inlet{Name: "inlet", Recovery: cfg.InletRec},
+		InertiaL: cfg.InertiaL, InertiaH: cfg.InertiaH,
+		NLDes: cfg.NL, NHDes: cfg.NH,
+		BurnEff:    cfg.BurnEff,
+		AugEff:     cfg.AugEff,
+		Fuel:       Constant(0), // set below
+		AugFuel:    Constant(0),
+		FanStator:  Constant(1),
+		HPCStator:  Constant(1),
+		CombStator: Constant(1),
+		NozzleArea: Constant(1),
+		Hooks:      LocalHooks(),
+	}
+	names := [NumVolumes]string{"fan exit", "HPC exit", "combustor exit", "HPT exit", "LPT exit", "bypass exit", "mixer exit"}
+	vols := [NumVolumes]float64{cfg.VolFan, cfg.VolHPC, cfg.VolComb, cfg.VolHPT, cfg.VolLPT, cfg.VolByp, cfg.VolMix}
+	for i := range e.Volumes {
+		e.Volumes[i] = &Volume{Name: names[i], Vol: vols[i]}
+	}
+
+	// --- Design cycle pass, station by station (sea-level static). ---
+	pamb, _ := gasdyn.StandardAtmosphere(0)
+	p2, t2 := e.Inlet.Compute(0, 0)
+
+	// Fan.
+	p13 := p2 * cfg.FanPR
+	t13, dhFan, err := compressDesign(t2, cfg.FanPR, cfg.FanEff, 0)
+	if err != nil {
+		return nil, err
+	}
+	wCore := cfg.W2 / (1 + cfg.BPR)
+	wByp := cfg.W2 - wCore
+	powFan := cfg.W2 * dhFan
+
+	// Bypass duct V1 -> V6.
+	p16 := p13 * (1 - cfg.DPByp)
+
+	// HPC.
+	p3 := p13 * cfg.HPCPR
+	t3, dhHPC, err := compressDesign(t13, cfg.HPCPR, cfg.HPCEff, 0)
+	if err != nil {
+		return nil, err
+	}
+	powHPC := wCore * dhHPC
+
+	// Bleed split.
+	wBleed := cfg.BleedFrac * wCore
+	wBurnAir := wCore - wBleed
+
+	// Combustor.
+	p4 := p3 * (1 - cfg.DPComb)
+	wf, far4, err := fuelForT4(wBurnAir, t3, cfg.T4, cfg.BurnEff)
+	if err != nil {
+		return nil, err
+	}
+	w4 := wBurnAir + wf
+
+	// High-pressure turbine: drives the HPC.
+	dhHPT := powHPC / w4
+	t45, prHPT, err := expandDesign(cfg.T4, dhHPT, cfg.HPTEff, far4)
+	if err != nil {
+		return nil, err
+	}
+	p45 := p4 / prHPT
+
+	// HPT-exit volume mixes in the cooling bleed (exact air/fuel
+	// split, matching Volume.UpdateFAR).
+	w45 := w4 + wBleed
+	air45 := w4/(1+far4) + wBleed
+	far45 := (w4 - w4/(1+far4)) / air45
+	h45 := (w4*gasdyn.H(t45, far4) + wBleed*gasdyn.H(t3, 0)) / w45
+	t45m, err := gasdyn.TFromH(h45, far45)
+	if err != nil {
+		return nil, err
+	}
+
+	// Low-pressure turbine: drives the fan.
+	dhLPT := powFan / w45
+	t5, prLPT, err := expandDesign(t45m, dhLPT, cfg.LPTEff, far45)
+	if err != nil {
+		return nil, err
+	}
+	p5 := p45 / prLPT
+	if p5 <= pamb {
+		return nil, fmt.Errorf("engine: design infeasible: LPT exit pressure %.0f Pa below ambient", p5)
+	}
+
+	// Mixer: both sides drop into the mixer volume; the exit pressure
+	// sits below the lower of the two inlet pressures.
+	p7 := math.Min(p5, p16) * (1 - cfg.DPMix)
+	w7 := w45 + wByp
+	air7 := w45/(1+far45) + wByp
+	far7 := (w45 - w45/(1+far45)) / air7
+	h7 := (w45*gasdyn.H(t5, far45) + wByp*gasdyn.H(t13, 0)) / w7
+	t7, err := gasdyn.TFromH(h7, far7)
+	if err != nil {
+		return nil, err
+	}
+	if p7 <= pamb {
+		return nil, fmt.Errorf("engine: design infeasible: mixer pressure %.0f Pa below ambient", p7)
+	}
+
+	// Nozzle area to pass w7 at design.
+	ff := gasdyn.FlowFunction(p7/pamb, t7, far7)
+	if ff <= 0 {
+		return nil, fmt.Errorf("engine: design infeasible: nozzle unchoked with no pressure margin")
+	}
+	e.A8 = w7 * math.Sqrt(t7) / (ff * p7)
+
+	// --- Map scaling. ---
+	mapSpeeds := cmap.DefaultSpeeds()
+	fanMap, err := cmap.GenerateCompressor("fan", mapSpeeds, 15)
+	if err != nil {
+		return nil, err
+	}
+	hpcMap, err := cmap.GenerateCompressor("hpc", mapSpeeds, 15)
+	if err != nil {
+		return nil, err
+	}
+	hptMap, err := cmap.GenerateTurbine("hpt", mapSpeeds, cmap.DefaultPRFactors())
+	if err != nil {
+		return nil, err
+	}
+	lptMap, err := cmap.GenerateTurbine("lpt", mapSpeeds, cmap.DefaultPRFactors())
+	if err != nil {
+		return nil, err
+	}
+	theta2 := t2 / gasdyn.TRef
+	delta2 := p2 / gasdyn.PRef
+	e.Fan = &Compressor{
+		Name: "fan", Map: fanMap,
+		WcDes: cfg.W2 * math.Sqrt(theta2) / delta2,
+		PRDes: cfg.FanPR, EffDes: cfg.FanEff, NDes: cfg.NL / math.Sqrt(theta2),
+	}
+	theta13 := t13 / gasdyn.TRef
+	delta13 := p13 / gasdyn.PRef
+	e.HPC = &Compressor{
+		Name: "hpc", Map: hpcMap,
+		WcDes: wCore * math.Sqrt(theta13) / delta13,
+		PRDes: cfg.HPCPR, EffDes: cfg.HPCEff, NDes: cfg.NH / math.Sqrt(theta13),
+	}
+	theta4 := cfg.T4 / gasdyn.TRef
+	delta4 := p4 / gasdyn.PRef
+	e.HPT = &Turbine{
+		Name: "hpt", Map: hptMap,
+		WcDes: w4 * math.Sqrt(theta4) / delta4,
+		PRDes: prHPT, EffDes: cfg.HPTEff, NDes: cfg.NH / math.Sqrt(theta4),
+	}
+	theta45 := t45m / gasdyn.TRef
+	delta45 := p45 / gasdyn.PRef
+	e.LPT = &Turbine{
+		Name: "lpt", Map: lptMap,
+		WcDes: w45 * math.Sqrt(theta45) / delta45,
+		PRDes: prLPT, EffDes: cfg.LPTEff, NDes: cfg.NL / math.Sqrt(theta45),
+	}
+
+	// --- Orifice sizing. ---
+	if e.KByp, err = DuctSizeK(wByp, p13, t13, 0, p13-p16); err != nil {
+		return nil, err
+	}
+	if e.KBleed, err = DuctSizeK(wBleed, p3, t3, 0, p3-p45); err != nil {
+		return nil, err
+	}
+	if e.KComb, err = DuctSizeK(wBurnAir, p3, t3, 0, p3-p4); err != nil {
+		return nil, err
+	}
+	if e.KMixCore, err = DuctSizeK(w45, p5, t5, far45, p5-p7); err != nil {
+		return nil, err
+	}
+	if e.KMixByp, err = DuctSizeK(wByp, p16, t13, 0, p16-p7); err != nil {
+		return nil, err
+	}
+
+	// --- Design condition records for the executive's set* calls. ---
+	e.DesignDucts = map[string]DuctDesign{
+		"bypass":       {W: wByp, P: p13, T: t13, FAR: 0, DP: p13 - p16},
+		"bleed":        {W: wBleed, P: p3, T: t3, FAR: 0, DP: p3 - p45},
+		"mixer-core":   {W: w45, P: p5, T: t5, FAR: far45, DP: p5 - p7},
+		"mixer-bypass": {W: wByp, P: p16, T: t13, FAR: 0, DP: p16 - p7},
+	}
+	e.DesignComb = CombDesign{W: wBurnAir, P: p3, T: t3, DP: p3 - p4}
+	e.DesignNozzle = NozzleDesign{W: w7, P: p7, T: t7, FAR: far7, Pamb: pamb}
+
+	// --- Design state and controls. ---
+	e.Fuel = Constant(wf)
+	e.DesignFuel = wf
+	x := make([]float64, NumStates)
+	e.Volumes[VFanExit].P, e.Volumes[VFanExit].T = p13, t13
+	e.Volumes[VHPCExit].P, e.Volumes[VHPCExit].T = p3, t3
+	e.Volumes[VCombExit].P, e.Volumes[VCombExit].T = p4, cfg.T4
+	e.Volumes[VHPTExit].P, e.Volumes[VHPTExit].T = p45, t45m
+	e.Volumes[VLPTExit].P, e.Volumes[VLPTExit].T = p5, t5
+	e.Volumes[VBypExit].P, e.Volumes[VBypExit].T = p16, t13
+	e.Volumes[VMixExit].P, e.Volumes[VMixExit].T = p7, t7
+	e.Volumes[VCombExit].FAR = far4
+	e.Volumes[VHPTExit].FAR = far45
+	e.Volumes[VLPTExit].FAR = far45
+	e.Volumes[VMixExit].FAR = far7
+	e.PackState(x, cfg.NL, cfg.NH)
+	e.DesignState = x
+	return e, nil
+}
+
+// compressDesign returns exit temperature and specific work for a
+// design compression from tIn through pressure ratio pr at adiabatic
+// efficiency eff.
+func compressDesign(tIn, pr, eff, far float64) (tOut, dh float64, err error) {
+	tIdeal, err := gasdyn.IsentropicT(tIn, pr, far)
+	if err != nil {
+		return 0, 0, err
+	}
+	dh = (gasdyn.H(tIdeal, far) - gasdyn.H(tIn, far)) / eff
+	tOut, err = gasdyn.TFromH(gasdyn.H(tIn, far)+dh, far)
+	return tOut, dh, err
+}
+
+// expandDesign returns the exit temperature and expansion ratio of a
+// design turbine extracting dh J/kg from gas at tIn with adiabatic
+// efficiency eff.
+func expandDesign(tIn, dh, eff, far float64) (tOut, pr float64, err error) {
+	tOut, err = gasdyn.TFromH(gasdyn.H(tIn, far)-dh, far)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Ideal exit temperature for the same pressure ratio.
+	tIdeal, err := gasdyn.TFromH(gasdyn.H(tIn, far)-dh/eff, far)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Phi identity: R ln(pIn/pOut) = Phi(tIn) - Phi(tIdeal).
+	pr = math.Exp((gasdyn.Phi(tIn, far) - gasdyn.Phi(tIdeal, far)) / gasdyn.R(far))
+	if pr <= 1 {
+		return 0, 0, fmt.Errorf("engine: degenerate turbine design (pr=%g)", pr)
+	}
+	return tOut, pr, nil
+}
+
+// fuelForT4 solves for the fuel flow that brings wAir of air at t3 to
+// exit temperature t4.
+func fuelForT4(wAir, t3, t4, eta float64) (wf, far float64, err error) {
+	hIn := gasdyn.H(t3, 0)
+	wf = wAir * (gasdyn.H(t4, 0.02) - hIn) / (eta * gasdyn.FuelLHV) // initial guess
+	for i := 0; i < 60; i++ {
+		far = gasdyn.CombustionFAR(wAir, 0, wf)
+		hOut := gasdyn.CombustorExitH(wAir, hIn, wf, eta)
+		tOut, err := gasdyn.TFromH(hOut, far)
+		if err != nil {
+			return 0, 0, err
+		}
+		diff := tOut - t4
+		if math.Abs(diff) < 1e-9 {
+			if far > gasdyn.FARStoich {
+				return 0, 0, fmt.Errorf("engine: design T4 %g K needs FAR %g beyond stoichiometric", t4, far)
+			}
+			return wf, far, nil
+		}
+		// d(tOut)/d(wf) ~ eta LHV / ((wAir+wf) cp).
+		slope := eta * gasdyn.FuelLHV / ((wAir + wf) * gasdyn.Cp(tOut, far))
+		wf -= diff / slope
+		if wf < 0 {
+			wf = 1e-4
+		}
+	}
+	return 0, 0, fmt.Errorf("engine: fuel iteration for T4=%g did not converge", t4)
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"npss/internal/cmap"
+	"npss/internal/gasdyn"
+)
+
+// StageStack is a mean-line stage-stacking compressor model: the
+// next-higher fidelity level above a map-based compressor in the NPSS
+// zooming hierarchy. Each stage is described by its mean blade speed
+// and a linear work characteristic psi(phi) with a quadratic
+// efficiency bucket; the overall machine is computed by stacking the
+// stages at a common shaft speed. GenerateMap sweeps speed and flow to
+// produce an equivalent cmap.CompressorMap, which is how a zoomed
+// component substitutes into the cycle model: the level-3 analysis
+// supplies the level-2 representation ("extracting the essential data
+// from a higher-level computation for passing to a lower-level
+// analysis").
+type StageStack struct {
+	// Stages is the number of repeating stages.
+	Stages int
+	// PsiDesign is the design stage loading (work coefficient
+	// dh/U^2), typically 0.25..0.40 for axial compressors.
+	PsiDesign float64
+	// PhiDesign is the design flow coefficient (axial velocity over
+	// blade speed), typically 0.4..0.7.
+	PhiDesign float64
+	// PsiSlope is d(psi)/d(phi), negative: loading falls as flow
+	// rises, which is what makes the speedline slope downward.
+	PsiSlope float64
+	// EtaDesign is the peak stage efficiency.
+	EtaDesign float64
+	// EtaFalloff scales the quadratic efficiency penalty away from
+	// PhiDesign.
+	EtaFalloff float64
+}
+
+// DefaultStageStack returns an eight-stage machine with typical axial
+// compressor coefficients, sized to stand in for the F100 HPC.
+func DefaultStageStack() StageStack {
+	return StageStack{
+		Stages:     8,
+		PsiDesign:  0.32,
+		PhiDesign:  0.55,
+		PsiSlope:   -0.55,
+		EtaDesign:  0.88,
+		EtaFalloff: 1.6,
+	}
+}
+
+// validate checks the configuration.
+func (s StageStack) validate() error {
+	if s.Stages < 1 || s.Stages > 25 {
+		return fmt.Errorf("engine: stage count %d implausible", s.Stages)
+	}
+	if s.PsiDesign <= 0 || s.PhiDesign <= 0 || s.PsiSlope >= 0 || s.EtaDesign <= 0 || s.EtaDesign > 1 {
+		return fmt.Errorf("engine: implausible stage coefficients %+v", s)
+	}
+	return nil
+}
+
+// stackResult is the stacked operating point at one (speed, phi).
+type stackResult struct {
+	pr  float64 // overall pressure ratio
+	eff float64 // overall adiabatic efficiency
+}
+
+// stack computes the stage-stacked operating point for normalized
+// shaft speed (1 = design) and flow coefficient phi, at the given
+// inlet temperature. Blade speed scales with shaft speed; each stage's
+// temperature rise compounds into the next stage's inlet.
+func (s StageStack) stack(speed, phi, tIn float64) (stackResult, error) {
+	// Reference blade speed chosen so the design stack produces a
+	// typical per-stage temperature ratio; the absolute value cancels
+	// in the normalized map.
+	const uDesign = 340.0 // m/s mean blade speed at design
+	u := uDesign * speed
+	t := tIn
+	pr := 1.0
+	effWeightedIdeal, workTotal := 0.0, 0.0
+	for i := 0; i < s.Stages; i++ {
+		psi := s.PsiDesign + s.PsiSlope*(phi-s.PhiDesign)
+		if psi <= 0.02 {
+			psi = 0.02 // deeply choked: nearly no pressure rise
+		}
+		eta := s.EtaDesign - s.EtaFalloff*(phi-s.PhiDesign)*(phi-s.PhiDesign)
+		if eta < 0.30 {
+			eta = 0.30
+		}
+		dh := psi * u * u // actual work per unit mass in this stage
+		dhIdeal := dh * eta
+		tOutIdeal, err := gasdyn.TFromH(gasdyn.H(t, 0)+dhIdeal, 0)
+		if err != nil {
+			return stackResult{}, err
+		}
+		// Stage pressure ratio from the isentropic relation at the
+		// stage inlet temperature.
+		stagePR := math.Exp((gasdyn.Phi(tOutIdeal, 0) - gasdyn.Phi(t, 0)) / gasdyn.R(0))
+		pr *= stagePR
+		tOut, err := gasdyn.TFromH(gasdyn.H(t, 0)+dh, 0)
+		if err != nil {
+			return stackResult{}, err
+		}
+		t = tOut
+		workTotal += dh
+		effWeightedIdeal += dhIdeal
+	}
+	eff := effWeightedIdeal / workTotal
+	return stackResult{pr: pr, eff: eff}, nil
+}
+
+// GenerateMap sweeps the stage stack over the given speed grid and
+// nBeta flow points and returns the equivalent normalized compressor
+// map (1.0 at speed 1, beta 0.5), ready to substitute for a
+// Compressor's map. The sweep covers phi from 80% to 120% of design
+// (beta 0 = low flow / surge side, beta 1 = high flow / choke side).
+func (s StageStack) GenerateMap(name string, speeds []float64, nBeta int) (*cmap.CompressorMap, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if nBeta < 2 {
+		return nil, fmt.Errorf("engine: need at least 2 beta points")
+	}
+	tIn := gasdyn.TRef
+	design, err := s.stack(1, s.PhiDesign, tIn)
+	if err != nil {
+		return nil, err
+	}
+	if design.pr <= 1 {
+		return nil, fmt.Errorf("engine: stage stack produces no design pressure rise")
+	}
+	wc := make([][]float64, len(speeds))
+	pr := make([][]float64, len(speeds))
+	eff := make([][]float64, len(speeds))
+	for i, sp := range speeds {
+		wc[i] = make([]float64, nBeta)
+		pr[i] = make([]float64, nBeta)
+		eff[i] = make([]float64, nBeta)
+		for j := 0; j < nBeta; j++ {
+			beta := float64(j) / float64(nBeta-1)
+			phi := s.PhiDesign * (0.8 + 0.4*beta)
+			res, err := s.stack(sp, phi, tIn)
+			if err != nil {
+				return nil, err
+			}
+			// Corrected flow is proportional to phi times blade
+			// speed (axial velocity at fixed annulus area and
+			// corrected inlet density).
+			wc[i][j] = (phi * sp) / (s.PhiDesign * 1.0)
+			pr[i][j] = (res.pr - 1) / (design.pr - 1)
+			eff[i][j] = res.eff / design.eff
+		}
+	}
+	wcT, err := cmap.NewTable2D(speeds, betaGrid(nBeta), wc)
+	if err != nil {
+		return nil, err
+	}
+	prT, err := cmap.NewTable2D(speeds, betaGrid(nBeta), pr)
+	if err != nil {
+		return nil, err
+	}
+	effT, err := cmap.NewTable2D(speeds, betaGrid(nBeta), eff)
+	if err != nil {
+		return nil, err
+	}
+	m := &cmap.CompressorMap{Name: name, Wc: wcT, PR: prT, Eff: effT}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: stage-stacked map invalid: %w", err)
+	}
+	return m, nil
+}
+
+func betaGrid(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n-1)
+	}
+	return out
+}
+
+// DesignPR returns the overall design pressure ratio the stack
+// produces, for matching against a cycle requirement.
+func (s StageStack) DesignPR() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	res, err := s.stack(1, s.PhiDesign, gasdyn.TRef)
+	if err != nil {
+		return 0, err
+	}
+	return res.pr, nil
+}
+
+// DesignEff returns the overall design adiabatic efficiency of the
+// stack.
+func (s StageStack) DesignEff() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	res, err := s.stack(1, s.PhiDesign, gasdyn.TRef)
+	if err != nil {
+		return 0, err
+	}
+	return res.eff, nil
+}
+
+// Zoom replaces a compressor's map with the stage-stacked equivalent:
+// the NPSS zooming operation on this component. The map is normalized
+// at the design point, so the component's calibrated design values
+// (pressure ratio, corrected flow, efficiency) are retained and the
+// zoomed component drops into the same cycle exactly at design; what
+// the stage stack supplies is the off-design shape — the speedline
+// slopes and efficiency falloff its stage physics predicts.
+func (s StageStack) Zoom(c *Compressor, nBeta int) error {
+	m, err := s.GenerateMap(c.Name+"-stagestack", cmap.DefaultSpeeds(), nBeta)
+	if err != nil {
+		return err
+	}
+	c.Map = m
+	return nil
+}

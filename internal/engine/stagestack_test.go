@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"npss/internal/cmap"
+)
+
+func TestStageStackDesignPoint(t *testing.T) {
+	s := DefaultStageStack()
+	pr, err := s.DesignPR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight axial stages at psi 0.32, U 340 m/s: an HPC-class machine.
+	if pr < 5 || pr > 14 {
+		t.Errorf("design PR = %g, want HPC-class (5..14)", pr)
+	}
+	eff, err := s.DesignEff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff < 0.80 || eff > 0.92 {
+		t.Errorf("design eff = %g", eff)
+	}
+}
+
+func TestStageStackMapNormalized(t *testing.T) {
+	s := DefaultStageStack()
+	m, err := s.GenerateMap("hpc-zoom", cmap.DefaultSpeeds(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, pr, eff := m.Lookup(1.0, 0.5)
+	if math.Abs(wc-1) > 1e-9 || math.Abs(pr-1) > 1e-9 || math.Abs(eff-1) > 1e-9 {
+		t.Errorf("design point = %g, %g, %g, want 1,1,1", wc, pr, eff)
+	}
+	// Map topology: surge side higher pressure and lower flow.
+	wcS, prS, _ := m.Lookup(1.0, 0.0)
+	wcC, prC, _ := m.Lookup(1.0, 1.0)
+	if !(prS > prC && wcS < wcC) {
+		t.Errorf("stacked map topology wrong: surge (%g,%g) choke (%g,%g)", wcS, prS, wcC, prC)
+	}
+	// Efficiency peaks near design.
+	_, _, effOff := m.Lookup(1.0, 0.95)
+	if effOff >= 1 {
+		t.Errorf("off-design efficiency %g not below design", effOff)
+	}
+}
+
+func TestStageStackValidation(t *testing.T) {
+	bad := DefaultStageStack()
+	bad.Stages = 0
+	if _, err := bad.DesignPR(); err == nil {
+		t.Error("zero stages accepted")
+	}
+	bad = DefaultStageStack()
+	bad.PsiSlope = 0.1 // positive slope: unstable characteristic
+	if _, err := bad.DesignPR(); err == nil {
+		t.Error("positive psi slope accepted")
+	}
+	bad = DefaultStageStack()
+	bad.EtaDesign = 1.2
+	if _, err := bad.GenerateMap("x", cmap.DefaultSpeeds(), 5); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	s := DefaultStageStack()
+	if _, err := s.GenerateMap("x", cmap.DefaultSpeeds(), 1); err == nil {
+		t.Error("single beta point accepted")
+	}
+}
+
+func TestZoomedEngineRuns(t *testing.T) {
+	// Zoom the HPC: substitute the stage-stacked map into the cycle
+	// and verify the engine still balances, at a slightly different
+	// operating point (the higher-fidelity component predicts
+	// different off-design behavior — that is the point of zooming).
+	e, err := NewF100(DefaultF100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := append([]float64(nil), e.DesignState...)
+	e.Fuel = Constant(0.92 * e.DesignFuel)
+	outBase, _, err := e.Balance(base, SteadyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ez, err := NewF100(DefaultF100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultStageStack().Zoom(ez.HPC, 15); err != nil {
+		t.Fatal(err)
+	}
+	xz := append([]float64(nil), ez.DesignState...)
+	ez.Fuel = Constant(0.92 * ez.DesignFuel)
+	outZoom, _, err := ez.Balance(xz, SteadyOptions{})
+	if err != nil {
+		t.Fatalf("zoomed engine does not balance: %v", err)
+	}
+	// Same design point, but genuinely different off-design behavior.
+	if outZoom.Thrust <= 0 || outZoom.NH <= 0 {
+		t.Fatalf("zoomed outputs implausible: %+v", outZoom)
+	}
+	relThrust := math.Abs(outZoom.Thrust-outBase.Thrust) / outBase.Thrust
+	if relThrust > 0.15 {
+		t.Errorf("zoomed thrust deviates %.1f%%, models disagree too much", relThrust*100)
+	}
+	if outZoom.NH == outBase.NH {
+		t.Error("zoomed model identical to map model; zoom had no effect")
+	}
+}

@@ -1,0 +1,206 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopology(t *testing.T) {
+	tb, err := NewTestbed(SparcUA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Stop()
+	if len(AllMachines()) != 8 {
+		t.Errorf("machines = %v", AllMachines())
+	}
+	// Link classification matches the paper's Table 1 wording.
+	cases := []struct{ a, b, want string }{
+		{SparcLerc, SGI480Lerc, "local Ethernet"},
+		{SparcLerc, ConvexLerc, "same building, multiple gateways"},
+		{SGI480Lerc, CrayLerc, "same building, multiple gateways"},
+		{SGI480Lerc, SparcUA, "via Internet"},
+		{SparcUA, RS6000Lerc, "via Internet"},
+		{SparcUA, SGI340UA, "local Ethernet"},
+	}
+	for _, c := range cases {
+		if got := LinkName(c.a, c.b); got != c.want {
+			t.Errorf("LinkName(%s, %s) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+	if Site(SparcUA) != "The University of Arizona" || Site(CrayLerc) != "Lewis Research Center" {
+		t.Error("site mapping wrong")
+	}
+	exec, err := tb.NewExecutive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Destroy()
+	if len(exec.Machines) != 7 {
+		t.Errorf("executive offers %d machines", len(exec.Machines))
+	}
+}
+
+var quickSpec = RunSpec{Transient: 0.1, Step: 5e-4, Throttle: true}
+
+func TestTable1Row(t *testing.T) {
+	// One representative row end-to-end (the full table runs in the
+	// benchmarks and cmd/npss-exp).
+	combo := Table1Combos()[0]
+	row := runConfigured(combo.AVS, map[string]string{combo.Module: combo.Remote}, quickSpec)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if !row.Converged {
+		t.Error("row did not converge")
+	}
+	if row.MaxRelErr > 1e-6 {
+		t.Errorf("MaxRelErr = %g", row.MaxRelErr)
+	}
+	if row.RPCs == 0 {
+		t.Error("no RPCs counted")
+	}
+	if row.SimNet == 0 {
+		t.Error("no simulated network time")
+	}
+	if row.Network != "local Ethernet" {
+		t.Errorf("network = %q", row.Network)
+	}
+	out := FormatTable1([]*ModuleRun{row})
+	if !strings.Contains(out, "local Ethernet") || !strings.Contains(out, combo.Remote) {
+		t.Errorf("FormatTable1:\n%s", out)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined run is slow")
+	}
+	row := Table2(quickSpec)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if !row.Converged || row.MaxRelErr > 1e-4 {
+		t.Errorf("combined: converged=%v err=%g", row.Converged, row.MaxRelErr)
+	}
+	// Six remote computations.
+	if len(row.Placements) != 6 {
+		t.Errorf("placements = %v", row.Placements)
+	}
+	out := FormatTable2(row)
+	for _, want := range []string{"sparc10-ua", "cray-lerc", "rs6000-lerc", "converged=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	events, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 8 {
+		t.Errorf("got %d events", len(events))
+	}
+	out := FormatFig1(events)
+	if !strings.Contains(out, "sequential control") {
+		t.Errorf("FormatFig1:\n%s", out)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"low speed shaft", "moment inertia", "spool speed-op",
+		"machine", "path", "combustor", "mixing volume",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q", want)
+		}
+	}
+}
+
+func TestIncrementalScenarios(t *testing.T) {
+	results := Incremental()
+	if len(results) < 5 {
+		t.Fatalf("only %d scenarios", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("scenario %s failed: %s", r.Name, r.Detail)
+		}
+	}
+	if !strings.Contains(FormatScenarios(results), "PASS") {
+		t.Error("format missing PASS")
+	}
+}
+
+func TestLinesScenarios(t *testing.T) {
+	results := Lines()
+	if len(results) < 6 {
+		t.Fatalf("only %d scenarios", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("scenario %s failed: %s", r.Name, r.Detail)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rpc, err := RPCvsMsgPass(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rpc) != 2 || rpc[0].PerOp <= 0 || rpc[1].PerOp <= 0 {
+		t.Errorf("rpc ablation = %+v", rpc)
+	}
+	cache, err := NameCache(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache) != 2 {
+		t.Fatalf("cache ablation = %+v", cache)
+	}
+	// The cache must win (the uncached variant adds Manager traffic).
+	if cache[0].PerOp >= cache[1].PerOp {
+		t.Errorf("cached %v not faster than uncached %v", cache[0].PerOp, cache[1].PerOp)
+	}
+	utsn, err := UTSvsNative(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(utsn) != 2 || utsn[0].PerOp <= 0 {
+		t.Errorf("uts ablation = %+v", utsn)
+	}
+	if out := FormatAblations(append(append(rpc, cache...), utsn...)); !strings.Contains(out, "name-cache") {
+		t.Errorf("FormatAblations:\n%s", out)
+	}
+}
+
+func TestZooming(t *testing.T) {
+	rows, err := Zooming([]float64{1.0, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shared design point: the zoomed map is normalized there, so the
+	// balanced points agree to solver tolerance.
+	if d := rows[0].Base.NH - rows[0].Zoomed.NH; d > 1e-6 || d < -1e-6 {
+		t.Errorf("design point differs: %g vs %g", rows[0].Base.NH, rows[0].Zoomed.NH)
+	}
+	// Off-design the models genuinely differ.
+	if rows[1].Base.NH == rows[1].Zoomed.NH {
+		t.Error("zooming had no off-design effect")
+	}
+	out := FormatZooming(rows)
+	if !strings.Contains(out, "stage-stacked") {
+		t.Errorf("FormatZooming:\n%s", out)
+	}
+}

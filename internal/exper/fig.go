@@ -1,0 +1,204 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"npss/internal/core"
+	"npss/internal/dataflow"
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+// Fig1Event is one step of the Figure 1 control-flow trace.
+type Fig1Event struct {
+	Where string // machine the step executed on
+	What  string
+}
+
+// Fig1 reproduces the paper's Figure 1: a Schooner program is a
+// sequential execution of procedures, with control passing from one
+// machine to the next; a parallel algorithm is used by encapsulating
+// it within a procedure. The returned trace shows the control
+// transfers; the function verifies sequentiality and that the
+// encapsulated parallel procedure fanned out internally.
+func Fig1() ([]Fig1Event, error) {
+	tb, err := NewTestbed(SparcLerc)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Stop()
+
+	var mu sync.Mutex
+	var events []Fig1Event
+	record := func(where, what string) {
+		mu.Lock()
+		events = append(events, Fig1Event{where, what})
+		mu.Unlock()
+	}
+
+	// A sequential procedure file for the Cray and an encapsulated-
+	// parallel one for the SGI (standing in for a PVM cluster code).
+	tb.Registry.MustRegister(&schooner.Program{
+		Path:     "/npss/fig1-seq",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export square prog("x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					record(CrayLerc, "square executes")
+					return []uts.Value{uts.DoubleVal(in[0].F * in[0].F)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	})
+	tb.Registry.MustRegister(&schooner.Program{
+		Path:     "/npss/fig1-par",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export sumsq prog("xs" val array[8] of double, "s" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					record(SGI480Lerc, "sumsq executes (parallel inside)")
+					xs, err := in[0].Floats()
+					if err != nil {
+						return nil, err
+					}
+					// The encapsulated parallel algorithm: partial
+					// sums on worker goroutines, as a native parallel
+					// library or PVM cluster code would.
+					parts := make(chan float64, 4)
+					var wg sync.WaitGroup
+					for w := 0; w < 4; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							s := 0.0
+							for i := w * 2; i < w*2+2; i++ {
+								s += xs[i] * xs[i]
+							}
+							parts <- s
+						}(w)
+					}
+					wg.Wait()
+					close(parts)
+					total := 0.0
+					for p := range parts {
+						total += p
+					}
+					record(SGI480Lerc, "sumsq joins its workers")
+					return []uts.Value{uts.DoubleVal(total)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	})
+
+	client := &schooner.Client{Transport: tb.Tr, Host: SparcLerc, ManagerHost: SparcLerc}
+	ln, err := client.ContactSchx("fig1-main")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/fig1-seq", CrayLerc); err != nil {
+		return nil, err
+	}
+	if err := ln.StartRemote("/npss/fig1-par", SGI480Lerc); err != nil {
+		return nil, err
+	}
+	ln.Import(uts.MustParseProc(`import square prog("x" val double, "y" res double)`))
+	ln.Import(uts.MustParseProc(`import sumsq prog("xs" val array[8] of double, "s" res double)`))
+
+	record(SparcLerc, "main starts")
+	out, err := ln.Call("square", uts.DoubleVal(3))
+	if err != nil {
+		return nil, err
+	}
+	record(SparcLerc, fmt.Sprintf("main resumes with square=%g", out[0].F))
+	out, err = ln.Call("sumsq", uts.DoubleArray(1, 2, 3, 4, 5, 6, 7, 8))
+	if err != nil {
+		return nil, err
+	}
+	record(SparcLerc, fmt.Sprintf("main resumes with sumsq=%g", out[0].F))
+	out, err = ln.Call("square", uts.DoubleVal(out[0].F))
+	if err != nil {
+		return nil, err
+	}
+	record(SparcLerc, fmt.Sprintf("main finishes with %g", out[0].F))
+
+	// Verify the sequential control-flow invariant: at any moment only
+	// one procedure executes; the trace alternates machine ownership
+	// in call order.
+	wantOrder := []string{SparcLerc, CrayLerc, SparcLerc, SGI480Lerc, SGI480Lerc, SparcLerc, CrayLerc, SparcLerc}
+	if len(events) != len(wantOrder) {
+		return events, fmt.Errorf("exper: fig1 trace has %d events, want %d", len(events), len(wantOrder))
+	}
+	for i, e := range events {
+		if e.Where != wantOrder[i] {
+			return events, fmt.Errorf("exper: fig1 event %d on %s, want %s", i, e.Where, wantOrder[i])
+		}
+	}
+	if sq := 1.0 + 4 + 9 + 16 + 25 + 36 + 49 + 64; out[0].F != sq*sq {
+		return events, fmt.Errorf("exper: fig1 computed %g, want %g", out[0].F, sq*sq)
+	}
+	return events, nil
+}
+
+// FormatFig1 renders the control-transfer trace.
+func FormatFig1(events []Fig1Event) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — a Schooner program: sequential control across machines\n")
+	for i, e := range events {
+		fmt.Fprintf(&b, "%2d. [%-14s] %s\n", i+1, e.Where, e.What)
+	}
+	return b.String()
+}
+
+// Fig2 reproduces the paper's Figure 2: the F100 TESS network in the
+// Network Editor, with the control panel of the low speed shaft. It
+// returns a textual rendering of the network inventory and panel.
+func Fig2() (string, error) {
+	tb, err := NewTestbed(SparcUA)
+	if err != nil {
+		return "", err
+	}
+	defer tb.Stop()
+	exec, err := tb.NewExecutive()
+	if err != nil {
+		return "", err
+	}
+	defer exec.Destroy()
+
+	var b strings.Builder
+	b.WriteString("Figure 2 — F100 engine network (TESS modules in the Network Editor)\n\n")
+	fmt.Fprintf(&b, "%-26s %-18s %s\n", "Instance", "Module Type", "Widgets")
+	for _, node := range exec.Network.Nodes() {
+		var widgets []string
+		for _, w := range node.Widgets() {
+			widgets = append(widgets, w.Name)
+		}
+		fmt.Fprintf(&b, "%-26s %-18s %s\n", node.Name, node.Type, strings.Join(widgets, ", "))
+	}
+	b.WriteString("\nControl panel: low speed shaft\n")
+	node, err := exec.Network.Node(core.InstLowShaft)
+	if err != nil {
+		return "", err
+	}
+	for _, w := range node.Widgets() {
+		switch w.Kind {
+		case dataflow.Dial, dataflow.Slider:
+			v, _ := w.Float()
+			fmt.Fprintf(&b, "  %-18s [%s] = %g\n", w.Name, w.Kind, v)
+		default:
+			v, _ := w.Text()
+			fmt.Fprintf(&b, "  %-18s [%s] = %q", w.Name, w.Kind, v)
+			if len(w.Options) > 0 {
+				fmt.Fprintf(&b, "  options: %s", strings.Join(w.Options, " : "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}

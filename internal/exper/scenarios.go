@@ -1,0 +1,304 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+// ScenarioResult is one pass/fail scenario of the section 4.1
+// (incremental changes) or section 4.2 (extended model) checks.
+type ScenarioResult struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// FormatScenarios renders scenario results as a table.
+func FormatScenarios(results []ScenarioResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-4s %-34s %s\n", status, r.Name, r.Detail)
+	}
+	return b.String()
+}
+
+// echoProgram returns a program echoing a double, for placement tests.
+func echoProgram(path string) *schooner.Program {
+	return &schooner.Program{
+		Path:     path,
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export echo prog("x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					return []uts.Value{uts.DoubleVal(in[0].F)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	}
+}
+
+// Incremental reproduces the section 4.1 scenarios: the incremental
+// changes made to Schooner during the NPSS work.
+func Incremental() []ScenarioResult {
+	var out []ScenarioResult
+	add := func(name string, pass bool, detail string) {
+		out = append(out, ScenarioResult{name, pass, detail})
+	}
+
+	tb, err := NewTestbed(SparcLerc)
+	if err != nil {
+		return []ScenarioResult{{"testbed", false, err.Error()}}
+	}
+	defer tb.Stop()
+	tb.Registry.MustRegister(echoProgram("/npss/echo"))
+	client := &schooner.Client{Transport: tb.Tr, Host: SparcLerc, ManagerHost: SparcLerc}
+
+	// (a) Cray/RS6000 support: the same procedure file instantiates on
+	// both newly supported machines.
+	ln, err := client.ContactSchx("incremental")
+	if err != nil {
+		return append(out, ScenarioResult{"contact", false, err.Error()})
+	}
+	defer ln.IQuit()
+	errCray := ln.StartRemote("/npss/echo", CrayLerc)
+	ln2, _ := client.ContactSchx("incremental-rs6000")
+	defer ln2.IQuit()
+	errRS := ln2.StartRemote("/npss/echo", RS6000Lerc)
+	add("cray-and-rs6000-support", errCray == nil && errRS == nil,
+		fmt.Sprintf("start on cray: %v; start on rs6000: %v", errCray, errRS))
+
+	// (b) Out-of-range values are an error, not IEEE infinity: a value
+	// beyond the Convex native double range must fail loudly.
+	ln3, _ := client.ContactSchx("incremental-range")
+	defer ln3.IQuit()
+	if err := ln3.StartRemote("/npss/echo", ConvexLerc); err != nil {
+		add("out-of-range-is-error", false, err.Error())
+	} else {
+		ln3.Import(uts.MustParseProc(`import echo prog("x" val double, "y" res double)`))
+		if _, err := ln3.Call("echo", uts.DoubleVal(2.5)); err != nil {
+			add("out-of-range-is-error", false, "in-range call failed: "+err.Error())
+		} else {
+			_, err := ln3.Call("echo", uts.DoubleVal(1e300))
+			pass := err != nil && strings.Contains(err.Error(), "out of range")
+			add("out-of-range-is-error", pass, fmt.Sprintf("1e300 toward VAX-format Convex: %v", err))
+		}
+	}
+
+	// (c) Fortran case synonyms: a Cray-hosted Fortran procedure
+	// (upper-cased by its compiler) binds from a lower-case import.
+	caseProg := &schooner.Program{
+		Path:     "/npss/fcase",
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export fval prog("y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					return []uts.Value{uts.DoubleVal(42)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	}
+	tb.Registry.MustRegister(caseProg)
+	ln4, _ := client.ContactSchx("incremental-case")
+	defer ln4.IQuit()
+	if err := ln4.StartRemote("/npss/fcase", CrayLerc); err != nil {
+		add("fortran-case-synonyms", false, err.Error())
+	} else {
+		ln4.Import(uts.MustParseProc(`import fval prog("y" res double)`))
+		res, err := ln4.Call("fval")
+		add("fortran-case-synonyms", err == nil && res[0].F == 42,
+			fmt.Sprintf("lower-case call to upper-cased Cray export: %v", err))
+	}
+
+	// (d) Single- and double-precision floats coexist in UTS.
+	both := uts.MustParseProc(`export mix prog("f" val float, "d" val double, "of" res float, "od" res double)`)
+	tb.Registry.MustRegister(&schooner.Program{
+		Path:     "/npss/mix",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			p := &schooner.BoundProc{
+				Spec: both,
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					return []uts.Value{uts.FloatVal(in[0].F * 2), uts.DoubleVal(in[1].F * 2)}, nil
+				},
+			}
+			return schooner.NewInstance(p)
+		},
+	})
+	ln5, _ := client.ContactSchx("incremental-mix")
+	defer ln5.IQuit()
+	if err := ln5.StartRemote("/npss/mix", SGI480Lerc); err != nil {
+		add("float-and-double", false, err.Error())
+	} else {
+		ln5.Import(both.Clone(false))
+		res, err := ln5.Call("mix", uts.FloatVal(1.5), uts.DoubleVal(2.5))
+		pass := err == nil && res[0].F == 3 && res[1].F == 5 &&
+			res[0].Type.Kind() == uts.Float && res[1].Type.Kind() == uts.Double
+		add("float-and-double", pass, fmt.Sprintf("res=%v err=%v", res, err))
+	}
+
+	// (e) Dynamic startup: processes are instantiated when a module is
+	// configured (ContactSchx + StartRemote), not a priori; the line
+	// count grows as modules appear.
+	before := tb.Mgr.LineCount()
+	ln6, _ := client.ContactSchx("incremental-dynamic")
+	pass := tb.Mgr.LineCount() == before+1
+	ln6.IQuit()
+	add("dynamic-startup-protocol", pass,
+		fmt.Sprintf("line registered at module-configure time (count %d -> %d)", before, before+1))
+
+	return out
+}
+
+// Lines reproduces the section 4.2 scenarios: the extended Schooner
+// model with multiple lines.
+func Lines() []ScenarioResult {
+	var out []ScenarioResult
+	add := func(name string, pass bool, detail string) {
+		out = append(out, ScenarioResult{name, pass, detail})
+	}
+	tb, err := NewTestbed(SparcLerc)
+	if err != nil {
+		return []ScenarioResult{{"testbed", false, err.Error()}}
+	}
+	defer tb.Stop()
+	client := &schooner.Client{Transport: tb.Tr, Host: SparcLerc, ManagerHost: SparcLerc}
+
+	// A stateful counter, so lines are distinguishable.
+	counter := func(path string) *schooner.Program {
+		return &schooner.Program{
+			Path:     path,
+			Language: schooner.LangC,
+			Build: func() (*schooner.Instance, error) {
+				var n int64
+				p := &schooner.BoundProc{
+					Spec: uts.MustParseProc(`export next prog("n" res integer)`),
+					Fn: func(in []uts.Value) ([]uts.Value, error) {
+						n++
+						return []uts.Value{uts.MustInt(int(n))}, nil
+					},
+				}
+				return schooner.NewInstance(p)
+			},
+		}
+	}
+	tb.Registry.MustRegister(counter("/npss/counter"))
+	imp := uts.MustParseProc(`import next prog("n" res integer)`)
+
+	// Duplicate procedure names across lines, own instances each.
+	a, _ := client.ContactSchx("low-shaft")
+	b, _ := client.ContactSchx("high-shaft")
+	defer a.IQuit()
+	a.StartRemote("/npss/counter", SGI480Lerc)
+	b.StartRemote("/npss/counter", RS6000Lerc)
+	a.Import(imp)
+	b.Import(imp)
+	r1, e1 := a.Call("next")
+	r2, e2 := a.Call("next")
+	r3, e3 := b.Call("next")
+	pass := e1 == nil && e2 == nil && e3 == nil && r1[0].I == 1 && r2[0].I == 2 && r3[0].I == 1
+	add("duplicate-names-across-lines", pass,
+		fmt.Sprintf("line A counted 1,2; line B counted %v independently", r3))
+
+	// Per-line shutdown: killing B leaves A alive.
+	b.IQuit()
+	_, eDead := b.Call("next")
+	r4, eAlive := a.Call("next")
+	pass = eDead != nil && eAlive == nil && r4[0].I == 3
+	add("per-line-shutdown", pass, "quitting one line leaves the other's procedures running")
+
+	// Concurrency between lines.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ln, err := client.ContactSchx(fmt.Sprintf("conc-%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ln.IQuit()
+			if err := ln.StartRemote("/npss/counter", SGI480Lerc); err != nil {
+				errs <- err
+				return
+			}
+			ln.Import(imp)
+			for j := 1; j <= 10; j++ {
+				res, err := ln.Call("next")
+				if err != nil || res[0].I != int64(j) {
+					errs <- fmt.Errorf("line %d saw %v, %v", i, res, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	concErr := ""
+	for e := range errs {
+		concErr += e.Error() + "; "
+	}
+	add("concurrent-lines", concErr == "", "4 lines, 10 calls each, independent sequences: "+concErr)
+
+	// Migration with lazy cache recovery.
+	tb.Registry.MustRegister(echoProgram("/npss/echo"))
+	m, _ := client.ContactSchx("migrator")
+	defer m.IQuit()
+	m.StartRemote("/npss/echo", SGI480Lerc)
+	m.Import(uts.MustParseProc(`import echo prog("x" val double, "y" res double)`))
+	if _, err := m.Call("echo", uts.DoubleVal(1)); err != nil {
+		add("migration", false, err.Error())
+	} else {
+		start := time.Now()
+		if err := m.Move("echo", RS6000Lerc, false); err != nil {
+			add("migration", false, err.Error())
+		} else {
+			res, err := m.Call("echo", uts.DoubleVal(7))
+			add("migration", err == nil && res[0].F == 7,
+				fmt.Sprintf("moved SGI->RS6000 in %s, next call follows via Manager re-ask", time.Since(start).Round(time.Microsecond)))
+		}
+	}
+
+	// Shared procedures: visible to all lines, survive a line's quit.
+	owner, _ := client.ContactSchx("shared-owner")
+	user, _ := client.ContactSchx("shared-user")
+	defer user.IQuit()
+	sharedErr := owner.StartShared("/npss/echo", CrayLerc)
+	owner.Import(uts.MustParseProc(`import echo prog("x" val double, "y" res double)`))
+	user.Import(uts.MustParseProc(`import echo prog("x" val double, "y" res double)`))
+	_, e1 = owner.Call("echo", uts.DoubleVal(2))
+	owner.IQuit()
+	res, e2 := user.Call("echo", uts.DoubleVal(3))
+	pass = sharedErr == nil && e1 == nil && e2 == nil && res[0].F == 3
+	add("shared-procedures", pass, "shared procedure outlives the starting line and serves other lines")
+
+	// Persistent Manager across runs.
+	for run := 0; run < 3; run++ {
+		ln, err := client.ContactSchx(fmt.Sprintf("reload-%d", run))
+		if err != nil {
+			add("persistent-manager", false, err.Error())
+			return out
+		}
+		if err := ln.StartRemote("/npss/counter", SGI480Lerc); err != nil {
+			add("persistent-manager", false, err.Error())
+			return out
+		}
+		ln.IQuit()
+	}
+	add("persistent-manager", true, "three load/quit cycles against one Manager")
+	return out
+}

@@ -1,0 +1,259 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"npss/internal/core"
+	"npss/internal/engine"
+	"npss/internal/trace"
+)
+
+// RunSpec sets the simulation length of an experiment run. The paper
+// ran a steady-state balance (Newton-Raphson) followed by a one-second
+// transient (Improved Euler); benchmarks may shorten the transient.
+type RunSpec struct {
+	// Transient length in seconds (default 1.0, the paper's length).
+	Transient float64
+	// Step is the integrator step (default 0.5 ms).
+	Step float64
+	// Throttle applies a fuel deceleration schedule so the transient
+	// exercises real dynamics (default true).
+	Throttle bool
+	// TimeScale, when nonzero, makes the simulated network actually
+	// sleep that fraction of its simulated delays, so wall-clock
+	// measurements reflect network shape (0 = record only).
+	TimeScale float64
+}
+
+func (s *RunSpec) defaults() {
+	if s.Transient == 0 {
+		s.Transient = 1.0
+	}
+	if s.Step == 0 {
+		s.Step = 5e-4
+	}
+}
+
+// ModuleRun is one row of a Table 1 / Table 2 style experiment: a
+// simulation with one or more modules computing remotely, verified
+// against the local-compute-only run.
+type ModuleRun struct {
+	AVSMachine string
+	// Placements maps adapted module instances to machines.
+	Placements map[string]string
+	Network    string // connecting network description (Table 1 column)
+
+	// Results.
+	Converged   bool
+	SteadyIters int
+	// MaxRelErr is the largest relative deviation of the remote run
+	// from the local run over the final state vector and the steady
+	// and final outputs: the paper's correctness criterion.
+	MaxRelErr float64
+	RPCs      int64
+	SimNet    time.Duration // simulated network time spent
+	Wall      time.Duration // wall-clock of the remote run
+	Err       error
+}
+
+// runConfigured executes the local baseline and the placed run on a
+// fresh testbed and fills in the comparison.
+func runConfigured(avs string, placements map[string]string, spec RunSpec) *ModuleRun {
+	spec.defaults()
+	row := &ModuleRun{AVSMachine: avs, Placements: placements}
+	nets := make([]string, 0, len(placements))
+	for _, m := range placements {
+		nets = append(nets, LinkName(avs, m))
+	}
+	row.Network = strings.Join(dedupe(nets), " + ")
+
+	tb, err := NewTestbed(avs)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	defer tb.Stop()
+	tb.Net.SetTimeScale(spec.TimeScale)
+	exec, err := tb.NewExecutive()
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	defer exec.Destroy()
+	if err := configure(exec, spec); err != nil {
+		row.Err = err
+		return row
+	}
+
+	local, err := exec.Run(core.RunOptions{})
+	if err != nil {
+		row.Err = fmt.Errorf("local run: %w", err)
+		return row
+	}
+	for inst, m := range placements {
+		if err := exec.SetRemote(inst, m, ""); err != nil {
+			row.Err = err
+			return row
+		}
+	}
+	tb.Net.ResetStats()
+	callsBefore := trace.Get("schooner.client.calls")
+	start := time.Now()
+	remote, err := exec.Run(core.RunOptions{})
+	row.Wall = time.Since(start)
+	if err != nil {
+		row.Err = fmt.Errorf("remote run: %w", err)
+		return row
+	}
+	row.Converged = true
+	row.SteadyIters = remote.SteadyIters
+	row.RPCs = trace.Get("schooner.client.calls") - callsBefore
+	row.SimNet = tb.Net.TotalSimDelay()
+	row.MaxRelErr = maxRelErr(local, remote)
+	return row
+}
+
+// configure sets the system-module widgets for a run.
+func configure(exec *core.Executive, spec RunSpec) error {
+	if err := exec.Network.SetParam(core.InstSystem, "transient seconds", spec.Transient); err != nil {
+		return err
+	}
+	if err := exec.Network.SetParam(core.InstSystem, "time step", spec.Step); err != nil {
+		return err
+	}
+	if spec.Throttle {
+		// Decelerate to ~90% fuel over the first tenth of the run.
+		sched := fmt.Sprintf("0:1.48, %g:1.33", spec.Transient/10)
+		if err := exec.Network.SetParam(core.InstComb, "fuel schedule", sched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxRelErr(local, remote *core.RunResult) float64 {
+	max := 0.0
+	obs := func(a, b float64) {
+		if a == b {
+			return
+		}
+		d := math.Abs(a-b) / math.Max(math.Abs(a), 1e-12)
+		if d > max {
+			max = d
+		}
+	}
+	for i := range local.State {
+		obs(local.State[i], remote.State[i])
+	}
+	obs(local.Steady.Thrust, remote.Steady.Thrust)
+	obs(local.Final.Thrust, remote.Final.Thrust)
+	obs(local.Steady.T4, remote.Steady.T4)
+	obs(local.Final.T4, remote.Final.T4)
+	return max
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table1Combos returns the paper's Table 1 machine/network
+// combinations, each testing one adapted module. The module choice
+// rotates so all four adapted modules are covered, as in the paper's
+// test campaign ("each of the adapted AVS modules were tested
+// separately on a variety of machine combinations").
+func Table1Combos() []struct {
+	AVS, Remote, Module string
+} {
+	return []struct{ AVS, Remote, Module string }{
+		{SparcLerc, SGI480Lerc, core.InstLowShaft},
+		{SparcLerc, ConvexLerc, core.InstBypDuct},
+		{SGI480Lerc, CrayLerc, core.InstComb},
+		{SGI480Lerc, SparcUA, core.InstNozzle},
+		{SparcUA, RS6000Lerc, core.InstHighShaft},
+	}
+}
+
+// Table1 reproduces the individual adapted-module tests of the
+// paper's Table 1 across its five machine/network combinations.
+func Table1(spec RunSpec) []*ModuleRun {
+	var rows []*ModuleRun
+	for _, c := range Table1Combos() {
+		rows = append(rows, runConfigured(c.AVS, map[string]string{c.Module: c.Remote}, spec))
+	}
+	return rows
+}
+
+// Table2Placements is the paper's combined test: the TESS simulation
+// executes on a Sun Sparc 10 at The University of Arizona with six
+// remote computations — one combustor on an SGI 4D/340 at Arizona,
+// two ducts on the LeRC Cray Y-MP, one nozzle on an SGI 4D/420 at
+// LeRC, and two shafts on the LeRC IBM RS/6000.
+func Table2Placements() map[string]string {
+	return map[string]string{
+		core.InstComb:      SGI340UA,
+		core.InstBypDuct:   CrayLerc,
+		core.InstAugDuct:   CrayLerc,
+		core.InstNozzle:    SGI420Lerc,
+		core.InstLowShaft:  RS6000Lerc,
+		core.InstHighShaft: RS6000Lerc,
+	}
+}
+
+// Table2 reproduces the combined test of the paper's Table 2.
+func Table2(spec RunSpec) *ModuleRun {
+	return runConfigured(SparcUA, Table2Placements(), spec)
+}
+
+// FormatTable1 renders Table 1 rows in the paper's layout plus the
+// verification columns.
+func FormatTable1(rows []*ModuleRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %-22s %-34s %-9s %-10s %8s %12s\n",
+		"AVS Machine", "Module", "Remote Machine", "Connecting Network", "Converged", "MaxRelErr", "RPCs", "SimNetTime")
+	for _, r := range rows {
+		module, remote := "", ""
+		for m, host := range r.Placements {
+			module, remote = m, host
+		}
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-14s %-14s %-22s %-34s ERROR: %v\n", r.AVSMachine, module, remote, r.Network, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %-14s %-22s %-34s %-9v %-10.2e %8d %12s\n",
+			r.AVSMachine, module, remote, r.Network, r.Converged, r.MaxRelErr, r.RPCs, r.SimNet.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the combined-test result in the paper's
+// placement layout.
+func FormatTable2(r *ModuleRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TESS simulation executed on %s at %s\n", r.AVSMachine, Site(r.AVSMachine))
+	fmt.Fprintf(&b, "%-24s %-22s %-28s\n", "Module", "Remote Machine", "Site")
+	for _, inst := range []string{core.InstComb, core.InstBypDuct, core.InstAugDuct, core.InstNozzle, core.InstLowShaft, core.InstHighShaft} {
+		host := r.Placements[inst]
+		fmt.Fprintf(&b, "%-24s %-22s %-28s\n", inst, host, Site(host))
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "ERROR: %v\n", r.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e rpcs=%d simNetTime=%s wall=%s\n",
+		r.Converged, r.SteadyIters, r.MaxRelErr, r.RPCs, r.SimNet.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+	return b.String()
+}
+
+// engineSanity is referenced by the harness to pin the workload shape.
+var _ = engine.NumStates

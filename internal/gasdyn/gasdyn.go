@@ -1,0 +1,301 @@
+// Package gasdyn provides the working-fluid thermodynamics used by the
+// TESS engine components: temperature- and composition-dependent
+// specific heat, enthalpy, and entropy functions for air and kerosene
+// combustion products, plus the compressible-flow relations for
+// nozzles and flow elements.
+//
+// The property model follows the standard gas-turbine practice of
+// polynomial fits in T/1000 with a fuel-air-ratio correction term (the
+// form used by Walsh & Fletcher, "Gas Turbine Performance"). Enthalpy
+// and the entropy function phi are the exact integrals of the cp
+// polynomial, so the package is thermodynamically self-consistent:
+// h = integral cp dT and phi = integral cp/T dT hold to round-off, a
+// property the unit tests pin down.
+package gasdyn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gas property constants.
+const (
+	// RAir is the specific gas constant of dry air, J/(kg K).
+	RAir = 287.05
+	// FuelLHV is the lower heating value of aviation kerosene, J/kg.
+	FuelLHV = 43.124e6
+	// FARStoich is the stoichiometric fuel-air ratio of kerosene.
+	FARStoich = 0.0676
+	// TRef is the reference temperature for enthalpy, K.
+	TRef = 288.15
+	// PRef is the reference (sea-level standard) pressure, Pa.
+	PRef = 101325.0
+)
+
+// Polynomial coefficients for cp of dry air in kJ/(kg K) as a function
+// of Tz = T/1000 K, valid for 200 K to 2000 K, and the fuel-air-ratio
+// correction for kerosene combustion products (applied with weight
+// FAR/(1+FAR)).
+var cpAir = [9]float64{
+	0.992313, 0.236688, -1.852148, 6.083152, -8.893933,
+	7.097112, -3.234725, 0.794571, -0.081873,
+}
+
+var cpFuelCorr = [8]float64{
+	-0.718874, 8.747481, -15.863157, 17.254096, -10.233795,
+	3.081778, -0.361112, -0.003919,
+}
+
+// Cp returns the specific heat at constant pressure, J/(kg K), of air
+// with the given fuel-air ratio at static (or total) temperature T.
+func Cp(t, far float64) float64 {
+	tz := t / 1000
+	var cp float64
+	pow := 1.0
+	for _, a := range cpAir {
+		cp += a * pow
+		pow *= tz
+	}
+	if far > 0 {
+		var corr float64
+		pow = 1.0
+		for _, b := range cpFuelCorr {
+			corr += b * pow
+			pow *= tz
+		}
+		cp += far / (1 + far) * corr
+	}
+	return cp * 1000 // kJ -> J
+}
+
+// R returns the specific gas constant, J/(kg K), for the mixture. The
+// composition effect is small (combustion products are slightly
+// lighter than air) but kept for consistency with the source fits.
+func R(far float64) float64 {
+	return 287.05 - 8.0*far/(1+far)
+}
+
+// Gamma returns the ratio of specific heats at T.
+func Gamma(t, far float64) float64 {
+	cp := Cp(t, far)
+	return cp / (cp - R(far))
+}
+
+// H returns specific enthalpy, J/kg, relative to TRef: the exact
+// integral of Cp from TRef to T.
+func H(t, far float64) float64 {
+	return hAbs(t, far) - hAbs(TRef, far)
+}
+
+// hAbs integrates the cp polynomial from 0 (formal antiderivative).
+func hAbs(t, far float64) float64 {
+	tz := t / 1000
+	var h float64
+	pow := tz
+	for i, a := range cpAir {
+		h += a * pow / float64(i+1)
+		pow *= tz
+	}
+	if far > 0 {
+		var corr float64
+		pow = tz
+		for i, b := range cpFuelCorr {
+			corr += b * pow / float64(i+1)
+			pow *= tz
+		}
+		h += far / (1 + far) * corr
+	}
+	return h * 1e6 // kJ/kg per Tz -> J/kg (1000 for kJ, 1000 for Tz)
+}
+
+// Phi returns the entropy function integral cp/T dT from TRef to T,
+// J/(kg K). For an isentropic process, Phi(T2) - Phi(T1) = R ln(P2/P1).
+func Phi(t, far float64) float64 {
+	return phiAbs(t, far) - phiAbs(TRef, far)
+}
+
+func phiAbs(t, far float64) float64 {
+	tz := t / 1000
+	ln := math.Log(tz)
+	phi := cpAir[0] * ln
+	pow := tz
+	for i := 1; i < len(cpAir); i++ {
+		phi += cpAir[i] * pow / float64(i)
+		pow *= tz
+	}
+	if far > 0 {
+		corr := cpFuelCorr[0] * ln
+		pow = tz
+		for i := 1; i < len(cpFuelCorr); i++ {
+			corr += cpFuelCorr[i] * pow / float64(i)
+			pow *= tz
+		}
+		phi += far / (1 + far) * corr
+	}
+	return phi * 1000
+}
+
+// TFromH inverts H by Newton iteration: the temperature at which the
+// mixture has specific enthalpy h (J/kg relative to TRef).
+func TFromH(h, far float64) (float64, error) {
+	t := TRef + h/1004 // initial guess with constant cp
+	if t < 100 {
+		t = 100
+	}
+	for i := 0; i < 50; i++ {
+		f := H(t, far) - h
+		dt := f / Cp(t, far)
+		t -= dt
+		if t < 50 {
+			t = 50
+		}
+		if math.Abs(dt) < 1e-9*t {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("gasdyn: TFromH(%g, %g) did not converge", h, far)
+}
+
+// IsentropicT solves for the temperature after an isentropic pressure
+// change from (t1, pr = p2/p1): Phi(T2) = Phi(T1) + R ln(pr).
+func IsentropicT(t1, pr, far float64) (float64, error) {
+	if pr <= 0 {
+		return 0, fmt.Errorf("gasdyn: pressure ratio %g must be positive", pr)
+	}
+	target := phiAbs(t1, far) + R(far)*math.Log(pr)
+	// Newton on phiAbs(t) = target; d phi/dT = cp/T.
+	t := t1 * math.Pow(pr, 0.2857) // constant-gamma guess
+	if t < 60 {
+		t = 60
+	}
+	for i := 0; i < 60; i++ {
+		f := phiAbs(t, far) - target
+		dt := f * t / Cp(t, far)
+		t -= dt
+		if t < 50 {
+			t = 50
+		}
+		if math.Abs(dt) < 1e-10*t {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("gasdyn: IsentropicT(%g, %g, %g) did not converge", t1, pr, far)
+}
+
+// CriticalPressureRatio returns the nozzle pressure ratio Pt/Pstatic
+// at which flow chokes, for gas at total temperature t.
+func CriticalPressureRatio(t, far float64) float64 {
+	g := Gamma(t, far)
+	return math.Pow((g+1)/2, g/(g-1))
+}
+
+// FlowFunction returns the non-dimensional mass flow parameter
+// W sqrt(Tt) / (A Pt) in SI units for isentropic flow through an area
+// at the given total-to-static pressure ratio ptOverPs >= 1. The flow
+// is choked beyond the critical ratio, where the function saturates.
+func FlowFunction(ptOverPs, t, far float64) float64 {
+	if ptOverPs < 1 {
+		return 0
+	}
+	g := Gamma(t, far)
+	r := R(far)
+	crit := CriticalPressureRatio(t, far)
+	if ptOverPs >= crit {
+		// Choked: sqrt(g/R) * (2/(g+1))^((g+1)/(2(g-1)))
+		return math.Sqrt(g/r) * math.Pow(2/(g+1), (g+1)/(2*(g-1)))
+	}
+	// Subsonic: M from pressure ratio, then the standard flow function.
+	m2 := 2 / (g - 1) * (math.Pow(ptOverPs, (g-1)/g) - 1)
+	m := math.Sqrt(m2)
+	return math.Sqrt(g/r) * m * math.Pow(1+(g-1)/2*m2, -(g+1)/(2*(g-1)))
+}
+
+// NozzleFlow computes the mass flow, kg/s, through a convergent nozzle
+// of throat area a (m^2) with upstream total conditions (pt, tt) and
+// ambient static pressure pamb. Back-flow (pt < pamb) returns zero.
+func NozzleFlow(pt, tt, pamb, a, far float64) float64 {
+	if pt <= pamb || tt <= 0 {
+		return 0
+	}
+	return FlowFunction(pt/pamb, tt, far) * a * pt / math.Sqrt(tt)
+}
+
+// NozzleThrust computes the gross thrust, N, of a convergent nozzle:
+// momentum flux plus pressure-area term when choked.
+func NozzleThrust(pt, tt, pamb, a, far float64) float64 {
+	if pt <= pamb || tt <= 0 {
+		return 0
+	}
+	g := Gamma(tt, far)
+	r := R(far)
+	w := NozzleFlow(pt, tt, pamb, a, far)
+	crit := CriticalPressureRatio(tt, far)
+	if pt/pamb >= crit {
+		// Choked: exit at M=1, static pressure above ambient.
+		ps := pt / crit
+		ts := tt * 2 / (g + 1)
+		v := math.Sqrt(g * r * ts)
+		return w*v + (ps-pamb)*a
+	}
+	// Subsonic: fully expanded to ambient.
+	ts, err := IsentropicT(tt, pamb/pt, far)
+	if err != nil {
+		ts = tt * math.Pow(pamb/pt, (g-1)/g)
+	}
+	dh := H(tt, far) - H(ts, far)
+	if dh < 0 {
+		dh = 0
+	}
+	v := math.Sqrt(2 * dh)
+	return w * v
+}
+
+// RamTotal computes total temperature and pressure from static
+// ambient conditions and flight Mach number.
+func RamTotal(ps, ts, mach float64) (pt, tt float64) {
+	g := Gamma(ts, 0)
+	tt = ts * (1 + (g-1)/2*mach*mach)
+	pt = ps * math.Pow(tt/ts, g/(g-1))
+	return pt, tt
+}
+
+// CombustionFAR returns the fuel-air ratio after adding fuel flow wf
+// (kg/s) to air flow w (kg/s) already carrying fuel fraction far0.
+func CombustionFAR(w, far0, wf float64) float64 {
+	if w <= 0 {
+		return far0
+	}
+	air := w / (1 + far0)
+	return (air*far0 + wf) / air
+}
+
+// CombustorExitH returns the exit specific enthalpy after burning fuel
+// flow wf (kg/s, with combustion efficiency eta) in stream w (kg/s) at
+// inlet enthalpy hIn. Enthalpies are per kg of mixture.
+func CombustorExitH(w, hIn, wf, eta float64) float64 {
+	if w <= 0 {
+		return hIn
+	}
+	return (w*hIn + eta*FuelLHV*wf) / (w + wf)
+}
+
+// StandardAtmosphere returns static pressure (Pa) and temperature (K)
+// at geometric altitude alt (m), using the ICAO troposphere and lower
+// stratosphere (valid to 20 km).
+func StandardAtmosphere(alt float64) (ps, ts float64) {
+	const (
+		t0 = 288.15
+		p0 = PRef
+		l  = 0.0065  // K/m lapse
+		ht = 11000.0 // tropopause
+	)
+	if alt <= ht {
+		ts = t0 - l*alt
+		ps = p0 * math.Pow(ts/t0, 9.80665/(l*RAir))
+		return ps, ts
+	}
+	ts = t0 - l*ht
+	pTrop := p0 * math.Pow(ts/t0, 9.80665/(l*RAir))
+	ps = pTrop * math.Exp(-9.80665*(alt-ht)/(RAir*ts))
+	return ps, ts
+}

@@ -1,0 +1,312 @@
+package gasdyn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1) {
+		t.Errorf("%s = %g, want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestCpKnownValues(t *testing.T) {
+	// Dry air at standard conditions: ~1005 J/(kg K); at 1000 K:
+	// ~1140; at 1500 K: ~1210.
+	approx(t, Cp(288.15, 0), 1005, 0.01, "Cp(288)")
+	approx(t, Cp(1000, 0), 1142, 0.02, "Cp(1000)")
+	approx(t, Cp(1500, 0), 1210, 0.02, "Cp(1500)")
+	// Combustion products have higher cp.
+	if Cp(1200, 0.02) <= Cp(1200, 0) {
+		t.Error("fuel correction did not raise cp")
+	}
+}
+
+func TestGammaKnownValues(t *testing.T) {
+	approx(t, Gamma(288.15, 0), 1.400, 0.005, "Gamma(288)")
+	if g := Gamma(1600, 0.025); g > 1.33 || g < 1.25 {
+		t.Errorf("Gamma(1600, 0.025) = %g outside hot-gas band", g)
+	}
+}
+
+func TestRComposition(t *testing.T) {
+	if R(0) != 287.05 {
+		t.Errorf("R(0) = %g", R(0))
+	}
+	if R(0.02) >= R(0) {
+		t.Error("combustion products should have slightly lower R here")
+	}
+}
+
+func TestEnthalpyIsIntegralOfCp(t *testing.T) {
+	// dH/dT == Cp to high accuracy, for several FARs.
+	for _, far := range []float64{0, 0.01, 0.03, 0.0676} {
+		for temp := 250.0; temp <= 1900; temp += 150 {
+			dt := 0.01
+			numeric := (H(temp+dt, far) - H(temp-dt, far)) / (2 * dt)
+			approx(t, numeric, Cp(temp, far), 1e-6, "dH/dT")
+		}
+	}
+	// H(TRef) == 0 by construction.
+	if math.Abs(H(TRef, 0.02)) > 1e-9 {
+		t.Errorf("H(TRef) = %g", H(TRef, 0.02))
+	}
+}
+
+func TestPhiIsIntegralOfCpOverT(t *testing.T) {
+	for _, far := range []float64{0, 0.02} {
+		for temp := 250.0; temp <= 1900; temp += 150 {
+			dt := 0.01
+			numeric := (Phi(temp+dt, far) - Phi(temp-dt, far)) / (2 * dt)
+			approx(t, numeric, Cp(temp, far)/temp, 1e-6, "dPhi/dT")
+		}
+	}
+}
+
+func TestTFromHInvertsH(t *testing.T) {
+	for _, far := range []float64{0, 0.025} {
+		for temp := 220.0; temp <= 1900; temp += 97 {
+			h := H(temp, far)
+			got, err := TFromH(h, far)
+			if err != nil {
+				t.Fatalf("TFromH at %g: %v", temp, err)
+			}
+			approx(t, got, temp, 1e-8, "TFromH")
+		}
+	}
+}
+
+func TestIsentropicT(t *testing.T) {
+	// Compression by PR=10 from 288 K with variable cp lands near
+	// 550 K (constant-gamma estimate 556 K).
+	t2, err := IsentropicT(288.15, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < 520 || t2 > 570 {
+		t.Errorf("IsentropicT(288, 10) = %g", t2)
+	}
+	// Consistency: Phi difference equals R ln PR.
+	dphi := Phi(t2, 0) - Phi(288.15, 0)
+	approx(t, dphi, R(0)*math.Log(10), 1e-8, "phi identity")
+	// Expansion inverts compression.
+	back, err := IsentropicT(t2, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, back, 288.15, 1e-8, "isentropic round trip")
+	if _, err := IsentropicT(288, -1, 0); err == nil {
+		t.Error("negative PR accepted")
+	}
+}
+
+func TestQuickIsentropicRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := 230 + r.Float64()*1500
+		pr := math.Exp(r.Float64()*4 - 2) // PR in [0.135, 7.39]
+		far := r.Float64() * 0.05
+		t2, err := IsentropicT(t1, pr, far)
+		if err != nil {
+			return false
+		}
+		back, err := IsentropicT(t2, 1/pr, far)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-t1) < 1e-6*t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalPressureRatio(t *testing.T) {
+	// Cold air, gamma 1.4: critical PR = 1.893.
+	approx(t, CriticalPressureRatio(288.15, 0), 1.893, 0.003, "crit PR cold")
+	// Hot combustion gas has lower gamma, lower critical PR.
+	if CriticalPressureRatio(1600, 0.02) >= CriticalPressureRatio(288.15, 0) {
+		t.Error("hot critical PR should be lower")
+	}
+}
+
+func TestFlowFunction(t *testing.T) {
+	// Zero below unity ratio.
+	if FlowFunction(0.9, 288, 0) != 0 {
+		t.Error("flow below unity PR")
+	}
+	// Monotone up to choking, then flat.
+	prev := 0.0
+	for pr := 1.01; pr < 1.89; pr += 0.05 {
+		ff := FlowFunction(pr, 288, 0)
+		if ff <= prev {
+			t.Fatalf("flow function not increasing at %g", pr)
+		}
+		prev = ff
+	}
+	choked := FlowFunction(5, 288, 0)
+	if math.Abs(choked-FlowFunction(10, 288, 0)) > 1e-12 {
+		t.Error("choked flow function not flat")
+	}
+	// Known choked value: W sqrt(T)/(A P) = 0.0404 for gamma=1.4 air
+	// (the classic 0.0404 sqrt(kg K)/ (m s kPa)... in SI: 0.04042).
+	approx(t, choked, 0.0404, 0.01, "choked flow function")
+}
+
+func TestNozzleFlowAndThrust(t *testing.T) {
+	// A 0.1 m^2 nozzle at PR 2 (choked), 800 K.
+	pt, tt, pamb := 2*PRef, 800.0, PRef
+	w := NozzleFlow(pt, tt, pamb, 0.1, 0)
+	if w <= 0 {
+		t.Fatal("no flow")
+	}
+	fg := NozzleThrust(pt, tt, pamb, 0.1, 0)
+	if fg <= 0 {
+		t.Fatal("no thrust")
+	}
+	// Thrust per unit flow (specific thrust) should be a few hundred
+	// m/s for these conditions.
+	if v := fg / w; v < 300 || v > 900 {
+		t.Errorf("specific thrust %g m/s implausible", v)
+	}
+	// Subsonic case.
+	w2 := NozzleFlow(1.2*PRef, 600, PRef, 0.1, 0)
+	if w2 <= 0 || w2 >= w {
+		t.Errorf("subsonic flow %g vs choked %g", w2, w)
+	}
+	if NozzleThrust(1.2*PRef, 600, PRef, 0.1, 0) <= 0 {
+		t.Error("subsonic thrust zero")
+	}
+	// No back-flow.
+	if NozzleFlow(0.9*PRef, 600, PRef, 0.1, 0) != 0 {
+		t.Error("back-flow not clamped")
+	}
+	if NozzleThrust(0.9*PRef, 600, PRef, 0.1, 0) != 0 {
+		t.Error("back-thrust not clamped")
+	}
+}
+
+func TestNozzleFlowScalesWithArea(t *testing.T) {
+	w1 := NozzleFlow(2*PRef, 800, PRef, 0.1, 0)
+	w2 := NozzleFlow(2*PRef, 800, PRef, 0.2, 0)
+	approx(t, w2, 2*w1, 1e-12, "area scaling")
+}
+
+func TestRamTotal(t *testing.T) {
+	pt, tt := RamTotal(PRef, 288.15, 0)
+	if pt != PRef || tt != 288.15 {
+		t.Error("static case altered")
+	}
+	pt, tt = RamTotal(PRef, 288.15, 0.8)
+	// M=0.8: Tt/Ts = 1.128, Pt/Ps = 1.524.
+	approx(t, tt/288.15, 1.128, 0.002, "ram T ratio")
+	approx(t, pt/PRef, 1.524, 0.01, "ram P ratio")
+}
+
+func TestCombustionFAR(t *testing.T) {
+	far := CombustionFAR(100, 0, 2)
+	approx(t, far, 0.02, 1e-12, "FAR from clean air")
+	// Adding more fuel downstream accumulates.
+	far2 := CombustionFAR(102, far, 1.02)
+	if far2 <= far {
+		t.Error("FAR did not grow")
+	}
+	if CombustionFAR(0, 0.01, 1) != 0.01 {
+		t.Error("zero-flow FAR not preserved")
+	}
+}
+
+func TestCombustorExitH(t *testing.T) {
+	hIn := H(700, 0)
+	hOut := CombustorExitH(100, hIn, 2, 0.995)
+	if hOut <= hIn {
+		t.Error("combustion did not raise enthalpy")
+	}
+	// Energy balance: (w+wf)*hOut == w*hIn + eta*LHV*wf.
+	lhs := 102 * hOut
+	rhs := 100*hIn + 0.995*FuelLHV*2
+	approx(t, lhs, rhs, 1e-12, "energy balance")
+	if CombustorExitH(0, hIn, 1, 1) != hIn {
+		t.Error("zero-flow combustor changed enthalpy")
+	}
+}
+
+func TestStandardAtmosphere(t *testing.T) {
+	ps, ts := StandardAtmosphere(0)
+	approx(t, ps, 101325, 1e-9, "sea level P")
+	approx(t, ts, 288.15, 1e-9, "sea level T")
+	ps, ts = StandardAtmosphere(11000)
+	approx(t, ts, 216.65, 1e-3, "tropopause T")
+	approx(t, ps, 22632, 0.01, "tropopause P")
+	ps15, _ := StandardAtmosphere(15000)
+	if ps15 >= ps {
+		t.Error("pressure not decreasing in stratosphere")
+	}
+	_, ts15 := StandardAtmosphere(15000)
+	approx(t, ts15, 216.65, 1e-9, "isothermal stratosphere")
+}
+
+func TestTemperatureEntropyMonotone(t *testing.T) {
+	// Phi and H strictly increase with T (cp > 0 over the range).
+	prevH, prevPhi := H(200, 0.03), Phi(200, 0.03)
+	for temp := 250.0; temp <= 2000; temp += 50 {
+		h, phi := H(temp, 0.03), Phi(temp, 0.03)
+		if h <= prevH || phi <= prevPhi {
+			t.Fatalf("H or Phi not monotone at %g", temp)
+		}
+		prevH, prevPhi = h, phi
+	}
+}
+
+// TestQuickIsentropicComposition: expanding through pressure ratio a
+// then b equals expanding through a*b directly — the group property of
+// the phi-based isentrope that the multi-stage turbomachinery
+// calculations rely on.
+func TestQuickIsentropicComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := 250 + r.Float64()*1400
+		a := math.Exp(r.Float64()*1.2 - 0.6)
+		b := math.Exp(r.Float64()*1.2 - 0.6)
+		far := r.Float64() * 0.04
+		mid, err := IsentropicT(t1, a, far)
+		if err != nil {
+			return false
+		}
+		two, err := IsentropicT(mid, b, far)
+		if err != nil {
+			return false
+		}
+		one, err := IsentropicT(t1, a*b, far)
+		if err != nil {
+			return false
+		}
+		return math.Abs(two-one) < 1e-7*one
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCpPositiveAndSmooth: cp stays within physical bounds over
+// the full operating envelope (no polynomial wiggles into nonsense).
+func TestQuickCpPositiveAndSmooth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		temp := 200 + r.Float64()*1800
+		far := r.Float64() * FARStoich
+		cp := Cp(temp, far)
+		if cp < 900 || cp > 1600 {
+			return false
+		}
+		g := Gamma(temp, far)
+		return g > 1.2 && g < 1.42
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

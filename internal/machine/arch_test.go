@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npss/internal/uts"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"convex-c220", "cray-ymp", "i386pc", "ibm370", "rs6000", "sgi4d", "sparc"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for _, n := range names {
+		a, err := ByName(n)
+		if err != nil || a.Name != n {
+			t.Errorf("ByName(%q) = %v, %v", n, a, err)
+		}
+	}
+	if _, err := ByName("pdp11"); err == nil {
+		t.Error("unknown architecture resolved")
+	}
+}
+
+func TestArchProperties(t *testing.T) {
+	if !SPARC.IsIEEE() || !SGI.IsIEEE() || !RS6000.IsIEEE() || !PC.IsIEEE() {
+		t.Error("IEEE workstation classified as non-IEEE")
+	}
+	if CrayYMP.IsIEEE() || IBM370.IsIEEE() || Convex.IsIEEE() {
+		t.Error("non-IEEE machine classified as IEEE")
+	}
+	if !CrayYMP.FortranUpperCase {
+		t.Error("Cray Fortran must upper-case names")
+	}
+	if SPARC.FortranUpperCase {
+		t.Error("SPARC Fortran must not upper-case names")
+	}
+	if CrayYMP.WordBytes != 8 || SPARC.WordBytes != 4 {
+		t.Error("word sizes wrong")
+	}
+	if CrayYMP.String() != "cray-ymp" {
+		t.Errorf("String() = %q", CrayYMP.String())
+	}
+}
+
+func TestCheckInteger(t *testing.T) {
+	if err := SPARC.CheckInteger(12345); err != nil {
+		t.Errorf("in-range on sparc: %v", err)
+	}
+	if err := CrayYMP.CheckInteger(math.MaxInt32); err != nil {
+		t.Errorf("MaxInt32 on cray: %v", err)
+	}
+	// A 64-bit Cray integer exceeding 32 bits is the paper's
+	// out-of-range case: an error, not a wrap.
+	var re *RangeError
+	err := CrayYMP.CheckInteger(math.MaxInt32 + 1)
+	if !errors.As(err, &re) {
+		t.Errorf("big Cray integer: %v", err)
+	}
+	// On a 4-byte machine the value could not have existed natively.
+	if err := SPARC.CheckInteger(math.MaxInt32 + 1); err == nil {
+		t.Error("impossible value accepted on 4-byte machine")
+	}
+}
+
+func TestNativeRoundTripIEEELossless(t *testing.T) {
+	v := uts.DoubleArray(math.Pi, -1e300, 1e-300, 0)
+	for _, a := range []*Arch{SPARC, SGI, RS6000, PC} {
+		got, err := a.NativeRoundTrip(v)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if !got.EqualValue(v) {
+			t.Errorf("%s altered an IEEE double array", a.Name)
+		}
+	}
+}
+
+func TestNativeRoundTripCrayPrecision(t *testing.T) {
+	v := uts.DoubleVal(math.Pi)
+	got, err := CrayYMP.NativeRoundTrip(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(got.F-math.Pi) / math.Pi
+	if rel == 0 {
+		t.Log("pi survived Cray exactly (possible, mantissa-dependent)")
+	}
+	if rel > math.Pow(2, -47) {
+		t.Errorf("Cray double precision loss %g too large", rel)
+	}
+	// Single-precision payloads survive the Cray exactly: 24-bit
+	// mantissas fit in 48 bits. This is why the paper's single-float
+	// specs worked across the Cray.
+	s := uts.FloatVal(math.Pi)
+	got, err = CrayYMP.NativeRoundTrip(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualValue(s) {
+		t.Errorf("single float altered by Cray: %v vs %v", got, s)
+	}
+}
+
+func TestNativeRoundTripRangeErrors(t *testing.T) {
+	var re *RangeError
+	// IEEE double too big for VAX-heritage Convex.
+	_, err := Convex.NativeRoundTrip(uts.DoubleVal(1e300))
+	if !errors.As(err, &re) {
+		t.Errorf("1e300 on convex: %v", err)
+	}
+	// ... and for IBM hex float.
+	_, err = IBM370.NativeRoundTrip(uts.DoubleVal(1e100))
+	if !errors.As(err, &re) {
+		t.Errorf("1e100 on ibm370: %v", err)
+	}
+	// Fine on the Cray.
+	if _, err := CrayYMP.NativeRoundTrip(uts.DoubleVal(1e300)); err != nil {
+		t.Errorf("1e300 on cray: %v", err)
+	}
+	// Aggregates propagate element failures.
+	_, err = Convex.NativeRoundTrip(uts.DoubleArray(1, 1e300))
+	if !errors.As(err, &re) {
+		t.Errorf("array with out-of-range element: %v", err)
+	}
+}
+
+func TestNativeRoundTripNonNumeric(t *testing.T) {
+	for _, v := range []uts.Value{uts.Str("hello"), uts.Bool(true), uts.ByteVal(9)} {
+		got, err := CrayYMP.NativeRoundTrip(v)
+		if err != nil || !got.EqualValue(v) {
+			t.Errorf("non-numeric %v altered: %v, %v", v, got, err)
+		}
+	}
+}
+
+func TestNativeRoundTripLongOnSmallWord(t *testing.T) {
+	big := uts.LongVal(math.MaxInt64)
+	if _, err := SPARC.NativeRoundTrip(big); err == nil {
+		t.Error("63-bit long accepted on 4-byte-word machine")
+	}
+	if _, err := CrayYMP.NativeRoundTrip(big); err != nil {
+		t.Errorf("long on cray: %v", err)
+	}
+	small := uts.LongVal(42)
+	if got, err := SPARC.NativeRoundTrip(small); err != nil || got.I != 42 {
+		t.Errorf("small long: %v, %v", got, err)
+	}
+}
+
+// TestQuickNativeRoundTripIdempotent: pushing a value through a native
+// format twice gives the same answer as once (conversion is a
+// projection). This is the property that makes repeated RPC hops
+// stable rather than progressively corrupting data.
+func TestQuickNativeRoundTripIdempotent(t *testing.T) {
+	archs := []*Arch{SPARC, CrayYMP, Convex, IBM370, PC}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := uts.DoubleVal((r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(60)-30)))
+		a := archs[r.Intn(len(archs))]
+		once, err := a.NativeRoundTrip(v)
+		if err != nil {
+			return false
+		}
+		twice, err := a.NativeRoundTrip(once)
+		if err != nil {
+			return false
+		}
+		return twice.EqualValue(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

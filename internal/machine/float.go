@@ -1,0 +1,412 @@
+// Package machine simulates the heterogeneous machine architectures of
+// the NPSS testbed: the native data formats of each machine and the
+// conversion routines between those formats and the UTS intermediate
+// representation.
+//
+// The paper's testbed mixed Sun SPARC, SGI MIPS, IBM RS/6000 (all IEEE
+// 754 big-endian), a Convex C220 (VAX-heritage native float), and a
+// Cray Y-MP (Cray-1 single-word floating point, 64-bit integers). The
+// heterogeneity problems the paper reports — Cray values whose
+// magnitude exceeds the IEEE range, 64-bit native integers that do not
+// fit the 32-bit UTS integer, Fortran compilers that upper-case
+// procedure names — are reproduced here exactly. As in the paper, an
+// out-of-range conversion is treated as an error rather than being
+// mapped to the IEEE infinity value (section 4.1).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// RangeError reports a value that cannot be represented in the target
+// format. The paper's policy, chosen after consulting the NPSS code
+// developers, is that such conversions fail rather than saturating.
+type RangeError struct {
+	Value  float64 // the value, when it is expressible as a float64
+	Format string  // target format name
+	Detail string
+}
+
+func (e *RangeError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("machine: value out of range for %s: %s", e.Format, e.Detail)
+	}
+	return fmt.Sprintf("machine: value %g out of range for %s", e.Value, e.Format)
+}
+
+// FloatCodec converts between IEEE-754 double (the lingua franca of
+// the simulation, and of UTS) and one native floating point format.
+type FloatCodec interface {
+	// Name identifies the format, e.g. "ieee64be" or "cray64".
+	Name() string
+	// Size is the number of bytes of the native representation.
+	Size() int
+	// Encode converts an IEEE double to native bytes. It returns a
+	// *RangeError when the magnitude exceeds the native range, and may
+	// silently lose precision when the native mantissa is narrower.
+	// Values below the native underflow threshold flush to zero, as
+	// the historical hardware did.
+	Encode(f float64) ([]byte, error)
+	// Decode converts native bytes back to an IEEE double. It returns
+	// a *RangeError when the native value exceeds the IEEE-754 double
+	// range (possible for Cray-format values).
+	Decode(b []byte) (float64, error)
+}
+
+// ieee32 is IEEE-754 single precision, big-endian.
+type ieee32 struct{}
+
+func (ieee32) Name() string { return "ieee32be" }
+func (ieee32) Size() int    { return 4 }
+
+func (ieee32) Encode(f float64) ([]byte, error) {
+	s := float32(f)
+	if math.IsInf(float64(s), 0) && !math.IsInf(f, 0) {
+		return nil, &RangeError{Value: f, Format: "ieee32be"}
+	}
+	bits := math.Float32bits(s)
+	return []byte{byte(bits >> 24), byte(bits >> 16), byte(bits >> 8), byte(bits)}, nil
+}
+
+func (ieee32) Decode(b []byte) (float64, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("machine: ieee32be needs 4 bytes, got %d", len(b))
+	}
+	bits := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	return float64(math.Float32frombits(bits)), nil
+}
+
+// ieee64 is IEEE-754 double precision, big-endian.
+type ieee64 struct{}
+
+func (ieee64) Name() string { return "ieee64be" }
+func (ieee64) Size() int    { return 8 }
+
+func (ieee64) Encode(f float64) ([]byte, error) {
+	bits := math.Float64bits(f)
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (56 - 8*i))
+	}
+	return b, nil
+}
+
+func (ieee64) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("machine: ieee64be needs 8 bytes, got %d", len(b))
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64(b[i])
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// ieee32le / ieee64le are the little-endian layouts (e.g. a PC
+// workstation); format semantics are identical, only byte order
+// differs, which is exactly the classic cross-machine bug UTS exists
+// to prevent.
+type ieee32le struct{}
+
+func (ieee32le) Name() string { return "ieee32le" }
+func (ieee32le) Size() int    { return 4 }
+
+func (ieee32le) Encode(f float64) ([]byte, error) {
+	b, err := ieee32{}.Encode(f)
+	if err != nil {
+		return nil, err
+	}
+	reverse(b)
+	return b, nil
+}
+
+func (ieee32le) Decode(b []byte) (float64, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("machine: ieee32le needs 4 bytes, got %d", len(b))
+	}
+	r := []byte{b[3], b[2], b[1], b[0]}
+	return ieee32{}.Decode(r)
+}
+
+type ieee64le struct{}
+
+func (ieee64le) Name() string { return "ieee64le" }
+func (ieee64le) Size() int    { return 8 }
+
+func (ieee64le) Encode(f float64) ([]byte, error) {
+	b, err := ieee64{}.Encode(f)
+	if err != nil {
+		return nil, err
+	}
+	reverse(b)
+	return b, nil
+}
+
+func (ieee64le) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("machine: ieee64le needs 8 bytes, got %d", len(b))
+	}
+	r := make([]byte, 8)
+	for i := range r {
+		r[i] = b[7-i]
+	}
+	return ieee64{}.Decode(r)
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// cray64 is the Cray-1 single-word floating point format used by the
+// Cray Y-MP: a 64-bit word holding a sign bit, a 15-bit biased binary
+// exponent (bias 040000 octal = 16384), and a 48-bit mantissa with no
+// hidden bit, normalized into [0.5, 1). The representable magnitude
+// range (~1e-2466 .. ~1e2466) vastly exceeds IEEE-754 double, which is
+// why Cray-to-IEEE conversion can fail; the mantissa is 4 bits
+// narrower than IEEE double's 52+1, so IEEE-to-Cray conversion loses
+// precision. Note the Y-MP had no 32-bit float: Fortran REAL on a Cray
+// is this 64-bit word, so a Cray architecture uses cray64 for both
+// single and double precision.
+type cray64 struct{}
+
+const (
+	crayBias    = 0o40000 // 16384
+	crayExpMin  = 0o20000 // hardware valid exponent range lower bound
+	crayExpMax  = 0o57777 // upper bound
+	crayManBits = 48
+)
+
+func (cray64) Name() string { return "cray64" }
+func (cray64) Size() int    { return 8 }
+
+func (cray64) Encode(f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// Cray hardware had no NaN or infinity; arriving at one here
+		// means the computation already failed.
+		return nil, &RangeError{Value: f, Format: "cray64", Detail: "no NaN/Inf representation"}
+	}
+	if f == 0 {
+		return make([]byte, 8), nil
+	}
+	sign := uint64(0)
+	if math.Signbit(f) {
+		sign = 1
+		f = -f
+	}
+	frac, exp := math.Frexp(f) // f = frac * 2^exp, frac in [0.5, 1)
+	e := exp + crayBias
+	if e > crayExpMax {
+		return nil, &RangeError{Value: f, Format: "cray64", Detail: "exponent overflow"}
+	}
+	if e < crayExpMin {
+		// Underflow flushes to zero, as the hardware did.
+		return make([]byte, 8), nil
+	}
+	// Round the 53-bit fraction to 48 bits.
+	man := uint64(math.Round(frac * (1 << crayManBits)))
+	if man == 1<<crayManBits {
+		// Rounding carried out of the mantissa; renormalize.
+		man >>= 1
+		e++
+		if e > crayExpMax {
+			return nil, &RangeError{Value: f, Format: "cray64", Detail: "exponent overflow after rounding"}
+		}
+	}
+	word := sign<<63 | uint64(e)<<48 | man&(1<<crayManBits-1)
+	// The mantissa's leading bit is implicit in the word layout used
+	// here: normalized values have man in [2^47, 2^48), so bit 47 is
+	// always set and stored.
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(word >> (56 - 8*i))
+	}
+	return b, nil
+}
+
+func (cray64) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("machine: cray64 needs 8 bytes, got %d", len(b))
+	}
+	var word uint64
+	for i := 0; i < 8; i++ {
+		word = word<<8 | uint64(b[i])
+	}
+	if word == 0 {
+		return 0, nil
+	}
+	sign := word >> 63
+	e := int((word >> 48) & 0x7fff)
+	man := word & (1<<crayManBits - 1)
+	if man == 0 {
+		return 0, nil
+	}
+	frac := float64(man) / (1 << crayManBits)
+	f := math.Ldexp(frac, e-crayBias)
+	if math.IsInf(f, 0) {
+		// A genuine Cray value too large for IEEE double: the exact
+		// situation section 4.1 of the paper discusses. Error, do not
+		// saturate.
+		return 0, &RangeError{Format: "ieee64", Detail: fmt.Sprintf("cray64 exponent %d exceeds IEEE double range", e-crayBias)}
+	}
+	if sign == 1 {
+		f = -f
+	}
+	return f, nil
+}
+
+// ibmHex64 is the IBM System/360-heritage long hexadecimal float: sign
+// bit, 7-bit excess-64 base-16 exponent, 56-bit fraction in [1/16, 1).
+// Its maximum magnitude (~7.2e75) is far below IEEE double's, so an
+// IEEE value produced on a workstation can fail to convert when sent
+// toward such a machine — the opposite failure direction from Cray.
+type ibmHex64 struct{}
+
+func (ibmHex64) Name() string { return "ibmhex64" }
+func (ibmHex64) Size() int    { return 8 }
+
+func (ibmHex64) Encode(f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, &RangeError{Value: f, Format: "ibmhex64", Detail: "no NaN/Inf representation"}
+	}
+	if f == 0 {
+		return make([]byte, 8), nil
+	}
+	sign := uint64(0)
+	if math.Signbit(f) {
+		sign = 1
+		f = -f
+	}
+	frac, exp2 := math.Frexp(f)
+	// Convert binary exponent to base-16: find e4 with f = g * 16^e4,
+	// g in [1/16, 1).
+	e4 := (exp2 + 3) >> 2 // ceil division toward +inf for normalization
+	shift := e4*4 - exp2  // 0..3 leading zero bits in the fraction
+	g := frac / float64(uint64(1)<<shift)
+	e := e4 + 64
+	if e > 127 {
+		return nil, &RangeError{Value: f, Format: "ibmhex64", Detail: "exponent overflow"}
+	}
+	if e < 0 {
+		return make([]byte, 8), nil // underflow to zero
+	}
+	man := uint64(math.Round(g * (1 << 56)))
+	if man >= 1<<56 {
+		man >>= 4
+		e++
+		if e > 127 {
+			return nil, &RangeError{Value: f, Format: "ibmhex64", Detail: "exponent overflow after rounding"}
+		}
+	}
+	word := sign<<63 | uint64(e)<<56 | man
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(word >> (56 - 8*i))
+	}
+	return b, nil
+}
+
+func (ibmHex64) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("machine: ibmhex64 needs 8 bytes, got %d", len(b))
+	}
+	var word uint64
+	for i := 0; i < 8; i++ {
+		word = word<<8 | uint64(b[i])
+	}
+	if word&^(1<<63) == 0 {
+		return 0, nil
+	}
+	sign := word >> 63
+	e := int((word>>56)&0x7f) - 64
+	man := word & (1<<56 - 1)
+	f := float64(man) / (1 << 56) * math.Pow(16, float64(e))
+	if sign == 1 {
+		f = -f
+	}
+	return f, nil
+}
+
+// vaxD64 is the DEC VAX D_floating format (Convex's native mode was
+// VAX-compatible): sign, 8-bit excess-128 binary exponent, 55-bit
+// stored fraction with a hidden leading bit, value = 0.1f * 2^(e-128).
+// Its range tops out near 1.7e38 — IEEE-double values beyond that fail
+// to convert. The historical VAX PDP-11 middle-endian byte shuffle is
+// not reproduced; byte order is carried by the Arch, and the format
+// semantics (range, precision, no infinities) are what matter to UTS.
+type vaxD64 struct{}
+
+func (vaxD64) Name() string { return "vaxd64" }
+func (vaxD64) Size() int    { return 8 }
+
+func (vaxD64) Encode(f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, &RangeError{Value: f, Format: "vaxd64", Detail: "no NaN/Inf representation"}
+	}
+	if f == 0 {
+		return make([]byte, 8), nil
+	}
+	sign := uint64(0)
+	if math.Signbit(f) {
+		sign = 1
+		f = -f
+	}
+	frac, exp := math.Frexp(f) // frac in [0.5,1) = 0.1xxx binary
+	e := exp + 128
+	if e > 255 {
+		return nil, &RangeError{Value: f, Format: "vaxd64", Detail: "exponent overflow"}
+	}
+	if e < 1 {
+		return make([]byte, 8), nil
+	}
+	// frac in [0.5,1): hidden bit is the 0.5; store the next 55 bits.
+	man := uint64(math.Round((frac*2 - 1) * (1 << 55)))
+	if man >= 1<<55 {
+		man = 0
+		e++
+		if e > 255 {
+			return nil, &RangeError{Value: f, Format: "vaxd64", Detail: "exponent overflow after rounding"}
+		}
+	}
+	word := sign<<63 | uint64(e)<<55 | man
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(word >> (56 - 8*i))
+	}
+	return b, nil
+}
+
+func (vaxD64) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("machine: vaxd64 needs 8 bytes, got %d", len(b))
+	}
+	var word uint64
+	for i := 0; i < 8; i++ {
+		word = word<<8 | uint64(b[i])
+	}
+	e := int((word >> 55) & 0xff)
+	if e == 0 {
+		return 0, nil
+	}
+	sign := word >> 63
+	man := word & (1<<55 - 1)
+	frac := 0.5 + float64(man)/(1<<56)
+	f := math.Ldexp(frac, e-128)
+	if sign == 1 {
+		f = -f
+	}
+	return f, nil
+}
+
+// Exported codec singletons.
+var (
+	IEEE32BE FloatCodec = ieee32{}
+	IEEE64BE FloatCodec = ieee64{}
+	IEEE32LE FloatCodec = ieee32le{}
+	IEEE64LE FloatCodec = ieee64le{}
+	Cray64   FloatCodec = cray64{}
+	IBMHex64 FloatCodec = ibmHex64{}
+	VAXD64   FloatCodec = vaxD64{}
+)

@@ -1,0 +1,178 @@
+package msgpass
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"npss/internal/machine"
+	"npss/internal/netsim"
+	"npss/internal/schooner"
+)
+
+func rig(t *testing.T) (*schooner.SimTransport, func()) {
+	t.Helper()
+	n := netsim.New()
+	n.MustAddHost("a", machine.SPARC)
+	n.MustAddHost("b", machine.CrayYMP)
+	return schooner.NewSimTransport(n), func() {}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	b := NewBuffer().
+		PackFloat64(3.5).
+		PackInt32(-7).
+		PackString("duct").
+		PackFloats([]float64{1, 2, 3})
+	// Unpack in the same order.
+	if v, err := b.UnpackFloat64(); err != nil || v != 3.5 {
+		t.Errorf("float64: %g, %v", v, err)
+	}
+	if v, err := b.UnpackInt32(); err != nil || v != -7 {
+		t.Errorf("int32: %d, %v", v, err)
+	}
+	if v, err := b.UnpackString(); err != nil || v != "duct" {
+		t.Errorf("string: %q, %v", v, err)
+	}
+	fs, err := b.UnpackFloats()
+	if err != nil || len(fs) != 3 || fs[2] != 3 {
+		t.Errorf("floats: %v, %v", fs, err)
+	}
+	// Past end.
+	if _, err := b.UnpackFloat64(); err == nil {
+		t.Error("unpack past end succeeded")
+	}
+}
+
+func TestUnpackTypeMismatch(t *testing.T) {
+	b := NewBuffer().PackInt32(5)
+	if _, err := b.UnpackFloat64(); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Errorf("type mismatch not caught: %v", err)
+	}
+	// Order matters, like PVM.
+	b2 := NewBuffer().PackString("x").PackFloat64(1)
+	if _, err := b2.UnpackFloat64(); err == nil {
+		t.Error("out-of-order unpack succeeded")
+	}
+}
+
+func TestTruncatedBuffers(t *testing.T) {
+	full := NewBuffer().PackFloats([]float64{1, 2, 3})
+	cut := &Buffer{data: full.data[:len(full.data)-4]}
+	if _, err := cut.UnpackFloats(); err == nil {
+		t.Error("truncated array unpacked")
+	}
+	cutStr := &Buffer{data: NewBuffer().PackString("hello").data[:4]}
+	if _, err := cutStr.UnpackString(); err == nil {
+		t.Error("truncated string unpacked")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	tr, done := rig(t)
+	defer done()
+	master, err := Spawn(tr, "a", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	worker, err := Spawn(tr, "b", "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src, buf, err := worker.Recv(100)
+		if err != nil {
+			t.Errorf("worker recv: %v", err)
+			return
+		}
+		if src != "master" {
+			t.Errorf("src = %q", src)
+		}
+		x, _ := buf.UnpackFloat64()
+		reply := NewBuffer().PackFloat64(x * 2)
+		worker.Send("a", "master", 200, reply)
+	}()
+
+	if err := master.Send("b", "worker", 100, NewBuffer().PackFloat64(21)); err != nil {
+		t.Fatal(err)
+	}
+	src, buf, err := master.Recv(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "worker" {
+		t.Errorf("src = %q", src)
+	}
+	if v, _ := buf.UnpackFloat64(); v != 42 {
+		t.Errorf("reply = %g", v)
+	}
+	wg.Wait()
+}
+
+func TestRecvByTagAndWildcard(t *testing.T) {
+	tr, done := rig(t)
+	defer done()
+	a, _ := Spawn(tr, "a", "a")
+	b, _ := Spawn(tr, "b", "b")
+	defer a.Close()
+	defer b.Close()
+	// Send tags out of order; Recv by tag selects regardless of
+	// arrival order.
+	a.Send("b", "b", 1, NewBuffer().PackInt32(1))
+	a.Send("b", "b", 2, NewBuffer().PackInt32(2))
+	if _, buf, err := b.Recv(2); err != nil {
+		t.Fatal(err)
+	} else if v, _ := buf.UnpackInt32(); v != 2 {
+		t.Errorf("tag 2 message holds %d", v)
+	}
+	if src, buf, err := b.Recv(-1); err != nil || src != "a" {
+		t.Fatalf("wildcard recv: %v", err)
+	} else if v, _ := buf.UnpackInt32(); v != 1 {
+		t.Errorf("wildcard message holds %d", v)
+	}
+}
+
+func TestSendToMissingTask(t *testing.T) {
+	tr, done := rig(t)
+	defer done()
+	a, _ := Spawn(tr, "a", "a")
+	defer a.Close()
+	if err := a.Send("b", "ghost", 1, NewBuffer()); err == nil {
+		t.Error("send to missing task succeeded")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	tr, done := rig(t)
+	defer done()
+	a, _ := Spawn(tr, "a", "solo")
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := a.Recv(5)
+		errc <- err
+	}()
+	a.Close()
+	if err := <-errc; err == nil {
+		t.Error("Recv returned nil after close")
+	}
+	a.Close() // idempotent
+}
+
+func TestDuplicateTaskName(t *testing.T) {
+	tr, done := rig(t)
+	defer done()
+	a, _ := Spawn(tr, "a", "dup")
+	defer a.Close()
+	if _, err := Spawn(tr, "a", "dup"); err == nil {
+		t.Error("duplicate task name on one host accepted")
+	}
+	if a.Name() != "dup" || a.Addr() == "" {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"npss/internal/wire"
+)
+
+// delivery is one message in flight with its simulated arrival time.
+type delivery struct {
+	msg     *wire.Message
+	arrival time.Time // real-clock arrival under the current TimeScale
+}
+
+// queue is one direction of a connection.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []delivery
+	closed bool
+	// lastArrival keeps deliveries in order: a message cannot arrive
+	// before its predecessor on the same direction.
+	lastArrival time.Time
+	// busyUntil models link serialization under a nonzero TimeScale: a
+	// message's transmission cannot start before the previous one has
+	// finished transmitting.
+	busyUntil time.Time
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pushShaped enqueues a message whose transmission takes serial time
+// on the link (serialized behind earlier messages) followed by prop
+// propagation delay, both already scaled by the network's TimeScale.
+func (q *queue) pushShaped(msg *wire.Message, serial, prop time.Duration) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("netsim: send on closed connection")
+	}
+	now := time.Now()
+	start := now
+	if q.busyUntil.After(start) {
+		start = q.busyUntil
+	}
+	q.busyUntil = start.Add(serial)
+	arrival := q.busyUntil.Add(prop)
+	if arrival.Before(q.lastArrival) {
+		arrival = q.lastArrival
+	}
+	q.lastArrival = arrival
+	q.items = append(q.items, delivery{msg: msg, arrival: arrival})
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) pop() (delivery, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return delivery{}, fmt.Errorf("netsim: connection closed")
+	}
+	d := q.items[0]
+	q.items = q.items[1:]
+	return d, nil
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// simConn is one endpoint of a shaped in-memory connection.
+type simConn struct {
+	net        *Network
+	link       LinkSpec
+	local      string
+	remote     string
+	in, out    *queue
+	closedOnce sync.Once
+}
+
+// newConnPair builds the two endpoints of a connection traversing the
+// given link.
+func newConnPair(n *Network, link LinkSpec, clientHost, serverHost string) (client, server *simConn) {
+	a2b := newQueue()
+	b2a := newQueue()
+	client = &simConn{net: n, link: link, local: clientHost, remote: serverHost, in: b2a, out: a2b}
+	server = &simConn{net: n, link: link, local: serverHost, remote: clientHost, in: a2b, out: b2a}
+	return client, server
+}
+
+// Send shapes and enqueues a message toward the peer. The simulated
+// delay (latency plus serialization) is recorded on the link; the
+// receiver sleeps the TimeScale-scaled portion of it.
+func (c *simConn) Send(m *wire.Message) error {
+	if c.net.pathDown(c.local, c.remote) {
+		return fmt.Errorf("netsim: link %s-%s down", c.local, c.remote)
+	}
+	body, err := m.Encode(nil)
+	if err != nil {
+		return err
+	}
+	// Copy via decode so the receiver cannot share mutable state with
+	// the sender — the same isolation a real network provides.
+	copyMsg, err := wire.DecodeMessage(body)
+	if err != nil {
+		return err
+	}
+	delay := c.link.Delay(len(body))
+	c.net.account(c.link, len(body), delay)
+	scale := c.net.scale()
+	serial := time.Duration(float64(delay-c.link.Latency) * scale) // transmission time
+	prop := time.Duration(float64(c.link.Latency) * scale)
+	return c.out.pushShaped(copyMsg, serial, prop)
+}
+
+// Recv blocks for the next message, honoring its shaped arrival time.
+func (c *simConn) Recv() (*wire.Message, error) {
+	d, err := c.in.pop()
+	if err != nil {
+		return nil, err
+	}
+	if wait := time.Until(d.arrival); wait > 0 {
+		time.Sleep(wait)
+	}
+	if c.net.pathDown(c.local, c.remote) {
+		return nil, fmt.Errorf("netsim: link %s-%s down", c.local, c.remote)
+	}
+	return d.msg, nil
+}
+
+// Close closes both directions; peers see closed-connection errors
+// after draining queued messages.
+func (c *simConn) Close() error {
+	c.closedOnce.Do(func() {
+		c.in.close()
+		c.out.close()
+	})
+	return nil
+}
+
+// RemoteLabel names the peer host.
+func (c *simConn) RemoteLabel() string { return c.remote }

@@ -1,0 +1,389 @@
+// Package netsim emulates the NPSS testbed's machines and networks: a
+// set of named hosts, each with a simulated machine architecture, and
+// shaped links between them with configurable one-way latency and
+// bandwidth. It stands in for the local Ethernet, the multi-gateway
+// building networks, and the 1993 Internet paths between NASA Lewis
+// Research Center and The University of Arizona used in the paper's
+// Table 1 and Table 2 experiments.
+//
+// Connections carry whole wire.Messages. Each message is charged the
+// link's one-way latency plus its serialization time (size divided by
+// bandwidth), serialized behind earlier messages on the same
+// direction of the connection. Two clocks are kept: the full simulated
+// delay is always recorded in the per-link statistics, while the
+// actual goroutine sleep is multiplied by the network's TimeScale so
+// that an "Internet" experiment need not really take minutes. Links
+// and hosts can be marked down for failure injection.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"npss/internal/machine"
+	"npss/internal/wire"
+)
+
+// LinkSpec describes the network path between two hosts.
+type LinkSpec struct {
+	// Name labels the path in statistics ("local Ethernet").
+	Name string
+	// Latency is the one-way propagation delay per message.
+	Latency time.Duration
+	// Bandwidth is in bytes per second; zero means infinite.
+	Bandwidth float64
+}
+
+// Delay computes the simulated one-way delay of a message of n bytes.
+func (l LinkSpec) Delay(n int) time.Duration {
+	d := l.Latency
+	if l.Bandwidth > 0 {
+		d += time.Duration(float64(n) / l.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Canonical link presets matching the paper's Table 1 network column.
+// Numbers are period-plausible: 10 Mbit/s shared Ethernet, building
+// backbones crossing several gateways, and a T1-grade 1993 Internet
+// path between Ohio and Arizona.
+var (
+	// Loopback connects a host to itself.
+	Loopback = LinkSpec{Name: "loopback", Latency: 50 * time.Microsecond, Bandwidth: 100e6}
+	// LocalEthernet is a shared 10 Mbit/s segment.
+	LocalEthernet = LinkSpec{Name: "local Ethernet", Latency: 1 * time.Millisecond, Bandwidth: 1.25e6}
+	// MultiGateway is a same-building path crossing multiple gateways.
+	MultiGateway = LinkSpec{Name: "same building, multiple gateways", Latency: 5 * time.Millisecond, Bandwidth: 1e6}
+	// Internet1993 is the wide-area path between NASA Lewis (Cleveland)
+	// and The University of Arizona (Tucson) circa 1993.
+	Internet1993 = LinkSpec{Name: "via Internet", Latency: 45 * time.Millisecond, Bandwidth: 150e3}
+)
+
+// LinkStats accumulates traffic accounting for one link.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+	// SimDelay is the total simulated delay experienced by messages on
+	// the link (the unscaled clock).
+	SimDelay time.Duration
+}
+
+// Network is a collection of hosts and links.
+type Network struct {
+	mu          sync.Mutex
+	hosts       map[string]*Host
+	links       map[[2]string]LinkSpec
+	defaultLink LinkSpec
+	stats       map[string]*LinkStats
+	timeScale   float64
+	downHosts   map[string]bool
+	downLinks   map[[2]string]bool
+}
+
+// New creates an empty network. The default link between hosts without
+// an explicit link is LocalEthernet, and the default TimeScale is 0
+// (no real sleeping; simulated delays are recorded but not waited
+// for). Set a nonzero TimeScale to make wall-clock measurements
+// reflect network shape.
+func New() *Network {
+	return &Network{
+		hosts:       make(map[string]*Host),
+		links:       make(map[[2]string]LinkSpec),
+		defaultLink: LocalEthernet,
+		stats:       make(map[string]*LinkStats),
+		downHosts:   make(map[string]bool),
+		downLinks:   make(map[[2]string]bool),
+	}
+}
+
+// SetTimeScale sets the fraction of simulated network delay that is
+// actually slept: 1.0 gives real-time emulation, 0 disables sleeping.
+func (n *Network) SetTimeScale(s float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.timeScale = s
+}
+
+// SetDefaultLink sets the link used between host pairs that have no
+// explicit link.
+func (n *Network) SetDefaultLink(l LinkSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLink = l
+}
+
+// AddHost creates a host with the given simulated architecture.
+func (n *Network) AddHost(name string, arch *machine.Arch) (*Host, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("netsim: host %q needs an architecture", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[name]; dup {
+		return nil, fmt.Errorf("netsim: duplicate host %q", name)
+	}
+	h := &Host{name: name, arch: arch, net: n, listeners: make(map[string]*Listener)}
+	n.hosts[name] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost for static topology construction.
+func (n *Network) MustAddHost(name string, arch *machine.Arch) *Host {
+	h, err := n.AddHost(name, arch)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Host returns the named host.
+func (n *Network) Host(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("netsim: unknown host %q", name)
+}
+
+// Hosts lists host names, sorted.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLink installs a bidirectional link between two hosts.
+func (n *Network) SetLink(a, b string, l LinkSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey(a, b)] = l
+}
+
+// linkFor resolves the link spec between two hosts.
+func (n *Network) linkFor(a, b string) LinkSpec {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if a == b {
+		if l, ok := n.links[linkKey(a, b)]; ok {
+			return l
+		}
+		return Loopback
+	}
+	if l, ok := n.links[linkKey(a, b)]; ok {
+		return l
+	}
+	return n.defaultLink
+}
+
+// SetHostDown marks a host up or down. Dials to or from a down host
+// fail, and messages in flight to it are dropped with an error on the
+// receiving side.
+func (n *Network) SetHostDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downHosts[name] = down
+}
+
+// SetLinkDown marks the path between two hosts up or down.
+func (n *Network) SetLinkDown(a, b string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downLinks[linkKey(a, b)] = down
+}
+
+func (n *Network) pathDown(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.downHosts[a] || n.downHosts[b] || n.downLinks[linkKey(a, b)]
+}
+
+func (n *Network) scale() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.timeScale
+}
+
+func (n *Network) account(link LinkSpec, bytes int, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.stats[link.Name]
+	if !ok {
+		st = &LinkStats{}
+		n.stats[link.Name] = st
+	}
+	st.Messages++
+	st.Bytes += int64(bytes)
+	st.SimDelay += delay
+}
+
+// Stats returns a copy of the per-link statistics keyed by link name.
+func (n *Network) Stats() map[string]LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]LinkStats, len(n.stats))
+	for k, v := range n.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// TotalSimDelay sums the simulated delay over all links: the network
+// component of a run's simulated duration.
+func (n *Network) TotalSimDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total time.Duration
+	for _, st := range n.stats {
+		total += st.SimDelay
+	}
+	return total
+}
+
+// ResetStats zeroes the traffic accounting.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = make(map[string]*LinkStats)
+}
+
+// Host is one simulated machine on the network.
+type Host struct {
+	name string
+	arch *machine.Arch
+	net  *Network
+
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	nextPort  int
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Arch returns the host's simulated architecture.
+func (h *Host) Arch() *machine.Arch { return h.arch }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Listen opens a named port on the host. An empty port name allocates
+// a fresh ephemeral name. The returned listener's Addr is
+// "host:port", dialable from any host on the network.
+func (h *Host) Listen(port string) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port == "" {
+		h.nextPort++
+		port = fmt.Sprintf("ephemeral-%d", h.nextPort)
+	}
+	if _, dup := h.listeners[port]; dup {
+		return nil, fmt.Errorf("netsim: port %q already in use on %s", port, h.name)
+	}
+	l := &Listener{
+		host:    h,
+		port:    port,
+		backlog: make(chan *simConn, 16),
+		done:    make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+func (h *Host) removeListener(port string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.listeners, port)
+}
+
+// Dial connects from this host to "host:port" elsewhere on the
+// network, returning the client side of the connection.
+func (h *Host) Dial(addr string) (wire.Conn, error) {
+	target, port, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	peer, err := h.net.Host(target)
+	if err != nil {
+		return nil, err
+	}
+	if h.net.pathDown(h.name, target) {
+		return nil, fmt.Errorf("netsim: no route from %s to %s (down)", h.name, target)
+	}
+	peer.mu.Lock()
+	l, ok := peer.listeners[port]
+	peer.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %s has no listener on %q", target, port)
+	}
+	link := h.net.linkFor(h.name, target)
+	client, server := newConnPair(h.net, link, h.name, target)
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: connection refused: listener on %s closed", addr)
+	}
+}
+
+// SplitAddr splits "host:port" into its components.
+func SplitAddr(addr string) (host, port string, err error) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			if i == 0 || i == len(addr)-1 {
+				break
+			}
+			return addr[:i], addr[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("netsim: address %q not of form host:port", addr)
+}
+
+// JoinAddr forms "host:port".
+func JoinAddr(host, port string) string { return host + ":" + port }
+
+// Listener accepts connections on a host port.
+type Listener struct {
+	host    *Host
+	port    string
+	backlog chan *simConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Addr returns the dialable "host:port" address.
+func (l *Listener) Addr() string { return JoinAddr(l.host.name, l.port) }
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (wire.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, io.EOF
+	}
+}
+
+// Close shuts the listener; blocked Accepts return io.EOF.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.host.removeListener(l.port)
+	})
+	return nil
+}

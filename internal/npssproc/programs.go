@@ -1,0 +1,132 @@
+// Package npssproc holds the remote procedure files of the adapted
+// TESS modules: the Go equivalents of the paper's npss-setshaft.f /
+// npss-shaft.f (and the corresponding duct, combustor, and nozzle
+// files), together with the client stubs generated from their UTS
+// specifications by the uts-stubgen stub compiler (stubs_gen.go).
+//
+// Each program follows the paper's structure: a set* procedure called
+// once at the start of a steady-state computation to initialize
+// values, and a work procedure called repeatedly during steady-state
+// and transient calculations.
+package npssproc
+
+import (
+	"fmt"
+	"math"
+
+	"npss/internal/engine"
+	"npss/internal/gasdyn"
+	"npss/internal/schooner"
+)
+
+// Executable paths of the four adapted procedure files, as the user
+// would type them into the module's pathname widget.
+const (
+	ShaftPath = "/npss/npss-shaft"
+	DuctPath  = "/npss/npss-duct"
+	CombPath  = "/npss/npss-comb"
+	NozlPath  = "/npss/npss-nozl"
+)
+
+// ShaftProgram builds the npss-shaft procedure file: setshaft and
+// shaft, mirroring the paper's export specification. The energy terms
+// ecom/etur are powers (W); dxspl = ecorr*(sum etur - sum ecom) /
+// (xmyi*xspool), the torque balance divided by inertia.
+func ShaftProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     ShaftPath,
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			setshaft := BindSetshaft(func(ecom []float64, incom int32, etur []float64, intur int32) (float64, error) {
+				if incom < 0 || int(incom) > len(ecom) || intur < 0 || int(intur) > len(etur) {
+					return 0, fmt.Errorf("setshaft: counts %d/%d out of range", incom, intur)
+				}
+				// SI units need no correction factor; a Fortran deck
+				// in mixed units would return its conversion here.
+				return 1.0, nil
+			})
+			shaft := BindShaft(func(ecom []float64, incom int32, etur []float64, intur int32, ecorr, xspool, xmyi float64) (float64, error) {
+				if xspool <= 0 || xmyi <= 0 {
+					return 0, fmt.Errorf("shaft: non-positive spool speed or inertia")
+				}
+				var pc, pt float64
+				for i := int32(0); i < incom && int(i) < len(ecom); i++ {
+					pc += ecom[i]
+				}
+				for i := int32(0); i < intur && int(i) < len(etur); i++ {
+					pt += etur[i]
+				}
+				return ecorr * (pt - pc) / (xmyi * xspool), nil
+			})
+			return schooner.NewInstance(setshaft, shaft)
+		},
+	}
+}
+
+// DuctProgram builds the npss-duct procedure file: setduct sizes the
+// duct's orifice constant from design conditions; duct computes the
+// flow from the surrounding volume states.
+func DuctProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     DuctPath,
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			setduct := BindSetduct(func(wdes, pdes, tdes, fardes, dpdes float64) (float64, error) {
+				return engine.DuctSizeK(wdes, pdes, tdes, fardes, dpdes)
+			})
+			duct := BindDuct(func(xkd, pup, tup, far, pdown float64) (float64, error) {
+				return engine.DuctFlow(xkd, pup, tup, far, pdown)
+			})
+			return schooner.NewInstance(setduct, duct)
+		},
+	}
+}
+
+// CombProgram builds the npss-comb procedure file.
+func CombProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     CombPath,
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			setcomb := BindSetcomb(func(wdes, pdes, tdes, dpdes float64) (float64, error) {
+				return engine.DuctSizeK(wdes, pdes, tdes, 0, dpdes)
+			})
+			comb := BindComb(func(xkc, pup, tup, farup, pdown, wfuel, etab, stator float64) (float64, float64, float64, error) {
+				return engine.CombustorCompute(xkc, pup, tup, farup, pdown, wfuel, etab, stator)
+			})
+			return schooner.NewInstance(setcomb, comb)
+		},
+	}
+}
+
+// NozlProgram builds the npss-nozl procedure file.
+func NozlProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     NozlPath,
+		Language: schooner.LangFortran,
+		Build: func() (*schooner.Instance, error) {
+			setnozl := BindSetnozl(func(wdes, pdes, tdes, fardes, pamb float64) (float64, error) {
+				ff := gasdyn.FlowFunction(pdes/pamb, tdes, fardes)
+				if ff <= 0 {
+					return 0, fmt.Errorf("setnozl: no pressure margin at design")
+				}
+				return wdes * math.Sqrt(tdes) / (ff * pdes), nil
+			})
+			nozl := BindNozl(func(a8, pt, tt, far, pamb, stator float64) (float64, float64, error) {
+				return engine.NozzleCompute(a8, pt, tt, far, pamb, stator)
+			})
+			return schooner.NewInstance(setnozl, nozl)
+		},
+	}
+}
+
+// RegisterAll registers the four adapted procedure files with a
+// Server registry (the deployment's shared filesystem).
+func RegisterAll(reg *schooner.Registry) error {
+	for _, p := range []*schooner.Program{ShaftProgram(), DuctProgram(), CombProgram(), NozlProgram()} {
+		if err := reg.Register(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package schooner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"npss/internal/machine"
+	"npss/internal/trace"
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+// Client is the Schooner communication library as linked into one
+// module (for example an AVS module): it knows which machine it runs
+// on and where the Manager lives.
+type Client struct {
+	Transport Transport
+	// Host is the machine this module executes on.
+	Host string
+	// ManagerHost is the machine the persistent Manager runs on.
+	ManagerHost string
+}
+
+// arch resolves the client's own architecture.
+func (c *Client) arch() (*machine.Arch, error) {
+	return c.Transport.HostArch(c.Host)
+}
+
+// ContactSchx registers the module with the Manager and opens a new
+// line — the call a module makes from its compute function the first
+// time it is scheduled. The returned Line is the module's handle for
+// starting, calling, moving, and shutting down remote procedures.
+func (c *Client) ContactSchx(module string) (*Line, error) {
+	conn, err := c.Transport.Dial(c.Host, c.ManagerHost+":"+ManagerPort)
+	if err != nil {
+		return nil, fmt.Errorf("schooner: cannot reach manager on %s: %w", c.ManagerHost, err)
+	}
+	if err := conn.Send(&wire.Message{Kind: wire.KRegisterLine, Name: module}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Kind != wire.KLineOK {
+		conn.Close()
+		return nil, fmt.Errorf("schooner: register failed: %s", resp.Err)
+	}
+	ln := &Line{
+		client:   c,
+		id:       resp.Line,
+		module:   module,
+		mgr:      conn,
+		imports:  make(map[string]*uts.ProcSpec),
+		bindings: make(map[string]*binding),
+	}
+	return ln, nil
+}
+
+// Line is one thread of control in a Schooner program: a sequential
+// execution of procedures, some of which may be located on remote
+// machines. Lines execute independently of each other with no
+// synchronization; procedure names are unique within a line but may
+// repeat across lines. A Line's methods must be called from one
+// goroutine at a time (a line is, by definition, sequential).
+type Line struct {
+	client *Client
+	id     uint32
+	module string
+
+	mu       sync.Mutex
+	mgr      wire.Conn
+	seq      uint32
+	imports  map[string]*uts.ProcSpec
+	bindings map[string]*binding
+	quit     bool
+}
+
+// binding caches the location of one remote procedure: the paper's
+// per-procedure name cache, refreshed lazily when a call to a stale
+// address fails after a move.
+type binding struct {
+	addr       string
+	exportName string
+	conn       wire.Conn
+}
+
+// ID returns the Manager-assigned line id.
+func (l *Line) ID() uint32 { return l.id }
+
+// Module returns the module name the line registered under.
+func (l *Line) Module() string { return l.module }
+
+// managerCall performs one request/response on the manager connection.
+func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
+	if l.quit {
+		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
+	}
+	l.seq++
+	req.Seq = l.seq
+	if err := l.mgr.Send(req); err != nil {
+		return nil, err
+	}
+	resp, err := l.mgr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KError {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// StartRemote asks the Manager to instantiate the procedure file at
+// path on the given machine and add its exports to this line. The
+// machine and path are exactly what the user selects with the module's
+// radio-button and type-in widgets.
+func (l *Line) StartRemote(path, machineName string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: l.id, Name: path, Str: machineName})
+	return err
+}
+
+// StartShared asks the Manager to instantiate the procedure file as a
+// shared procedure, available to every line. The process is not part
+// of this line and survives this line's shutdown.
+func (l *Line) StartShared(path, machineName string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: 0, Name: path, Str: machineName})
+	return err
+}
+
+// Import registers the import specification this module was compiled
+// against for one procedure; Call uses it for marshaling and the
+// Manager type-checks it against the export at bind time.
+func (l *Line) Import(spec *uts.ProcSpec) error {
+	if spec == nil {
+		return fmt.Errorf("schooner: nil import specification")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.imports[spec.Name]; dup {
+		return fmt.Errorf("schooner: import %q already registered in line %d", spec.Name, l.id)
+	}
+	l.imports[spec.Name] = spec.Clone(false)
+	return nil
+}
+
+// ImportFile registers every import declaration in a specification
+// file.
+func (l *Line) ImportFile(f *uts.SpecFile) error {
+	for _, p := range f.Imports() {
+		if err := l.Import(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookup binds a procedure name, asking the Manager and opening a
+// connection to the procedure process.
+func (l *Line) lookup(name string, imp *uts.ProcSpec) (*binding, error) {
+	resp, err := l.managerCall(&wire.Message{
+		Kind: wire.KLookup, Line: l.id, Name: name,
+		Data: []byte(imp.String()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	conn, err := l.client.Transport.Dial(l.client.Host, resp.Str)
+	if err != nil {
+		return nil, fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, resp.Str, err)
+	}
+	b := &binding{addr: resp.Str, exportName: resp.Name, conn: conn}
+	l.bindings[name] = b
+	return b, nil
+}
+
+// invalidate drops a stale binding.
+func (l *Line) invalidate(name string, b *binding) {
+	if b.conn != nil {
+		b.conn.Close()
+	}
+	delete(l.bindings, name)
+}
+
+// Call invokes the named remote procedure with the given arguments
+// bound to its in-parameters (val and var, in declaration order), and
+// returns the out-parameters (res and var, in declaration order).
+//
+// The data path models the full heterogeneous conversion: arguments
+// pass through this machine's native representation, the UTS
+// interchange format, and the remote machine's native representation;
+// results make the reverse trip. A call that reaches a moved or dead
+// procedure fails, is re-bound through the Manager, and is retried
+// once — the lazy cache-invalidation protocol of section 4.2.
+func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
+	start := time.Now()
+	defer func() { trace.Observe("schooner.client.call", time.Since(start)) }()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quit {
+		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
+	}
+	imp, ok := l.imports[name]
+	if !ok {
+		return nil, fmt.Errorf("schooner: no import specification registered for %q", name)
+	}
+	arch, err := l.client.arch()
+	if err != nil {
+		return nil, err
+	}
+	ins := imp.InParams()
+	if len(args) != len(ins) {
+		return nil, fmt.Errorf("schooner: %s takes %d in-parameters, got %d", name, len(ins), len(args))
+	}
+	// Outbound conversion: native -> UTS.
+	conv := make([]uts.Value, len(args))
+	for i, a := range args {
+		v, err := arch.NativeRoundTrip(a)
+		if err != nil {
+			return nil, fmt.Errorf("schooner: parameter %q: %w", ins[i].Name, err)
+		}
+		conv[i] = v
+	}
+	data, err := uts.EncodeParams(nil, ins, conv)
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		b := l.bindings[name]
+		if b == nil {
+			b, err = l.lookup(name, imp)
+			if err != nil {
+				return nil, err
+			}
+		}
+		reply, err := l.callOnce(b, imp, data)
+		if err == nil {
+			// Inbound conversion: UTS -> native.
+			outs := imp.OutParams()
+			results, err := uts.DecodeParams(reply, outs)
+			if err != nil {
+				return nil, err
+			}
+			for i := range results {
+				v, err := arch.NativeRoundTrip(results[i])
+				if err != nil {
+					return nil, fmt.Errorf("schooner: result %q: %w", outs[i].Name, err)
+				}
+				results[i] = v
+			}
+			trace.Count("schooner.client.calls")
+			return results, nil
+		}
+		lastErr = err
+		if !isStale(err) {
+			return nil, err
+		}
+		// Stale cache: the procedure moved or died. Drop the binding
+		// and ask the Manager again.
+		l.invalidate(name, b)
+		trace.Count("schooner.client.stale")
+	}
+	return nil, fmt.Errorf("schooner: call to %q failed after rebind: %w", name, lastErr)
+}
+
+// callOnce performs one call attempt over a binding.
+func (l *Line) callOnce(b *binding, imp *uts.ProcSpec, data []byte) ([]byte, error) {
+	l.seq++
+	req := &wire.Message{
+		Kind: wire.KCall, Seq: l.seq, Line: l.id,
+		Name: b.exportName, Str: imp.Signature(), Data: data,
+	}
+	if err := b.conn.Send(req); err != nil {
+		return nil, &staleError{err}
+	}
+	resp, err := b.conn.Recv()
+	if err != nil {
+		return nil, &staleError{err}
+	}
+	if resp.Kind == wire.KError {
+		if resp.Err == ErrProcessTerminated {
+			return nil, &staleError{fmt.Errorf("%s", resp.Err)}
+		}
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	if resp.Kind != wire.KReply {
+		return nil, fmt.Errorf("schooner: unexpected %v reply", resp.Kind)
+	}
+	return resp.Data, nil
+}
+
+// staleError marks failures that may be cured by re-binding.
+type staleError struct{ err error }
+
+func (e *staleError) Error() string { return e.err.Error() }
+func (e *staleError) Unwrap() error { return e.err }
+
+func isStale(err error) bool {
+	_, ok := err.(*staleError)
+	return ok
+}
+
+// FlushCache drops every cached procedure binding, forcing the next
+// call to each procedure to re-ask the Manager. Exists for the
+// name-cache ablation experiments; normal programs never need it.
+func (l *Line) FlushCache() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for name, b := range l.bindings {
+		l.invalidate(name, b)
+	}
+}
+
+// Move asks the Manager to relocate the named procedure's process to a
+// new machine. With withState set, the procedure's declared state
+// variables are transferred; otherwise the procedure must be stateless
+// (the fresh copy starts from its initial state).
+func (l *Line) Move(name, newMachine string, withState bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var data []byte
+	if withState {
+		data = []byte("state")
+	}
+	_, err := l.managerCall(&wire.Message{Kind: wire.KMove, Line: l.id, Name: name, Str: newMachine, Data: data})
+	// The cached binding is now stale. As in the paper, caches update
+	// lazily: the next call to the old location fails, resulting in an
+	// automatic re-ask of the Manager.
+	return err
+}
+
+// MoveShared relocates a shared procedure; all lines' future calls
+// follow it.
+func (l *Line) MoveShared(name, newMachine string, withState bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var data []byte
+	if withState {
+		data = []byte("state")
+	}
+	_, err := l.managerCall(&wire.Message{Kind: wire.KMove, Line: 0, Name: name, Str: newMachine, Data: data})
+	return err
+}
+
+// IQuit is sch_i_quit: the module is being destroyed. The Manager
+// shuts down the remote procedures of this line only; other lines and
+// shared procedures are unaffected.
+func (l *Line) IQuit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quit {
+		return nil
+	}
+	_, err := l.managerCall(&wire.Message{Kind: wire.KQuitLine, Line: l.id})
+	l.quit = true
+	for name, b := range l.bindings {
+		l.invalidate(name, b)
+	}
+	l.mgr.Close()
+	return err
+}

@@ -1,0 +1,248 @@
+package schooner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"npss/internal/machine"
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+// TestHostDownDuringCalls injects a machine failure under an active
+// line: calls fail with errors (never hang), and after the machine
+// recovers the line can be rebuilt.
+func TestHostDownDuringCalls(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	ln, _ := d.client("avs-sparc").ContactSchx("m")
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The machine goes down mid-simulation.
+	d.net.SetHostDown("sgi-lerc", true)
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(2)); err == nil {
+		t.Fatal("call to a down machine succeeded")
+	}
+	// It stays failed (the retry path must not loop forever).
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(2)); err == nil {
+		t.Fatal("second call to a down machine succeeded")
+	}
+
+	// After recovery, the user reloads the module: a new line works.
+	// (The old process was lost with the machine; the Manager's
+	// mapping still points at it, so the honest outcome for the old
+	// line is an error — the module's error path then quits the line,
+	// which is the paper's per-line failure semantics.)
+	d.net.SetHostDown("sgi-lerc", false)
+	ln.IQuit()
+	ln2, err := d.client("avs-sparc").ContactSchx("m-reloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.IQuit()
+	// The dead process is gone; the server lost it when the host died?
+	// In this simulation the process objects survive SetHostDown, so a
+	// fresh start gives a fresh, reachable process either way.
+	if err := ln2.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln2.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	out, err := ln2.Call("add", uts.DoubleVal(20), uts.DoubleVal(22))
+	if err != nil || out[0].F != 42 {
+		t.Fatalf("post-recovery call = %v, %v", out, err)
+	}
+}
+
+// TestManagerUnreachable exercises startup failures: no Manager, or a
+// Manager behind a downed link.
+func TestManagerUnreachable(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	// From a host with no route to the manager.
+	d.net.SetLinkDown("sgi-lerc", "avs-sparc", true)
+	c := &Client{Transport: d.tr, Host: "sgi-lerc", ManagerHost: "avs-sparc"}
+	if _, err := c.ContactSchx("stranded"); err == nil {
+		t.Fatal("registration across a down link succeeded")
+	}
+	d.net.SetLinkDown("sgi-lerc", "avs-sparc", false)
+	ln, err := c.ContactSchx("recovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.IQuit()
+}
+
+// TestServerAbsent covers starting on a machine with no Server: the
+// Manager reports the failure to the module.
+func TestServerAbsent(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	// Stop one server; the machine is alive but serverless.
+	d.servers["rs6000"].Stop()
+	ln, _ := d.client("avs-sparc").ContactSchx("m")
+	defer ln.IQuit()
+	err := ln.StartRemote("/npss/adder", "rs6000")
+	if err == nil || !strings.Contains(err.Error(), "rs6000") {
+		t.Fatalf("start on serverless machine: %v", err)
+	}
+	// Other machines unaffected.
+	if err := ln.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMigrationStress moves procedures between machines
+// while other lines keep calling: migrations must never corrupt
+// unrelated lines (run with -race).
+func TestConcurrentMigrationStress(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	imp := uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`)
+
+	const lines = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, lines)
+	for i := 0; i < lines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ln, err := d.client("avs-sparc").ContactSchx(fmt.Sprintf("stress-%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ln.IQuit()
+			if err := ln.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+				errs <- err
+				return
+			}
+			ln.Import(imp)
+			hosts := []string{"rs6000", "sgi-lerc"}
+			for j := 0; j < 20; j++ {
+				if j%5 == 4 {
+					if err := ln.Move("add", hosts[j%2], false); err != nil {
+						errs <- fmt.Errorf("line %d move %d: %w", i, j, err)
+						return
+					}
+				}
+				out, err := ln.Call("add", uts.DoubleVal(float64(i)), uts.DoubleVal(float64(j)))
+				if err != nil {
+					errs <- fmt.Errorf("line %d call %d: %w", i, j, err)
+					return
+				}
+				if out[0].F != float64(i+j) {
+					errs <- fmt.Errorf("line %d call %d: got %g", i, j, out[0].F)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeMessageNeverPanics fuzzes the wire decoder with
+// random byte strings through the schooner-visible entry point: the
+// decoder must reject or accept, never panic (a hostile peer must not
+// crash the Manager).
+func TestQuickDecodeMessageNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, r.Intn(200))
+		r.Read(buf)
+		_, _ = wire.DecodeMessage(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProcessRejectsGarbageCalls sends malformed calls directly to a
+// procedure process: wrong signatures, wrong payloads, unknown kinds.
+func TestProcessRejectsGarbageCalls(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	ln, _ := d.client("avs-sparc").ContactSchx("m")
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Find the process address via a manager lookup by hand.
+	mgrConn, err := d.tr.Dial("avs-sparc", "avs-sparc:"+ManagerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgrConn.Close()
+	// Hostile direct connection (reusing the line's binding address is
+	// not exposed; dial the process through a fresh lookup on the same
+	// line id is not possible from another conn, so go through the
+	// line's own cache by calling once more and capturing the addr via
+	// the manager database listing instead).
+	host, _ := d.net.Host("sgi-lerc")
+	_ = host
+	// Simplest hostile path: send garbage to the process through a
+	// conn obtained from the line's binding.
+	b := ln.bindings["add"]
+	if b == nil {
+		t.Fatal("no binding cached")
+	}
+	hostile, err := d.tr.Dial("avs-sparc", b.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostile.Close()
+	cases := []*wire.Message{
+		{Kind: wire.KCall, Name: "add", Str: "not a signature", Data: nil},
+		{Kind: wire.KCall, Name: "add", Str: `prog("a" val double, "b" val double, "sum" res double)`, Data: []byte{1, 2}},
+		{Kind: wire.KCall, Name: "missing", Str: `prog()`},
+		{Kind: wire.KStateGet, Name: "add"},
+		{Kind: wire.KLookup, Name: "add"},
+	}
+	for i, m := range cases {
+		if err := hostile.Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		resp, err := hostile.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Kind != wire.KError {
+			t.Errorf("case %d: got %v, want error", i, resp.Kind)
+		}
+	}
+	// The line still works after the hostile traffic.
+	if out, err := ln.Call("add", uts.DoubleVal(2), uts.DoubleVal(3)); err != nil || out[0].F != 5 {
+		t.Fatalf("line broken after hostile traffic: %v, %v", out, err)
+	}
+}
+
+// TestCrayArchPresence double-checks the deployment helper wiring used
+// above.
+func TestCrayArchPresence(t *testing.T) {
+	if machine.CrayYMP.Name != "cray-ymp" {
+		t.Fatal("unexpected arch registry")
+	}
+}

@@ -1,0 +1,597 @@
+package schooner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"npss/internal/trace"
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+// Manager is the central Schooner system process: it starts and shuts
+// down procedure processes (through the per-machine Servers),
+// maintains the table of exported procedures and their locations, and
+// performs runtime type-checking of procedure calls against the UTS
+// specifications.
+//
+// In the extended model the Manager is persistent: it outlives any one
+// simulation run and serves multiple lines, each with its own
+// procedure name database, plus one database of shared procedures
+// available to every line.
+type Manager struct {
+	transport Transport
+	host      string
+	listener  Listener
+
+	mu       sync.Mutex
+	nextLine uint32
+	lines    map[uint32]*line
+	shared   *line // line id 0: the shared procedure database
+	stopped  bool
+}
+
+// line is one thread of control and its procedure name database.
+type line struct {
+	id     uint32
+	module string
+	// names maps every lookup name (canonical plus case synonyms for
+	// Fortran procedures) to its procedure reference.
+	names map[string]*procRef
+	// processes tracks the procedure processes belonging to the line,
+	// keyed by address; one process may export several procedures.
+	processes map[string]*remoteProc
+}
+
+// remoteProc is the Manager's record of one procedure process.
+type remoteProc struct {
+	path     string
+	host     string
+	addr     string
+	language Language
+	exports  []*uts.ProcSpec
+}
+
+// procRef binds one lookup name to its process and export spec.
+type procRef struct {
+	proc *remoteProc
+	spec *uts.ProcSpec
+}
+
+// StartManager launches the Manager on a host. It listens on
+// ManagerPort and runs until Stop.
+func StartManager(t Transport, host string) (*Manager, error) {
+	l, err := t.Listen(host, ManagerPort)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		transport: t,
+		host:      host,
+		listener:  l,
+		lines:     make(map[uint32]*line),
+		shared:    newLine(0, "<shared>"),
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+func newLine(id uint32, module string) *line {
+	return &line{
+		id:        id,
+		module:    module,
+		names:     make(map[string]*procRef),
+		processes: make(map[string]*remoteProc),
+	}
+}
+
+// Host returns the machine the Manager runs on.
+func (m *Manager) Host() string { return m.host }
+
+// Addr returns the Manager's dialable address.
+func (m *Manager) Addr() string { return m.listener.Addr() }
+
+// Stop shuts down the Manager and every procedure process in every
+// line, including shared procedures.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	var procs []*remoteProc
+	for _, ln := range m.lines {
+		for _, p := range ln.processes {
+			procs = append(procs, p)
+		}
+	}
+	for _, p := range m.shared.processes {
+		procs = append(procs, p)
+	}
+	m.lines = make(map[uint32]*line)
+	m.shared = newLine(0, "<shared>")
+	m.mu.Unlock()
+	m.listener.Close()
+	for _, p := range procs {
+		m.shutdownProcess(p)
+	}
+}
+
+// LineCount reports the number of live lines (excluding shared).
+func (m *Manager) LineCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lines)
+}
+
+// Lines describes the live lines for diagnostics: "id module" sorted
+// by id.
+func (m *Manager) Lines() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]int, 0, len(m.lines))
+	for id := range m.lines {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		ln := m.lines[uint32(id)]
+		out[i] = fmt.Sprintf("%d %s", id, ln.module)
+	}
+	return out
+}
+
+func (m *Manager) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		go m.serve(conn)
+	}
+}
+
+// serve handles one module connection. A connection registers at most
+// one line; if the connection drops while its line is still live, the
+// Manager treats it as a module failure and shuts the line down —
+// "when an AVS module is removed from the network or an error occurs,
+// the Manager terminates only the remote procedures within the
+// affected line."
+func (m *Manager) serve(conn wire.Conn) {
+	defer conn.Close()
+	var registered uint32
+	var quit bool
+	defer func() {
+		if registered != 0 && !quit {
+			m.quitLine(registered)
+		}
+	}()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var resp *wire.Message
+		switch req.Kind {
+		case wire.KRegisterLine:
+			if registered != 0 {
+				resp = errMsg("schooner: connection already registered line %d", registered)
+				break
+			}
+			id := m.registerLine(req.Name)
+			if id == 0 {
+				resp = errMsg("schooner: manager stopped")
+				break
+			}
+			registered = id
+			resp = &wire.Message{Kind: wire.KLineOK, Line: id}
+		case wire.KStartProc:
+			resp = m.handleStartProc(registered, req)
+		case wire.KLookup:
+			resp = m.handleLookup(registered, req)
+		case wire.KMove:
+			resp = m.handleMove(registered, req)
+		case wire.KQuitLine:
+			if registered == 0 {
+				resp = errMsg("schooner: no line registered on this connection")
+				break
+			}
+			m.quitLine(registered)
+			quit = true
+			resp = &wire.Message{Kind: wire.KQuitOK}
+		case wire.KShutdown:
+			resp = &wire.Message{Kind: wire.KShutdownOK}
+			resp.Seq = req.Seq
+			_ = conn.Send(resp)
+			quit = true
+			m.Stop()
+			return
+		case wire.KPing:
+			resp = &wire.Message{Kind: wire.KPong}
+		default:
+			resp = errMsg("schooner: manager cannot handle %v", req.Kind)
+		}
+		resp.Seq = req.Seq
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+func errMsg(format string, args ...any) *wire.Message {
+	return &wire.Message{Kind: wire.KError, Err: fmt.Sprintf(format, args...)}
+}
+
+func (m *Manager) registerLine(module string) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return 0
+	}
+	m.nextLine++
+	id := m.nextLine
+	m.lines[id] = newLine(id, module)
+	trace.Count("schooner.manager.lines")
+	return id
+}
+
+// lineFor resolves a request's target database: the connection's own
+// line, or the shared database when the request says line 0.
+func (m *Manager) lineFor(registered, requested uint32) (*line, *wire.Message) {
+	if registered == 0 {
+		return nil, errMsg("schooner: no line registered on this connection")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if requested == 0 {
+		return m.shared, nil
+	}
+	if requested != registered {
+		return nil, errMsg("schooner: line %d does not belong to this connection", requested)
+	}
+	ln, ok := m.lines[requested]
+	if !ok {
+		return nil, errMsg("schooner: line %d no longer exists", requested)
+	}
+	return ln, nil
+}
+
+// handleStartProc asks the target machine's Server to instantiate the
+// procedure file, then records its exports in the line's database.
+func (m *Manager) handleStartProc(registered uint32, req *wire.Message) *wire.Message {
+	ln, errResp := m.lineFor(registered, req.Line)
+	if errResp != nil {
+		return errResp
+	}
+	path, host := req.Name, req.Str
+	if path == "" || host == "" {
+		return errMsg("schooner: start request needs a path and a machine")
+	}
+	proc, specs, err := m.spawn(host, path)
+	if err != nil {
+		return errMsg("schooner: starting %s on %s: %v", path, host, err)
+	}
+	if err := m.install(ln, proc, specs); err != nil {
+		m.shutdownProcess(proc)
+		return errMsg("%v", err)
+	}
+	trace.Count("schooner.manager.starts")
+	return &wire.Message{Kind: wire.KStartOK, Str: proc.addr}
+}
+
+// spawn contacts a machine's Server and instantiates a program there.
+func (m *Manager) spawn(host, path string) (*remoteProc, []*uts.ProcSpec, error) {
+	conn, err := m.transport.Dial(m.host, host+":"+ServerPort)
+	if err != nil {
+		return nil, nil, fmt.Errorf("no Schooner server on %s: %w", host, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KSpawn, Name: path}); err != nil {
+		return nil, nil, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Kind == wire.KError {
+		return nil, nil, fmt.Errorf("%s", resp.Err)
+	}
+	if resp.Kind != wire.KSpawnOK {
+		return nil, nil, fmt.Errorf("unexpected %v from server", resp.Kind)
+	}
+	lang, specText := splitSpawnPayload(string(resp.Data))
+	specFile, err := uts.Parse(specText)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad export specification from %s: %w", path, err)
+	}
+	exports := specFile.Exports()
+	if len(exports) == 0 {
+		return nil, nil, fmt.Errorf("%s exports no procedures", path)
+	}
+	proc := &remoteProc{path: path, host: host, addr: resp.Str, language: lang, exports: exports}
+	return proc, exports, nil
+}
+
+// splitSpawnPayload separates the optional "#language ..." header from
+// the specification text. The header is a UTS comment, so a Manager
+// that did not know about it would still parse the specs.
+func splitSpawnPayload(data string) (Language, string) {
+	lang := LangC
+	if strings.HasPrefix(data, "#language fortran\n") {
+		lang = LangFortran
+	}
+	return lang, data
+}
+
+// lookupNames returns all names a procedure is reachable under: the
+// canonical export name, plus upper- and lower-case synonyms for
+// Fortran procedures (the Manager "stored both the upper and lower
+// case alternatives in its mapping tables").
+func lookupNames(spec *uts.ProcSpec, lang Language) []string {
+	names := []string{spec.Name}
+	if lang == LangFortran {
+		lower := strings.ToLower(spec.Name)
+		upper := strings.ToUpper(spec.Name)
+		for _, n := range []string{lower, upper} {
+			if n != spec.Name {
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// install records a process's exports in a line database, enforcing
+// the no-duplicate-names-within-a-line rule.
+func (m *Manager) install(ln *line, proc *remoteProc, specs []*uts.ProcSpec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Validate before mutating.
+	for _, spec := range specs {
+		for _, n := range lookupNames(spec, proc.language) {
+			if existing, dup := ln.names[n]; dup {
+				return fmt.Errorf("schooner: procedure name %q already bound in line %d (to %s on %s); duplicate names are only permitted across lines",
+					n, ln.id, existing.proc.path, existing.proc.host)
+			}
+		}
+	}
+	for _, spec := range specs {
+		ref := &procRef{proc: proc, spec: spec}
+		for _, n := range lookupNames(spec, proc.language) {
+			ln.names[n] = ref
+		}
+	}
+	ln.processes[proc.addr] = proc
+	return nil
+}
+
+// findRef resolves a lookup name: the line's own database first, then
+// the shared database — "mapping requests to the Manager will be
+// checked first against procedures in the line from which the request
+// is received, and then against a list of shared procedures."
+func (m *Manager) findRef(ln *line, name string) *procRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ref, ok := ln.names[name]; ok {
+		return ref
+	}
+	if ln.id != 0 {
+		if ref, ok := m.shared.names[name]; ok {
+			return ref
+		}
+	}
+	return nil
+}
+
+// handleLookup maps a procedure name to an address, type-checking the
+// caller's import specification against the export.
+func (m *Manager) handleLookup(registered uint32, req *wire.Message) *wire.Message {
+	ln, errResp := m.lineFor(registered, req.Line)
+	if errResp != nil {
+		return errResp
+	}
+	ref := m.findRef(ln, req.Name)
+	if ref == nil {
+		return errMsg("schooner: no procedure %q in line %d or shared database", req.Name, ln.id)
+	}
+	if len(req.Data) > 0 {
+		imp, err := uts.ParseProc(string(req.Data))
+		if err != nil {
+			return errMsg("schooner: bad import specification for %q: %v", req.Name, err)
+		}
+		if err := uts.CheckImport(imp, ref.spec); err != nil {
+			return errMsg("schooner: type check failed for %q: %v", req.Name, err)
+		}
+	}
+	trace.Count("schooner.manager.lookups")
+	return &wire.Message{Kind: wire.KLookupOK, Str: ref.proc.addr, Name: ref.spec.Name}
+}
+
+// handleMove relocates the process exporting the named procedure to a
+// new machine: shut down the original, start a fresh copy, update the
+// mapping tables. Clients discover the move lazily — their next call
+// to the old address fails, and the automatic re-ask of the Manager
+// finds the new location. When req.Data is "state", migration state is
+// captured before shutdown and installed into the new process (the
+// planned state-transfer extension).
+func (m *Manager) handleMove(registered uint32, req *wire.Message) *wire.Message {
+	ln, errResp := m.lineFor(registered, req.Line)
+	if errResp != nil {
+		return errResp
+	}
+	newHost := req.Str
+	if newHost == "" {
+		return errMsg("schooner: move needs a target machine")
+	}
+	ref := m.findRef(ln, req.Name)
+	if ref == nil {
+		return errMsg("schooner: no procedure %q to move", req.Name)
+	}
+	old := ref.proc
+	withState := string(req.Data) == "state"
+
+	// Capture migration state before the original is shut down.
+	var state map[string][]byte
+	if withState {
+		stateful := false
+		for _, spec := range old.exports {
+			if len(spec.State) > 0 {
+				stateful = true
+				break
+			}
+		}
+		if !stateful {
+			return errMsg("schooner: %s declares no state clause; use a stateless move", old.path)
+		}
+		var err error
+		state, err = m.captureState(old)
+		if err != nil {
+			return errMsg("schooner: capturing state of %s: %v", old.path, err)
+		}
+	}
+
+	// Paper ordering: shut down the original, then start the copy.
+	m.shutdownProcess(old)
+	fresh, specs, err := m.spawn(newHost, old.path)
+	if err != nil {
+		return errMsg("schooner: restarting %s on %s: %v", old.path, newHost, err)
+	}
+	// The fresh copy must export the same procedures (same file).
+	if err := sameExports(old.exports, specs, old.language); err != nil {
+		m.shutdownProcess(fresh)
+		return errMsg("schooner: %s on %s: %v", old.path, newHost, err)
+	}
+	if withState {
+		if err := m.installState(fresh, state); err != nil {
+			m.shutdownProcess(fresh)
+			return errMsg("schooner: installing state on %s: %v", newHost, err)
+		}
+	}
+
+	// Update the mapping tables: every name that referred to the old
+	// process now refers to the fresh one. For a shared procedure this
+	// single update serves all lines, since every line resolves shared
+	// names through the one shared database.
+	m.mu.Lock()
+	for name, r := range ln.names {
+		if r.proc == old {
+			ln.names[name] = &procRef{proc: fresh, spec: r.spec}
+		}
+	}
+	delete(ln.processes, old.addr)
+	ln.processes[fresh.addr] = fresh
+	m.mu.Unlock()
+	trace.Count("schooner.manager.moves")
+	return &wire.Message{Kind: wire.KMoveOK, Str: fresh.addr}
+}
+
+// sameExports verifies that a respawned program exports the same
+// procedures with identical signatures. Fortran names compare
+// case-insensitively: moving a procedure file from a Cray (whose
+// compiler upper-cases names) to a workstation (lower-cases) must not
+// look like a signature change.
+func sameExports(old, fresh []*uts.ProcSpec, lang Language) error {
+	if len(old) != len(fresh) {
+		return fmt.Errorf("export count changed: %d vs %d", len(old), len(fresh))
+	}
+	for i := range old {
+		sameName := old[i].Name == fresh[i].Name
+		if !sameName && lang == LangFortran {
+			sameName = strings.EqualFold(old[i].Name, fresh[i].Name)
+		}
+		if !sameName || old[i].Signature() != fresh[i].Signature() {
+			return fmt.Errorf("export %q changed signature", old[i].Name)
+		}
+	}
+	return nil
+}
+
+// captureState fetches the migration state of every stateful export.
+func (m *Manager) captureState(proc *remoteProc) (map[string][]byte, error) {
+	conn, err := m.transport.Dial(m.host, proc.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	state := make(map[string][]byte)
+	for _, spec := range proc.exports {
+		if len(spec.State) == 0 {
+			continue
+		}
+		if err := conn.Send(&wire.Message{Kind: wire.KStateGet, Name: spec.Name}); err != nil {
+			return nil, err
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Kind != wire.KStateOK {
+			return nil, fmt.Errorf("%s", resp.Err)
+		}
+		state[spec.Name] = resp.Data
+	}
+	return state, nil
+}
+
+// installState pushes captured state into a fresh process.
+func (m *Manager) installState(proc *remoteProc, state map[string][]byte) error {
+	if len(state) == 0 {
+		return nil
+	}
+	conn, err := m.transport.Dial(m.host, proc.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for name, data := range state {
+		if err := conn.Send(&wire.Message{Kind: wire.KStatePut, Name: name, Data: data}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if resp.Kind != wire.KStatePutOK {
+			return fmt.Errorf("%s", resp.Err)
+		}
+	}
+	return nil
+}
+
+// quitLine shuts down every procedure process in a line and removes
+// the line. Shared procedures are unaffected.
+func (m *Manager) quitLine(id uint32) {
+	m.mu.Lock()
+	ln, ok := m.lines[id]
+	if ok {
+		delete(m.lines, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, p := range ln.processes {
+		m.shutdownProcess(p)
+	}
+	trace.Count("schooner.manager.quits")
+}
+
+// shutdownProcess sends a best-effort shutdown to a procedure process.
+func (m *Manager) shutdownProcess(p *remoteProc) {
+	conn, err := m.transport.Dial(m.host, p.addr)
+	if err != nil {
+		return // host or process already gone
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KShutdown}); err != nil {
+		return
+	}
+	_, _ = conn.Recv()
+}

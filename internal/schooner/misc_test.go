@@ -1,0 +1,191 @@
+package schooner
+
+import (
+	"strings"
+	"testing"
+
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+func TestAccessorsAndListing(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	if d.mgr.Host() != "avs-sparc" {
+		t.Errorf("Manager.Host = %q", d.mgr.Host())
+	}
+	if d.mgr.Addr() != "avs-sparc:"+ManagerPort {
+		t.Errorf("Manager.Addr = %q", d.mgr.Addr())
+	}
+	srv := d.servers["sgi-lerc"]
+	if srv.Host() != "sgi-lerc" || srv.Addr() != "sgi-lerc:"+ServerPort {
+		t.Errorf("Server accessors: %q, %q", srv.Host(), srv.Addr())
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	if LangFortran.String() != "fortran" || LangC.String() != "c" {
+		t.Error("language names wrong")
+	}
+	if !strings.HasPrefix(Language(9).String(), "Language(") {
+		t.Error("unknown language rendering")
+	}
+}
+
+func TestRegistryPathsAndDuplicates(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(adderProgram("/a"))
+	reg.MustRegister(adderProgram("/b"))
+	if got := reg.Paths(); len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("Paths = %v", got)
+	}
+	if err := reg.Register(adderProgram("/a")); err == nil {
+		t.Error("duplicate path accepted")
+	}
+	if err := reg.Register(&Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+	if err := reg.Register(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRegister did not panic on duplicate")
+			}
+		}()
+		reg.MustRegister(adderProgram("/a"))
+	}()
+	if _, err := reg.Lookup("/missing"); err == nil {
+		t.Error("missing path resolved")
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	good := &BoundProc{
+		Spec: uts.MustParseProc(`export p prog("x" val double)`),
+		Fn:   func(in []uts.Value) ([]uts.Value, error) { return nil, nil },
+	}
+	if _, err := NewInstance(); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := NewInstance(&BoundProc{Spec: good.Spec}); err == nil {
+		t.Error("missing implementation accepted")
+	}
+	imp := &BoundProc{
+		Spec: uts.MustParseProc(`import p prog("x" val double)`),
+		Fn:   good.Fn,
+	}
+	if _, err := NewInstance(imp); err == nil {
+		t.Error("import spec accepted as export")
+	}
+	if _, err := NewInstance(good, good); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	// State accessors must come in pairs.
+	half := &BoundProc{
+		Spec:     uts.MustParseProc(`export q prog("x" val double)`),
+		Fn:       good.Fn,
+		GetState: func() ([]uts.Value, error) { return nil, nil },
+	}
+	if _, err := NewInstance(half); err == nil {
+		t.Error("half a state accessor pair accepted")
+	}
+	// A state clause requires accessors.
+	stateful := &BoundProc{
+		Spec: uts.MustParseProc(`export r prog("x" val double) state("n" integer)`),
+		Fn:   good.Fn,
+	}
+	if _, err := NewInstance(stateful); err == nil {
+		t.Error("state clause without accessors accepted")
+	}
+}
+
+func TestInstanceSpecFileAndFind(t *testing.T) {
+	inst, err := adderProgram("/x").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := inst.SpecFile()
+	if len(f.Exports()) != 2 {
+		t.Errorf("SpecFile exports = %d", len(f.Exports()))
+	}
+	if !strings.Contains(f.String(), "export add prog(") {
+		t.Errorf("SpecFile text:\n%s", f.String())
+	}
+	if inst.Find("add", LangC) == nil {
+		t.Error("exact find failed")
+	}
+	if inst.Find("ADD", LangC) != nil {
+		t.Error("C find is case-insensitive")
+	}
+	if inst.Find("ADD", LangFortran) == nil {
+		t.Error("Fortran find is case-sensitive")
+	}
+}
+
+func TestImportFileAndFlushCache(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	ln, _ := d.client("avs-sparc").ContactSchx("m")
+	defer ln.IQuit()
+	ln.StartRemote("/npss/adder", "sgi-lerc")
+	specs := uts.MustParse(`
+        import add prog("a" val double, "b" val double, "sum" res double)
+        import scale prog("xs" var array[3] of double, "k" val double)
+        export ignored prog("x" val double)`)
+	if err := ln.ImportFile(specs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(2)); err != nil {
+		t.Fatal(err)
+	}
+	// FlushCache forces a fresh Manager lookup; the call still works.
+	ln.FlushCache()
+	out, err := ln.Call("add", uts.DoubleVal(2), uts.DoubleVal(3))
+	if err != nil || out[0].F != 5 {
+		t.Fatalf("post-flush call = %v, %v", out, err)
+	}
+	// Re-importing the same file collides.
+	if err := ln.ImportFile(specs); err == nil {
+		t.Error("duplicate ImportFile accepted")
+	}
+	if err := ln.Import(nil); err == nil {
+		t.Error("nil import accepted")
+	}
+}
+
+func TestProgramLanguageDefaultNaming(t *testing.T) {
+	// Language zero value is Fortran, matching the engine procedure
+	// files; make sure that is deliberate and stable.
+	var l Language
+	if l != LangFortran {
+		t.Error("zero Language is not Fortran")
+	}
+}
+
+func TestStatePutErrors(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(counterProgram("/npss/counter"))
+	ln, _ := d.client("avs-sparc").ContactSchx("m")
+	defer ln.IQuit()
+	ln.StartRemote("/npss/counter", "sgi-lerc")
+	ln.Import(uts.MustParseProc(`import next prog("n" res integer)`))
+	if _, err := ln.Call("next"); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage state payload through a direct connection.
+	b := ln.bindings["next"]
+	conn, err := d.tr.Dial("avs-sparc", b.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Send(&wire.Message{Kind: wire.KStatePut, Name: "next", Data: []byte{1, 2, 3}})
+	resp, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Error("garbage state accepted")
+	}
+}

@@ -1,0 +1,315 @@
+package schooner
+
+import (
+	"fmt"
+	"sync"
+
+	"npss/internal/machine"
+	"npss/internal/trace"
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+// ErrProcessTerminated is the exact error text a stopped procedure
+// process answers with; the client library treats it (and transport
+// failures) as a stale binding and re-asks the Manager. Application
+// errors are never matched against it, so a procedure whose own error
+// mentions "terminated" cannot trigger a spurious retry.
+const ErrProcessTerminated = "schooner: procedure process terminated"
+
+// process is a running instantiation of a Program on some host: the
+// Schooner runtime's procedure process. It owns a listener, serves
+// KCall/KStateGet/KStatePut/KShutdown, and marshals all data through
+// the host architecture's native representation so that heterogeneity
+// (precision, range, byte order) is exercised on every call.
+type process struct {
+	host     string
+	arch     *machine.Arch
+	program  *Program
+	instance *Instance
+	listener Listener
+
+	mu sync.Mutex // serializes calls within this instance
+	// sigCache caches parsed import signatures per procedure so the
+	// per-call signature text is parsed once.
+	sigCache map[string]*uts.ProcSpec
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// startProcess instantiates a program on a host and begins serving.
+func startProcess(t Transport, host string, prog *Program) (*process, error) {
+	arch, err := t.HostArch(host)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := prog.Build()
+	if err != nil {
+		return nil, fmt.Errorf("schooner: building %q: %w", prog.Path, err)
+	}
+	l, err := t.Listen(host, "")
+	if err != nil {
+		return nil, err
+	}
+	p := &process{
+		host:     host,
+		arch:     arch,
+		program:  prog,
+		instance: inst,
+		listener: l,
+		sigCache: make(map[string]*uts.ProcSpec),
+		done:     make(chan struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// addr returns the process's dialable address.
+func (p *process) addr() string { return p.listener.Addr() }
+
+// stop terminates the process.
+func (p *process) stop() {
+	p.stopOnce.Do(func() {
+		close(p.done)
+		p.listener.Close()
+	})
+}
+
+func (p *process) stopped() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *process) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *process) serve(conn wire.Conn) {
+	defer conn.Close()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if p.stopped() {
+			p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: ErrProcessTerminated})
+			return
+		}
+		switch m.Kind {
+		case wire.KCall:
+			p.handleCall(conn, m)
+		case wire.KStateGet:
+			p.handleStateGet(conn, m)
+		case wire.KStatePut:
+			p.handleStatePut(conn, m)
+		case wire.KShutdown:
+			p.reply(conn, m, &wire.Message{Kind: wire.KShutdownOK, Seq: m.Seq})
+			p.stop()
+			return
+		case wire.KPing:
+			p.reply(conn, m, &wire.Message{Kind: wire.KPong, Seq: m.Seq})
+		default:
+			p.reply(conn, m, &wire.Message{Kind: wire.KError, Seq: m.Seq,
+				Err: fmt.Sprintf("schooner: procedure process cannot handle %v", m.Kind)})
+		}
+	}
+}
+
+func (p *process) reply(conn wire.Conn, req, resp *wire.Message) {
+	resp.Seq = req.Seq
+	// A failed reply means the connection died; the caller's receive
+	// will fail and recovery happens on its side.
+	_ = conn.Send(resp)
+}
+
+// importSpec resolves the caller's import signature for a procedure:
+// either the cached parse or the signature text carried on the call.
+func (p *process) importSpec(name, sig string) (*uts.ProcSpec, error) {
+	key := name + "\x00" + sig
+	p.mu.Lock()
+	cached, ok := p.sigCache[key]
+	p.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	if sig == "" {
+		return nil, fmt.Errorf("schooner: call to %q carries no signature", name)
+	}
+	spec, err := uts.ParseProc("import " + name + " " + sig)
+	if err != nil {
+		return nil, fmt.Errorf("schooner: bad signature on call to %q: %w", name, err)
+	}
+	p.mu.Lock()
+	p.sigCache[key] = spec
+	p.mu.Unlock()
+	return spec, nil
+}
+
+func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
+	bp := p.instance.Find(m.Name, p.program.Language)
+	if bp == nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: no procedure %q in %s", m.Name, p.program.Path)})
+		return
+	}
+	imp, err := p.importSpec(m.Name, m.Str)
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	// The import may be a subset of the export; re-verify here (the
+	// Manager checked at bind time, but a direct caller could lie).
+	if err := uts.CheckImport(imp, bp.Spec); err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	sent, err := uts.DecodeParams(m.Data, imp.InParams())
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	// Assemble the full in-parameter list of the export: parameters
+	// omitted by a subset import take their zero values.
+	byName := make(map[string]uts.Value, len(sent))
+	for i, prm := range imp.InParams() {
+		byName[prm.Name] = sent[i]
+	}
+	var in []uts.Value
+	for _, prm := range bp.Spec.InParams() {
+		if v, ok := byName[prm.Name]; ok {
+			in = append(in, v)
+		} else {
+			in = append(in, uts.Zero(prm.Type))
+		}
+	}
+	// Convert incoming values into this machine's native formats: the
+	// UTS-to-native half of the conversion, with its range errors.
+	for i := range in {
+		nv, err := p.arch.NativeRoundTrip(in[i])
+		if err != nil {
+			p.reply(conn, m, &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: converting parameter to %s native format: %v", p.arch.Name, err)})
+			return
+		}
+		in[i] = nv
+	}
+
+	// One line is sequential; distinct lines may call concurrently
+	// into a shared procedure, so serialize at the instance.
+	p.mu.Lock()
+	out, err := bp.Fn(in)
+	p.mu.Unlock()
+	trace.Count("schooner.proc.calls")
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: %s: %v", m.Name, err)})
+		return
+	}
+	exportOut := bp.Spec.OutParams()
+	if len(out) != len(exportOut) {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: %s returned %d results, export declares %d", m.Name, len(out), len(exportOut))})
+		return
+	}
+	// Native-to-UTS conversion of results, then keep only the
+	// out-parameters the import asked for, in import order.
+	outByName := make(map[string]uts.Value, len(out))
+	for i, prm := range exportOut {
+		nv, err := p.arch.NativeRoundTrip(out[i])
+		if err != nil {
+			p.reply(conn, m, &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: converting result %q from %s native format: %v", prm.Name, p.arch.Name, err)})
+			return
+		}
+		outByName[prm.Name] = nv
+	}
+	impOut := imp.OutParams()
+	results := make([]uts.Value, len(impOut))
+	for i, prm := range impOut {
+		results[i] = outByName[prm.Name]
+	}
+	data, err := uts.EncodeParams(nil, impOut, results)
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	p.reply(conn, m, &wire.Message{Kind: wire.KReply, Data: data})
+}
+
+// stateFor finds the bound procedure by name and checks it supports
+// state transfer.
+func (p *process) stateFor(name string) (*BoundProc, error) {
+	bp := p.instance.Find(name, p.program.Language)
+	if bp == nil {
+		return nil, fmt.Errorf("schooner: no procedure %q in %s", name, p.program.Path)
+	}
+	if bp.GetState == nil {
+		return nil, fmt.Errorf("schooner: procedure %q is stateless (no state clause)", name)
+	}
+	return bp, nil
+}
+
+func (p *process) handleStateGet(conn wire.Conn, m *wire.Message) {
+	bp, err := p.stateFor(m.Name)
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	p.mu.Lock()
+	vals, err := bp.GetState()
+	p.mu.Unlock()
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	params := stateParams(bp.Spec)
+	data, err := uts.EncodeParams(nil, params, vals)
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: state of %q does not match its state clause: %v", m.Name, err)})
+		return
+	}
+	p.reply(conn, m, &wire.Message{Kind: wire.KStateOK, Data: data})
+}
+
+func (p *process) handleStatePut(conn wire.Conn, m *wire.Message) {
+	bp, err := p.stateFor(m.Name)
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	vals, err := uts.DecodeParams(m.Data, stateParams(bp.Spec))
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	p.mu.Lock()
+	err = bp.SetState(vals)
+	p.mu.Unlock()
+	if err != nil {
+		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
+		return
+	}
+	p.reply(conn, m, &wire.Message{Kind: wire.KStatePutOK})
+}
+
+// stateParams views a spec's state clause as a parameter list for
+// marshaling.
+func stateParams(s *uts.ProcSpec) []uts.Param {
+	params := make([]uts.Param, len(s.State))
+	for i, f := range s.State {
+		params[i] = uts.Param{Name: f.Name, Mode: uts.Var, Type: f.Type}
+	}
+	return params
+}

@@ -1,0 +1,181 @@
+package schooner
+
+import (
+	"fmt"
+	"sync"
+
+	"npss/internal/uts"
+	"npss/internal/wire"
+)
+
+// Server is the per-machine Schooner system process. There is one
+// Server per machine involved in a computation; the Manager contacts
+// it on the well-known ServerPort to instantiate procedure files as
+// processes on that machine.
+type Server struct {
+	transport Transport
+	host      string
+	registry  *Registry
+	listener  Listener
+
+	mu        sync.Mutex
+	processes map[string]*process // keyed by process address
+	stopped   bool
+}
+
+// StartServer launches a Server on the given host, serving spawn
+// requests from its registry.
+func StartServer(t Transport, host string, reg *Registry) (*Server, error) {
+	l, err := t.Listen(host, ServerPort)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		transport: t,
+		host:      host,
+		registry:  reg,
+		listener:  l,
+		processes: make(map[string]*process),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Host returns the machine the server runs on.
+func (s *Server) Host() string { return s.host }
+
+// Addr returns the server's dialable address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Stop shuts the server down along with every process it spawned.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	procs := make([]*process, 0, len(s.processes))
+	for _, p := range s.processes {
+		procs = append(procs, p)
+	}
+	s.processes = make(map[string]*process)
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, p := range procs {
+		p.stop()
+	}
+}
+
+// ProcessCount reports how many processes the server currently hosts.
+func (s *Server) ProcessCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.processes {
+		if !p.stopped() {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn wire.Conn) {
+	defer conn.Close()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var resp *wire.Message
+		switch m.Kind {
+		case wire.KSpawn:
+			resp = s.handleSpawn(m)
+		case wire.KShutdown:
+			resp = &wire.Message{Kind: wire.KShutdownOK}
+			resp.Seq = m.Seq
+			_ = conn.Send(resp)
+			s.Stop()
+			return
+		case wire.KPing:
+			resp = &wire.Message{Kind: wire.KPong}
+		default:
+			resp = &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: server cannot handle %v", m.Kind)}
+		}
+		resp.Seq = m.Seq
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleSpawn(m *wire.Message) *wire.Message {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return &wire.Message{Kind: wire.KError, Err: "schooner: server stopped"}
+	}
+	prog, err := s.registry.Lookup(m.Name)
+	if err != nil {
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
+	}
+	p, err := startProcess(s.transport, s.host, prog)
+	if err != nil {
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
+	}
+	s.mu.Lock()
+	s.processes[p.addr()] = p
+	s.mu.Unlock()
+	// Report the new process address together with its export
+	// specification file (adjusted for the host compiler's case
+	// convention) so the Manager can populate its mapping tables.
+	specText := s.exportSpecText(p)
+	return &wire.Message{Kind: wire.KSpawnOK, Str: p.addr(), Data: []byte(specText)}
+}
+
+// exportSpecText renders the process's export specs as the Manager
+// will see them. On a machine whose Fortran compiler upper-cases
+// procedure names (the Cray), the exported names of Fortran procedures
+// appear in upper case — the naming inconsistency the Manager's
+// synonym tables exist to absorb.
+func (s *Server) exportSpecText(p *process) string {
+	header := ""
+	if p.program.Language == LangFortran {
+		// A UTS comment the Manager reads to learn the naming
+		// convention; older parsers skip it harmlessly.
+		header = "#language fortran\n"
+	}
+	f := &uts.SpecFile{}
+	for _, bp := range p.instance.Procs() {
+		spec := bp.Spec
+		if p.program.Language == LangFortran && p.arch.FortranUpperCase {
+			up := spec.Clone(true)
+			up.Name = upperName(spec.Name)
+			spec = up
+		}
+		f.Procs = append(f.Procs, spec)
+	}
+	return header + f.String()
+}
+
+func upperName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

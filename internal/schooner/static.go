@@ -1,0 +1,127 @@
+package schooner
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"npss/internal/machine"
+	"npss/internal/wire"
+)
+
+// StaticTCPTransport runs Schooner components in separate operating
+// system processes connected by real TCP sockets. Unlike TCPTransport
+// (whose logical-name rendezvous lives in one process's memory), the
+// static transport carries real "ip:port" strings as addresses, so
+// they remain meaningful across processes. Only the well-known
+// endpoints (the Manager and the per-machine Servers) need static
+// configuration; ephemeral listeners use their real bound address as
+// their logical address. This is the transport behind the
+// cmd/schooner-manager and cmd/schooner-server daemons.
+type StaticTCPTransport struct {
+	mu sync.Mutex
+	// archs maps logical host names to architectures.
+	archs map[string]*machine.Arch
+	// wellKnown maps "host:port" logical names (e.g.
+	// "cray-lerc:schx-server") to "ip:port" socket addresses.
+	wellKnown map[string]string
+	// bind maps "host:port" logical names to the local addresses this
+	// process should bind when asked to listen on them.
+	bind map[string]string
+}
+
+// NewStaticTCPTransport creates a static transport.
+//
+//	archs:     logical host -> simulated architecture
+//	wellKnown: logical "host:port" -> dialable "ip:port"
+//	bind:      logical "host:port" -> local "ip:port" to bind
+func NewStaticTCPTransport(archs map[string]*machine.Arch, wellKnown, bind map[string]string) *StaticTCPTransport {
+	t := &StaticTCPTransport{
+		archs:     make(map[string]*machine.Arch, len(archs)),
+		wellKnown: make(map[string]string, len(wellKnown)),
+		bind:      make(map[string]string, len(bind)),
+	}
+	for k, v := range archs {
+		t.archs[k] = v
+	}
+	for k, v := range wellKnown {
+		t.wellKnown[k] = v
+	}
+	for k, v := range bind {
+		t.bind[k] = v
+	}
+	return t
+}
+
+type staticListener struct {
+	inner   net.Listener
+	logical string
+}
+
+func (l *staticListener) Accept() (wire.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewStreamConn(c, c.RemoteAddr().String()), nil
+}
+
+func (l *staticListener) Close() error { return l.inner.Close() }
+func (l *staticListener) Addr() string { return l.logical }
+
+// Listen binds a listener. A named port must appear in the bind table;
+// an empty port binds an ephemeral loopback port whose real address
+// becomes its logical address.
+func (t *StaticTCPTransport) Listen(host, port string) (Listener, error) {
+	t.mu.Lock()
+	_, known := t.archs[host]
+	t.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("schooner: unknown host %q", host)
+	}
+	if port == "" {
+		inner, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		return &staticListener{inner: inner, logical: inner.Addr().String()}, nil
+	}
+	logical := host + ":" + port
+	t.mu.Lock()
+	local, ok := t.bind[logical]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("schooner: no bind address configured for %q", logical)
+	}
+	inner, err := net.Listen("tcp", local)
+	if err != nil {
+		return nil, err
+	}
+	return &staticListener{inner: inner, logical: logical}, nil
+}
+
+// Dial resolves well-known logical addresses through the table and
+// treats anything else as a real socket address.
+func (t *StaticTCPTransport) Dial(fromHost, addr string) (wire.Conn, error) {
+	t.mu.Lock()
+	real, ok := t.wellKnown[addr]
+	t.mu.Unlock()
+	if !ok {
+		real = addr
+	}
+	c, err := net.Dial("tcp", real)
+	if err != nil {
+		return nil, fmt.Errorf("schooner: dialing %s (%s): %w", addr, real, err)
+	}
+	return wire.NewStreamConn(c, addr), nil
+}
+
+// HostArch reports a logical host's architecture.
+func (t *StaticTCPTransport) HostArch(host string) (*machine.Arch, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.archs[host]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("schooner: unknown host %q", host)
+}

@@ -1,0 +1,69 @@
+// Package solver provides the numerical methods TESS offers through
+// its system module widgets: Newton-Raphson and fourth-order
+// Runge-Kutta (pseudo-transient marching) for the steady-state engine
+// balance, and Modified Euler, fourth-order Runge-Kutta, Adams
+// (Adams-Bashforth-Moulton predictor-corrector), and Gear (backward
+// differentiation) integrators for the engine transient.
+package solver
+
+import "fmt"
+
+// SolveLinear solves the n x n system a x = b in place by Gaussian
+// elimination with partial pivoting. Both a and b are overwritten; the
+// solution is returned in b. a is indexed a[row][col].
+func SolveLinear(a [][]float64, b []float64) error {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return fmt.Errorf("solver: bad system dimensions %d x %d", n, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return fmt.Errorf("solver: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		max := abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := abs(a[r][col]); v > max {
+				max, pivot = v, r
+			}
+		}
+		if max == 0 {
+			return fmt.Errorf("solver: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * b[c]
+		}
+		b[i] = s / a[i][i]
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

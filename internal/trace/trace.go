@@ -1,0 +1,208 @@
+// Package trace provides lightweight instrumentation used by the
+// experiment harness: named counters and log-bucketed latency
+// histograms, all safe for concurrent use.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+var global = NewSet()
+
+// Set is an independent collection of counters and histograms.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*Histogram
+}
+
+// NewSet creates an empty instrumentation set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]int64), hists: make(map[string]*Histogram)}
+}
+
+// Count increments a named counter by one in the set.
+func (s *Set) Count(name string) { s.Add(name, 1) }
+
+// Add increments a named counter by n.
+func (s *Set) Add(name string, n int64) {
+	s.mu.Lock()
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// Get reads a counter.
+func (s *Set) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Observe records a duration into the named histogram.
+func (s *Set) Observe(name string, d time.Duration) {
+	s.mu.Lock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = NewHistogram()
+		s.hists[name] = h
+	}
+	s.mu.Unlock()
+	h.Observe(d)
+}
+
+// Histogram returns the named histogram, or nil.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hists[name]
+}
+
+// Reset clears all counters and histograms.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = make(map[string]int64)
+	s.hists = make(map[string]*Histogram)
+}
+
+// Snapshot returns the counters as a sorted, stable report.
+func (s *Set) Snapshot() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Count increments a global counter.
+func Count(name string) { global.Count(name) }
+
+// Add increments a global counter by n.
+func Add(name string, n int64) { global.Add(name, n) }
+
+// Get reads a global counter.
+func Get(name string) int64 { return global.Get(name) }
+
+// Observe records into a global histogram.
+func Observe(name string, d time.Duration) { global.Observe(name, d) }
+
+// GlobalHistogram returns a global histogram by name, or nil.
+func GlobalHistogram(name string) *Histogram { return global.Histogram(name) }
+
+// Reset clears the global set.
+func Reset() { global.Reset() }
+
+// Snapshot reports the global counters.
+func Snapshot() string { return global.Snapshot() }
+
+// Histogram is a log-2-bucketed latency histogram from 1µs to ~17min.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [31]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.MaxInt64} }
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < len((&Histogram{}).buckets)-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the mean observation, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min reports the smallest observation, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile reports an approximate quantile (0..1) from the buckets:
+// the upper bound of the bucket containing the q-th observation.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return time.Duration(1<<uint(i)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v max=%v",
+		h.Count(), h.Min(), h.Mean(), h.Quantile(0.95), h.Max())
+}

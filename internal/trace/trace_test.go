@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	s := NewSet()
+	s.Count("a")
+	s.Count("a")
+	s.Add("b", 5)
+	if s.Get("a") != 2 || s.Get("b") != 5 || s.Get("missing") != 0 {
+		t.Errorf("counters: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	snap := s.Snapshot()
+	if !strings.Contains(snap, "a=2") || !strings.Contains(snap, "b=5") {
+		t.Errorf("snapshot = %q", snap)
+	}
+	// Sorted output is stable.
+	if strings.Index(snap, "a=") > strings.Index(snap, "b=") {
+		t.Error("snapshot not sorted")
+	}
+	s.Reset()
+	if s.Get("a") != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestGlobalSet(t *testing.T) {
+	Reset()
+	Count("x")
+	Add("x", 2)
+	if Get("x") != 3 {
+		t.Errorf("global x = %d", Get("x"))
+	}
+	Observe("lat", time.Millisecond)
+	if GlobalHistogram("lat") == nil || GlobalHistogram("lat").Count() != 1 {
+		t.Error("global histogram missing")
+	}
+	if !strings.Contains(Snapshot(), "x=3") {
+		t.Error("global snapshot missing x")
+	}
+	Reset()
+	if GlobalHistogram("lat") != nil {
+		t.Error("reset kept histogram")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	durations := []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 100*time.Microsecond || h.Max() != 10*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantMean := (100 + 200 + 400 + 1000 + 10000) * time.Microsecond / 5
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// Median bucket upper bound should be near 400us (within 2x).
+	med := h.Quantile(0.5)
+	if med < 200*time.Microsecond || med > 800*time.Microsecond {
+		t.Errorf("median = %v", med)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.0) {
+		t.Error("quantiles not monotone")
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Count("n")
+				s.Observe("h", time.Microsecond*time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Get("n") != 8000 {
+		t.Errorf("n = %d", s.Get("n"))
+	}
+	if s.Histogram("h").Count() != 8000 {
+		t.Errorf("h count = %d", s.Histogram("h").Count())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(0) != 0 {
+		t.Error("bucketOf(0)")
+	}
+	if bucketOf(time.Microsecond) != 1 {
+		t.Errorf("bucketOf(1us) = %d", bucketOf(time.Microsecond))
+	}
+	// Monotone in duration.
+	prev := 0
+	for d := time.Microsecond; d < time.Hour; d *= 3 {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %v", d)
+		}
+		prev = b
+	}
+	// Huge values saturate at the last bucket.
+	if bucketOf(24*time.Hour) != 30 {
+		t.Errorf("bucketOf(24h) = %d", bucketOf(24*time.Hour))
+	}
+}

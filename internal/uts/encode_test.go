@@ -1,0 +1,367 @@
+package uts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v Value) {
+	t.Helper()
+	buf, err := Encode(nil, v)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", v, err)
+	}
+	got, rest, err := Decode(buf, v.Type)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("Decode left %d bytes", len(rest))
+	}
+	if !got.EqualValue(v) {
+		t.Fatalf("round trip: got %v, want %v", got, v)
+	}
+}
+
+func TestEncodeRoundTripSimple(t *testing.T) {
+	vals := []Value{
+		MustInt(0), MustInt(1), MustInt(-1), MustInt(math.MaxInt32), MustInt(math.MinInt32),
+		LongVal(0), LongVal(math.MaxInt64), LongVal(math.MinInt64),
+		ByteVal(0), ByteVal(255),
+		Bool(true), Bool(false),
+		FloatVal(0), FloatVal(1.5), FloatVal(-math.MaxFloat32), FloatVal(float64(math.SmallestNonzeroFloat32)),
+		DoubleVal(0), DoubleVal(math.Pi), DoubleVal(math.MaxFloat64), DoubleVal(-math.SmallestNonzeroFloat64),
+		DoubleVal(math.Inf(1)), DoubleVal(math.Inf(-1)), DoubleVal(math.NaN()),
+		Str(""), Str("hello"), Str(string([]byte{0, 1, 2, 255})),
+	}
+	for _, v := range vals {
+		roundTrip(t, v)
+	}
+}
+
+func TestEncodeRoundTripAggregates(t *testing.T) {
+	roundTrip(t, FloatArray(1, 2, 3, 4))
+	roundTrip(t, DoubleArray(-1e300, 0, 1e-300))
+
+	station := MustRecordOf(
+		Field{"p", TDouble}, Field{"t", TDouble},
+		Field{"w", TDouble}, Field{"far", TDouble})
+	v, err := RecordVal(station, DoubleVal(101325), DoubleVal(288.15), DoubleVal(100), DoubleVal(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, v)
+
+	// Array of records, the shape used for engine station vectors.
+	arr := Value{Type: ArrayOf(2, station), Elems: []Value{v.Clone(), v.Clone()}}
+	roundTrip(t, arr)
+
+	// Record containing a string (variable size).
+	named := MustRecordOf(Field{"name", TString}, Field{"x", TFloat})
+	nv, err := RecordVal(named, Str("low speed shaft"), FloatVal(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, nv)
+}
+
+func TestEncodeWireFormat(t *testing.T) {
+	// Pin the canonical representation: big-endian IEEE.
+	buf, err := Encode(nil, MustInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0, 0, 0, 1}; string(buf) != string(want) {
+		t.Errorf("integer 1 encodes as % x, want % x", buf, want)
+	}
+	buf, err = Encode(nil, FloatVal(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0x3f, 0x80, 0, 0}; string(buf) != string(want) {
+		t.Errorf("float 1.0 encodes as % x, want % x", buf, want)
+	}
+	buf, err = Encode(nil, Str("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0, 0, 0, 2, 'a', 'b'}; string(buf) != string(want) {
+		t.Errorf("string \"ab\" encodes as % x, want % x", buf, want)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	// A hand-built out-of-range integer (bypassing the Int constructor).
+	if _, err := Encode(nil, Value{Type: TInteger, I: math.MaxInt32 + 1}); err == nil {
+		t.Error("out-of-range integer encoded")
+	}
+	if _, err := Encode(nil, Value{Type: TByte, I: 256}); err == nil {
+		t.Error("out-of-range byte encoded")
+	}
+	// A double too large for single precision must be rejected, not
+	// silently mapped to infinity: the paper's explicit policy choice.
+	if _, err := Encode(nil, Value{Type: TFloat, F: math.MaxFloat64}); err == nil {
+		t.Error("out-of-range float encoded")
+	}
+	// Infinities that were already infinite pass through.
+	if _, err := Encode(nil, Value{Type: TFloat, F: math.Inf(1)}); err != nil {
+		t.Errorf("genuine infinity rejected: %v", err)
+	}
+}
+
+func TestEncodeShapeErrors(t *testing.T) {
+	short := Value{Type: ArrayOf(3, TFloat), Elems: []Value{FloatVal(1)}}
+	if _, err := Encode(nil, short); err == nil {
+		t.Error("short array encoded")
+	}
+	wrongElem := Value{Type: ArrayOf(1, TFloat), Elems: []Value{DoubleVal(1)}}
+	if _, err := Encode(nil, wrongElem); err == nil {
+		t.Error("mis-typed array element encoded")
+	}
+	rec := MustRecordOf(Field{"a", TFloat})
+	if _, err := Encode(nil, Value{Type: rec, Elems: nil}); err == nil {
+		t.Error("short record encoded")
+	}
+	if _, err := Encode(nil, Value{Type: rec, Elems: []Value{MustInt(1)}}); err == nil {
+		t.Error("mis-typed record field encoded")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	types := []*Type{TInteger, TLong, TFloat, TDouble, TByte, TBoolean, TString, ArrayOf(4, TDouble)}
+	for _, typ := range types {
+		if _, _, err := Decode(nil, typ); err == nil {
+			t.Errorf("Decode(empty, %v) succeeded", typ)
+		}
+	}
+	// String with a length prefix promising more bytes than present.
+	if _, _, err := Decode([]byte{0, 0, 0, 5, 'a'}, TString); err == nil {
+		t.Error("truncated string decoded")
+	}
+	// Invalid boolean byte.
+	if _, _, err := Decode([]byte{2}, TBoolean); err == nil {
+		t.Error("invalid boolean byte accepted")
+	}
+}
+
+func TestEncodeDecodeParams(t *testing.T) {
+	spec := MustParseProc(`export shaft prog(
+        "ecom" val array[4] of float, "incom" val integer,
+        "xspool" val double, "dxspl" res double)`)
+	ins := spec.InParams()
+	vals := []Value{FloatArray(1, 2, 3, 4), MustInt(4), DoubleVal(0.95)}
+	buf, err := EncodeParams(nil, ins, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeParams(buf, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if !got[i].EqualValue(vals[i]) {
+			t.Errorf("param %d: got %v, want %v", i, got[i], vals[i])
+		}
+	}
+	// Mismatched counts and types are rejected.
+	if _, err := EncodeParams(nil, ins, vals[:2]); err == nil {
+		t.Error("short value list accepted")
+	}
+	bad := []Value{FloatArray(1, 2, 3, 4), DoubleVal(1), DoubleVal(0.95)}
+	if _, err := EncodeParams(nil, ins, bad); err == nil {
+		t.Error("mis-typed value accepted")
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeParams(append(buf, 0), ins); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// randomValue produces an arbitrary UTS value for property testing.
+func randomValue(r *rand.Rand, depth int) Value {
+	kinds := []Kind{Integer, Long, Byte, Boolean, Float, Double, String}
+	if depth > 0 {
+		kinds = append(kinds, Array, Record)
+	}
+	switch kinds[r.Intn(len(kinds))] {
+	case Integer:
+		return Value{Type: TInteger, I: int64(int32(r.Uint32()))}
+	case Long:
+		return LongVal(int64(r.Uint64()))
+	case Byte:
+		return ByteVal(byte(r.Intn(256)))
+	case Boolean:
+		return Bool(r.Intn(2) == 1)
+	case Float:
+		return FloatVal(float64(math.Float32frombits(randFinite32(r))))
+	case Double:
+		return DoubleVal(math.Float64frombits(randFinite64(r)))
+	case String:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return Str(string(b))
+	case Array:
+		n := 1 + r.Intn(4)
+		elem := randomValue(r, depth-1)
+		elems := make([]Value, n)
+		elems[0] = elem
+		for i := 1; i < n; i++ {
+			elems[i] = coerceTo(r, elem.Type)
+		}
+		return Value{Type: ArrayOf(n, elem.Type), Elems: elems}
+	case Record:
+		n := 1 + r.Intn(3)
+		fields := make([]Field, n)
+		elems := make([]Value, n)
+		for i := 0; i < n; i++ {
+			elems[i] = randomValue(r, depth-1)
+			fields[i] = Field{Name: string(rune('a' + i)), Type: elems[i].Type}
+		}
+		return Value{Type: MustRecordOf(fields...), Elems: elems}
+	}
+	panic("unreachable")
+}
+
+// coerceTo builds a fresh random value of exactly type t.
+func coerceTo(r *rand.Rand, t *Type) Value {
+	switch t.Kind() {
+	case Integer:
+		return Value{Type: TInteger, I: int64(int32(r.Uint32()))}
+	case Long:
+		return LongVal(int64(r.Uint64()))
+	case Byte:
+		return ByteVal(byte(r.Intn(256)))
+	case Boolean:
+		return Bool(r.Intn(2) == 1)
+	case Float:
+		return FloatVal(float64(math.Float32frombits(randFinite32(r))))
+	case Double:
+		return DoubleVal(math.Float64frombits(randFinite64(r)))
+	case String:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return Str(string(b))
+	case Array:
+		elems := make([]Value, t.Len())
+		for i := range elems {
+			elems[i] = coerceTo(r, t.Elem())
+		}
+		return Value{Type: t, Elems: elems}
+	case Record:
+		elems := make([]Value, len(t.Fields()))
+		for i, f := range t.Fields() {
+			elems[i] = coerceTo(r, f.Type)
+		}
+		return Value{Type: t, Elems: elems}
+	}
+	panic("unreachable")
+}
+
+func randFinite32(r *rand.Rand) uint32 {
+	for {
+		b := r.Uint32()
+		f := math.Float32frombits(b)
+		if !math.IsNaN(float64(f)) {
+			return b
+		}
+	}
+}
+
+func randFinite64(r *rand.Rand) uint64 {
+	for {
+		b := r.Uint64()
+		f := math.Float64frombits(b)
+		if !math.IsNaN(f) {
+			return b
+		}
+	}
+}
+
+// TestQuickEncodeRoundTrip is the core property: every value round
+// trips through the intermediate representation unchanged.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		buf, err := Encode(nil, v)
+		if err != nil {
+			t.Logf("Encode(%v): %v", v, err)
+			return false
+		}
+		got, rest, err := Decode(buf, v.Type)
+		if err != nil || len(rest) != 0 {
+			t.Logf("Decode: %v (rest %d)", err, len(rest))
+			return false
+		}
+		return got.EqualValue(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodedSizeMatchesFixedSize checks that FixedSize agrees
+// with the actual encoder for string-free types.
+func TestQuickEncodedSizeMatchesFixedSize(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		size, fixed := v.Type.FixedSize()
+		if !fixed {
+			return true
+		}
+		buf, err := Encode(nil, v)
+		if err != nil {
+			return false
+		}
+		return len(buf) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckImportSubsetRule(t *testing.T) {
+	exp := MustParseProc(`export shaft prog(
+        "ecom" val array[4] of float, "incom" val integer,
+        "etur" val array[4] of float, "intur" val integer,
+        "ecorr" val float, "xspool" val float, "xmyi" val float,
+        "dxspl" res float)`)
+
+	// Identical import is valid.
+	imp := exp.Clone(false)
+	if err := CheckImport(imp, exp); err != nil {
+		t.Errorf("identical import rejected: %v", err)
+	}
+	// A subset in export order is valid (the paper notes UTS allows
+	// the import to be, in essence, a subset of the export).
+	sub := MustParseProc(`import shaft prog("incom" val integer, "xspool" val float, "dxspl" res float)`)
+	if err := CheckImport(sub, exp); err != nil {
+		t.Errorf("subset import rejected: %v", err)
+	}
+	// Out-of-order subset is rejected.
+	ooo := MustParseProc(`import shaft prog("xspool" val float, "incom" val integer)`)
+	if err := CheckImport(ooo, exp); err == nil {
+		t.Error("out-of-order import accepted")
+	}
+	// Wrong type is rejected.
+	wt := MustParseProc(`import shaft prog("xspool" val double)`)
+	if err := CheckImport(wt, exp); err == nil {
+		t.Error("wrong-type import accepted")
+	}
+	// Wrong mode is rejected.
+	wm := MustParseProc(`import shaft prog("xspool" res float)`)
+	if err := CheckImport(wm, exp); err == nil {
+		t.Error("wrong-mode import accepted")
+	}
+	// Unknown parameter is rejected.
+	unk := MustParseProc(`import shaft prog("bogus" val float)`)
+	if err := CheckImport(unk, exp); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if err := CheckImport(nil, exp); err == nil {
+		t.Error("nil import accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package uts
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomType builds an arbitrary UTS type.
+func randomType(r *rand.Rand, depth int) *Type {
+	simple := []*Type{TInteger, TLong, TByte, TBoolean, TFloat, TDouble, TString}
+	if depth <= 0 || r.Intn(3) > 0 {
+		return simple[r.Intn(len(simple))]
+	}
+	if r.Intn(2) == 0 {
+		return ArrayOf(1+r.Intn(5), randomType(r, depth-1))
+	}
+	n := 1 + r.Intn(3)
+	fields := make([]Field, n)
+	for i := range fields {
+		fields[i] = Field{Name: fmt.Sprintf("f%d", i), Type: randomType(r, depth-1)}
+	}
+	return MustRecordOf(fields...)
+}
+
+// randomSpec builds an arbitrary procedure specification.
+func randomSpec(r *rand.Rand) *ProcSpec {
+	modes := []Mode{Val, Res, Var}
+	n := r.Intn(6)
+	spec := &ProcSpec{
+		Name:   fmt.Sprintf("proc_%c%d", 'a'+rune(r.Intn(26)), r.Intn(100)),
+		Export: r.Intn(2) == 0,
+	}
+	for i := 0; i < n; i++ {
+		spec.Params = append(spec.Params, Param{
+			Name: fmt.Sprintf("p%d", i),
+			Mode: modes[r.Intn(len(modes))],
+			Type: randomType(r, 2),
+		})
+	}
+	if r.Intn(3) == 0 {
+		for i := 0; i < 1+r.Intn(3); i++ {
+			spec.State = append(spec.State, Field{
+				Name: fmt.Sprintf("s%d", i),
+				Type: randomType(r, 1),
+			})
+		}
+	}
+	return spec
+}
+
+// TestQuickSpecPrintParseRoundTrip: every specification survives
+// printing and re-parsing with identical structure — the property that
+// keeps the co-located spec files, the Manager's mapping tables, and
+// the wire-carried signatures consistent.
+func TestQuickSpecPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		parsed, err := ParseProc(spec.String())
+		if err != nil {
+			t.Logf("re-parse of %q: %v", spec.String(), err)
+			return false
+		}
+		if parsed.String() != spec.String() {
+			t.Logf("unstable: %q vs %q", spec.String(), parsed.String())
+			return false
+		}
+		if parsed.Export != spec.Export || parsed.Name != spec.Name {
+			return false
+		}
+		if len(parsed.Params) != len(spec.Params) || len(parsed.State) != len(spec.State) {
+			return false
+		}
+		for i := range spec.Params {
+			if parsed.Params[i].Mode != spec.Params[i].Mode ||
+				!parsed.Params[i].Type.Equal(spec.Params[i].Type) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckImportReflexive: every export accepts itself as an
+// import (the identity import is always valid).
+func TestQuickCheckImportReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		spec.Export = true
+		return CheckImport(spec.Clone(false), spec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckImportPrefixSubset: any prefix of an export's
+// parameters is a valid import (the subset rule).
+func TestQuickCheckImportPrefixSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		spec.Export = true
+		if len(spec.Params) == 0 {
+			return true
+		}
+		k := r.Intn(len(spec.Params))
+		sub := spec.Clone(false)
+		sub.Params = sub.Params[:k]
+		return CheckImport(sub, spec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickZeroValueEncodes: the zero value of every type encodes and
+// decodes back to itself (the value subset imports inject for omitted
+// parameters).
+func TestQuickZeroValueEncodes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := randomType(r, 3)
+		z := Zero(typ)
+		buf, err := Encode(nil, z)
+		if err != nil {
+			return false
+		}
+		got, rest, err := Decode(buf, typ)
+		return err == nil && len(rest) == 0 && got.EqualValue(z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

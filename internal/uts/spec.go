@@ -1,0 +1,231 @@
+package uts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode is the parameter passing mode of a procedure parameter.
+type Mode int
+
+const (
+	// Val parameters are passed from caller to procedure only.
+	Val Mode = iota
+	// Res parameters are passed from procedure back to caller only.
+	Res
+	// Var parameters are passed in both directions (value/result).
+	Var
+)
+
+// String returns the specification-language spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Val:
+		return "val"
+	case Res:
+		return "res"
+	case Var:
+		return "var"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Param is one parameter of a procedure specification.
+type Param struct {
+	Name string
+	Mode Mode
+	Type *Type
+}
+
+// Dir tells whether a parameter carries data in the call (caller to
+// procedure) and/or the reply (procedure to caller) direction.
+func (p Param) In() bool  { return p.Mode == Val || p.Mode == Var }
+func (p Param) Out() bool { return p.Mode == Res || p.Mode == Var }
+
+// ProcSpec is the specification of one procedure: the paper's
+//
+//	export shaft prog("ecom" val array[4] of float, ... , "dxspl" res float)
+//
+// An identical structure describes imports. State lists the procedure's
+// state variables for the migration-with-state extension (section 4.2
+// of the paper describes this as a planned UTS extension); it is empty
+// for stateless procedures.
+type ProcSpec struct {
+	Name   string
+	Export bool // true for export declarations, false for import
+	Params []Param
+	State  []Field
+}
+
+// Signature renders the parameter list canonically, for runtime type
+// checking: two specs are call-compatible only if the importing
+// signature is a subset of the exporting one (see CheckImport).
+func (s *ProcSpec) Signature() string {
+	var b strings.Builder
+	b.WriteString("prog(")
+	for i, p := range s.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q %s %s", p.Name, p.Mode, p.Type)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// String renders the complete declaration in specification syntax.
+func (s *ProcSpec) String() string {
+	kw := "import"
+	if s.Export {
+		kw = "export"
+	}
+	out := fmt.Sprintf("%s %s %s", kw, s.Name, s.Signature())
+	if len(s.State) > 0 {
+		var b strings.Builder
+		b.WriteString(" state(")
+		for i, f := range s.State {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q %s", f.Name, f.Type)
+		}
+		b.WriteString(")")
+		out += b.String()
+	}
+	return out
+}
+
+// Param returns the parameter with the given name, or nil.
+func (s *ProcSpec) Param(name string) *Param {
+	for i := range s.Params {
+		if s.Params[i].Name == name {
+			return &s.Params[i]
+		}
+	}
+	return nil
+}
+
+// InParams returns the parameters carried on the call message, in
+// declaration order.
+func (s *ProcSpec) InParams() []Param {
+	var out []Param
+	for _, p := range s.Params {
+		if p.In() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OutParams returns the parameters carried on the reply message, in
+// declaration order.
+func (s *ProcSpec) OutParams() []Param {
+	var out []Param
+	for _, p := range s.Params {
+		if p.Out() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the spec with the given export flag.
+func (s *ProcSpec) Clone(export bool) *ProcSpec {
+	c := &ProcSpec{
+		Name:   s.Name,
+		Export: export,
+		Params: append([]Param(nil), s.Params...),
+		State:  append([]Field(nil), s.State...),
+	}
+	return c
+}
+
+// CheckImport verifies that an import specification is compatible with
+// an export specification. UTS allows the import to be, in essence, a
+// subset of the export: every imported parameter must appear in the
+// export with the same name, mode, and type, and imported parameters
+// must appear in the same relative order as in the export. Omitted
+// parameters take their zero values on the call and are discarded from
+// the reply.
+func CheckImport(imp, exp *ProcSpec) error {
+	if imp == nil || exp == nil {
+		return fmt.Errorf("uts: nil specification")
+	}
+	j := 0
+	for _, p := range imp.Params {
+		found := false
+		for ; j < len(exp.Params); j++ {
+			e := exp.Params[j]
+			if e.Name == p.Name {
+				if e.Mode != p.Mode {
+					return fmt.Errorf("uts: parameter %q: import mode %s does not match export mode %s", p.Name, p.Mode, e.Mode)
+				}
+				if !e.Type.Equal(p.Type) {
+					return fmt.Errorf("uts: parameter %q: import type %s does not match export type %s", p.Name, p.Type, e.Type)
+				}
+				j++
+				found = true
+				break
+			}
+		}
+		if !found {
+			if exp.Param(p.Name) != nil {
+				return fmt.Errorf("uts: parameter %q appears out of order in import", p.Name)
+			}
+			return fmt.Errorf("uts: parameter %q not present in export %s", p.Name, exp.Name)
+		}
+	}
+	return nil
+}
+
+// SpecFile is the parsed contents of one specification file: a series
+// of import and export declarations.
+type SpecFile struct {
+	Procs []*ProcSpec
+}
+
+// Proc returns the declaration with the given name, or nil. Lookup is
+// exact; case-insensitive matching for Fortran procedures is a naming
+// policy applied by the Schooner Manager, not by UTS (see the
+// schooner package).
+func (f *SpecFile) Proc(name string) *ProcSpec {
+	for _, p := range f.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Exports returns the export declarations in file order.
+func (f *SpecFile) Exports() []*ProcSpec {
+	var out []*ProcSpec
+	for _, p := range f.Procs {
+		if p.Export {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Imports returns the import declarations in file order.
+func (f *SpecFile) Imports() []*ProcSpec {
+	var out []*ProcSpec
+	for _, p := range f.Procs {
+		if !p.Export {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the file in specification syntax, one declaration per
+// line; the output re-parses to an equal file.
+func (f *SpecFile) String() string {
+	var b strings.Builder
+	for _, p := range f.Procs {
+		b.WriteString(p.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

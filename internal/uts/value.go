@@ -1,0 +1,259 @@
+package uts
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a dynamically typed UTS datum. A Value pairs a Type with a
+// representation chosen by the type's kind:
+//
+//	Integer, Long, Byte, Boolean  -> I (Boolean uses 0/1)
+//	Float, Double                 -> F
+//	String                        -> S
+//	Array, Record                 -> Elems (records in field order)
+//
+// Values are passed by value; Elems is shared, so callers who need an
+// independent copy should use Clone.
+type Value struct {
+	Type  *Type
+	I     int64
+	F     float64
+	S     string
+	Elems []Value
+}
+
+// Int returns a UTS integer value, checking the 32-bit range.
+func Int(v int64) (Value, error) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return Value{}, fmt.Errorf("uts: value %d out of range for integer", v)
+	}
+	return Value{Type: TInteger, I: v}, nil
+}
+
+// MustInt is Int for values statically known to fit.
+func MustInt(v int) Value {
+	val, err := Int(int64(v))
+	if err != nil {
+		panic(err)
+	}
+	return val
+}
+
+// LongVal returns a UTS long value.
+func LongVal(v int64) Value { return Value{Type: TLong, I: v} }
+
+// ByteVal returns a UTS byte value.
+func ByteVal(v byte) Value { return Value{Type: TByte, I: int64(v)} }
+
+// Bool returns a UTS boolean value.
+func Bool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{Type: TBoolean, I: i}
+}
+
+// FloatVal returns a UTS single-precision value. The float64 argument
+// is rounded to single precision immediately so that the value held in
+// memory is exactly the value that will cross the wire.
+func FloatVal(v float64) Value {
+	return Value{Type: TFloat, F: float64(float32(v))}
+}
+
+// DoubleVal returns a UTS double-precision value.
+func DoubleVal(v float64) Value { return Value{Type: TDouble, F: v} }
+
+// Str returns a UTS string value.
+func Str(v string) Value { return Value{Type: TString, S: v} }
+
+// ArrayVal builds an array value from elements that must all have the
+// given element type.
+func ArrayVal(elem *Type, elems ...Value) (Value, error) {
+	for i, e := range elems {
+		if !e.Type.Equal(elem) {
+			return Value{}, fmt.Errorf("uts: array element %d has type %v, want %v", i, e.Type, elem)
+		}
+	}
+	return Value{Type: ArrayOf(len(elems), elem), Elems: elems}, nil
+}
+
+// FloatArray builds an array[len(v)] of float from float64s (each
+// rounded to single precision).
+func FloatArray(v ...float64) Value {
+	elems := make([]Value, len(v))
+	for i, f := range v {
+		elems[i] = FloatVal(f)
+	}
+	return Value{Type: ArrayOf(len(v), TFloat), Elems: elems}
+}
+
+// DoubleArray builds an array[len(v)] of double.
+func DoubleArray(v ...float64) Value {
+	elems := make([]Value, len(v))
+	for i, f := range v {
+		elems[i] = DoubleVal(f)
+	}
+	return Value{Type: ArrayOf(len(v), TDouble), Elems: elems}
+}
+
+// RecordVal builds a record value; the number and types of the
+// elements must match the record type's fields.
+func RecordVal(t *Type, elems ...Value) (Value, error) {
+	if t.Kind() != Record {
+		return Value{}, fmt.Errorf("uts: RecordVal needs a record type, got %v", t)
+	}
+	if len(elems) != len(t.Fields()) {
+		return Value{}, fmt.Errorf("uts: record %v needs %d fields, got %d", t, len(t.Fields()), len(elems))
+	}
+	for i, f := range t.Fields() {
+		if !elems[i].Type.Equal(f.Type) {
+			return Value{}, fmt.Errorf("uts: record field %q has type %v, want %v", f.Name, elems[i].Type, f.Type)
+		}
+	}
+	return Value{Type: t, Elems: elems}, nil
+}
+
+// Zero returns the zero value of a type: 0, 0.0, false, "", and
+// aggregates of zeros.
+func Zero(t *Type) Value {
+	switch t.Kind() {
+	case Array:
+		elems := make([]Value, t.Len())
+		for i := range elems {
+			elems[i] = Zero(t.Elem())
+		}
+		return Value{Type: t, Elems: elems}
+	case Record:
+		elems := make([]Value, len(t.Fields()))
+		for i, f := range t.Fields() {
+			elems[i] = Zero(f.Type)
+		}
+		return Value{Type: t, Elems: elems}
+	default:
+		return Value{Type: t}
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v Value) Clone() Value {
+	if v.Elems == nil {
+		return v
+	}
+	elems := make([]Value, len(v.Elems))
+	for i, e := range v.Elems {
+		elems[i] = e.Clone()
+	}
+	v.Elems = elems
+	return v
+}
+
+// Float64 extracts the numeric content of a float, double, integer,
+// long, or byte value as a float64.
+func (v Value) Float64() (float64, error) {
+	switch v.Type.Kind() {
+	case Float, Double:
+		return v.F, nil
+	case Integer, Long, Byte:
+		return float64(v.I), nil
+	}
+	return 0, fmt.Errorf("uts: value of type %v is not numeric", v.Type)
+}
+
+// Int64 extracts the integer content of an integer, long, byte, or
+// boolean value.
+func (v Value) Int64() (int64, error) {
+	switch v.Type.Kind() {
+	case Integer, Long, Byte, Boolean:
+		return v.I, nil
+	}
+	return 0, fmt.Errorf("uts: value of type %v is not integral", v.Type)
+}
+
+// Floats extracts the contents of an array of float or double as a
+// []float64 slice.
+func (v Value) Floats() ([]float64, error) {
+	if v.Type.Kind() != Array {
+		return nil, fmt.Errorf("uts: value of type %v is not an array", v.Type)
+	}
+	out := make([]float64, len(v.Elems))
+	for i, e := range v.Elems {
+		f, err := e.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("uts: element %d: %w", i, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Field returns the value of the named record field.
+func (v Value) Field(name string) (Value, error) {
+	if v.Type.Kind() != Record {
+		return Value{}, fmt.Errorf("uts: value of type %v is not a record", v.Type)
+	}
+	for i, f := range v.Type.Fields() {
+		if f.Name == name {
+			return v.Elems[i], nil
+		}
+	}
+	return Value{}, fmt.Errorf("uts: record %v has no field %q", v.Type, name)
+}
+
+// EqualValue reports whether two values have identical types and
+// contents. Floating point comparison is exact (bit-for-bit after the
+// single-precision rounding applied on construction).
+func (v Value) EqualValue(u Value) bool {
+	if !v.Type.Equal(u.Type) {
+		return false
+	}
+	switch v.Type.Kind() {
+	case Integer, Long, Byte, Boolean:
+		return v.I == u.I
+	case Float, Double:
+		// NaN compares equal to itself here: two values that arrived
+		// as NaN are interchangeable for round-trip testing purposes.
+		return v.F == u.F || (math.IsNaN(v.F) && math.IsNaN(u.F))
+	case String:
+		return v.S == u.S
+	case Array, Record:
+		if len(v.Elems) != len(u.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].EqualValue(u.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Type.Kind() {
+	case Integer, Long, Byte:
+		return fmt.Sprintf("%d", v.I)
+	case Boolean:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case Float, Double:
+		return fmt.Sprintf("%g", v.F)
+	case String:
+		return fmt.Sprintf("%q", v.S)
+	case Array, Record:
+		s := "["
+		for i, e := range v.Elems {
+			if i > 0 {
+				s += " "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	}
+	return "<invalid>"
+}

@@ -1,0 +1,157 @@
+package uts
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntRange(t *testing.T) {
+	if _, err := Int(math.MaxInt32); err != nil {
+		t.Errorf("Int(MaxInt32): %v", err)
+	}
+	if _, err := Int(math.MinInt32); err != nil {
+		t.Errorf("Int(MinInt32): %v", err)
+	}
+	if _, err := Int(math.MaxInt32 + 1); err == nil {
+		t.Error("Int(MaxInt32+1) accepted")
+	}
+	if _, err := Int(math.MinInt32 - 1); err == nil {
+		t.Error("Int(MinInt32-1) accepted")
+	}
+}
+
+func TestFloatValRoundsToSingle(t *testing.T) {
+	v := FloatVal(math.Pi)
+	if v.F == math.Pi {
+		t.Error("FloatVal did not round to single precision")
+	}
+	if v.F != float64(float32(math.Pi)) {
+		t.Errorf("FloatVal(%v) = %v", math.Pi, v.F)
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool mapping wrong")
+	}
+}
+
+func TestArrayValTypeCheck(t *testing.T) {
+	if _, err := ArrayVal(TFloat, FloatVal(1), FloatVal(2)); err != nil {
+		t.Errorf("homogeneous array rejected: %v", err)
+	}
+	if _, err := ArrayVal(TFloat, FloatVal(1), DoubleVal(2)); err == nil {
+		t.Error("heterogeneous array accepted")
+	}
+}
+
+func TestRecordVal(t *testing.T) {
+	r := MustRecordOf(Field{"p", TDouble}, Field{"n", TInteger})
+	v, err := RecordVal(r, DoubleVal(101325), MustInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.Field("p")
+	if err != nil || p.F != 101325 {
+		t.Errorf("Field(p) = %v, %v", p, err)
+	}
+	if _, err := v.Field("missing"); err == nil {
+		t.Error("missing field lookup succeeded")
+	}
+	if _, err := RecordVal(r, DoubleVal(1)); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := RecordVal(r, MustInt(1), DoubleVal(2)); err == nil {
+		t.Error("mis-typed record accepted")
+	}
+	if _, err := RecordVal(TFloat, DoubleVal(1)); err == nil {
+		t.Error("RecordVal on non-record type accepted")
+	}
+}
+
+func TestZero(t *testing.T) {
+	r := MustRecordOf(Field{"a", ArrayOf(2, TFloat)}, Field{"s", TString})
+	z := Zero(r)
+	if len(z.Elems) != 2 || len(z.Elems[0].Elems) != 2 {
+		t.Fatalf("Zero(%v) = %v", r, z)
+	}
+	if z.Elems[0].Elems[0].F != 0 || z.Elems[1].S != "" {
+		t.Errorf("Zero not zero: %v", z)
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := FloatArray(1, 2, 3)
+	c := orig.Clone()
+	c.Elems[0].F = 99
+	if orig.Elems[0].F == 99 {
+		t.Error("Clone shares element storage")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if f, err := DoubleVal(2.5).Float64(); err != nil || f != 2.5 {
+		t.Errorf("Float64 = %v, %v", f, err)
+	}
+	if f, err := MustInt(7).Float64(); err != nil || f != 7 {
+		t.Errorf("int Float64 = %v, %v", f, err)
+	}
+	if _, err := Str("x").Float64(); err == nil {
+		t.Error("string Float64 succeeded")
+	}
+	if i, err := MustInt(-3).Int64(); err != nil || i != -3 {
+		t.Errorf("Int64 = %v, %v", i, err)
+	}
+	if _, err := DoubleVal(1).Int64(); err == nil {
+		t.Error("double Int64 succeeded")
+	}
+	fs, err := DoubleArray(1, 2, 3).Floats()
+	if err != nil || len(fs) != 3 || fs[2] != 3 {
+		t.Errorf("Floats = %v, %v", fs, err)
+	}
+	if _, err := Str("x").Floats(); err == nil {
+		t.Error("string Floats succeeded")
+	}
+}
+
+func TestEqualValue(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{MustInt(1), MustInt(1), true},
+		{MustInt(1), MustInt(2), false},
+		{MustInt(1), LongVal(1), false}, // different types
+		{DoubleVal(1.5), DoubleVal(1.5), true},
+		{DoubleVal(math.NaN()), DoubleVal(math.NaN()), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{FloatArray(1, 2), FloatArray(1, 2), true},
+		{FloatArray(1, 2), FloatArray(1, 3), false},
+		{Bool(true), Bool(true), true},
+	}
+	for _, c := range cases {
+		if got := c.a.EqualValue(c.b); got != c.want {
+			t.Errorf("EqualValue(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{MustInt(42), "42"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{DoubleVal(1.5), "1.5"},
+		{Str("hi"), `"hi"`},
+		{DoubleArray(1, 2), "[1 2]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

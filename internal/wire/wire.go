@@ -1,0 +1,268 @@
+// Package wire defines the message vocabulary and framing of the
+// Schooner runtime protocol: the messages exchanged among the Manager,
+// the per-machine Servers, the procedure processes, and the client
+// library linked into every program.
+//
+// Transport is abstracted behind the Conn interface so the same
+// protocol runs over the in-process network simulator (package netsim)
+// and over real TCP sockets (package schooner's tcp transport).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Kind identifies a protocol message.
+type Kind uint8
+
+const (
+	// KInvalid is the zero Kind; it never appears on the wire.
+	KInvalid Kind = iota
+
+	// Client/module <-> Manager.
+
+	// KRegisterLine is sent by sch_contact_schx when a module first
+	// contacts the Manager: it opens a new line (thread of control) in
+	// the executing program. Name carries the module's name.
+	KRegisterLine
+	// KLineOK acknowledges KRegisterLine; Line carries the new line id.
+	KLineOK
+	// KStartProc asks the Manager to instantiate a remote procedure
+	// file: Name is the executable path, Str is the target machine,
+	// Line selects the requesting line (0 requests a shared procedure).
+	KStartProc
+	// KStartOK acknowledges KStartProc; Str carries the address the
+	// procedure process listens on.
+	KStartOK
+	// KLookup asks the Manager to map a procedure name to an address
+	// within the requesting line; Name is the procedure name, Data
+	// carries the import specification for runtime type checking.
+	KLookup
+	// KLookupOK answers KLookup; Str carries "machine/address".
+	KLookupOK
+	// KQuitLine is sch_i_quit: the module is being destroyed; the
+	// Manager shuts down all remote procedures in the line.
+	KQuitLine
+	// KQuitOK acknowledges KQuitLine.
+	KQuitOK
+	// KMove asks the Manager to move procedure Name within Line to the
+	// machine in Str.
+	KMove
+	// KMoveOK acknowledges KMove; Str carries the new address.
+	KMoveOK
+
+	// Manager <-> Server.
+
+	// KSpawn asks a Server to create a process for executable path
+	// Name; Str carries the line tag used in diagnostics.
+	KSpawn
+	// KSpawnOK answers KSpawn; Str carries the new process address,
+	// Data the export specification file text.
+	KSpawnOK
+	// KShutdown tells a procedure process (or Server) to terminate.
+	KShutdown
+	// KShutdownOK acknowledges KShutdown.
+	KShutdownOK
+
+	// Caller <-> procedure process.
+
+	// KCall invokes exported procedure Name; Data carries the
+	// marshaled in-parameters, Str the caller's declared signature.
+	KCall
+	// KReply answers KCall with marshaled out-parameters in Data.
+	KReply
+	// KStateGet asks a procedure process for its migration state
+	// (marshaled per the state clause of its export spec).
+	KStateGet
+	// KStateOK answers KStateGet with the marshaled state in Data.
+	KStateOK
+	// KStatePut installs migration state into a fresh process.
+	KStatePut
+	// KStatePutOK acknowledges KStatePut.
+	KStatePutOK
+
+	// KError is a negative reply to any request; Err carries text.
+	KError
+	// KPing/KPong are liveness probes.
+	KPing
+	KPong
+)
+
+var kindNames = map[Kind]string{
+	KRegisterLine: "RegisterLine", KLineOK: "LineOK",
+	KStartProc: "StartProc", KStartOK: "StartOK",
+	KLookup: "Lookup", KLookupOK: "LookupOK",
+	KQuitLine: "QuitLine", KQuitOK: "QuitOK",
+	KMove: "Move", KMoveOK: "MoveOK",
+	KSpawn: "Spawn", KSpawnOK: "SpawnOK",
+	KShutdown: "Shutdown", KShutdownOK: "ShutdownOK",
+	KCall: "Call", KReply: "Reply",
+	KStateGet: "StateGet", KStateOK: "StateOK",
+	KStatePut: "StatePut", KStatePutOK: "StatePutOK",
+	KError: "Error", KPing: "Ping", KPong: "Pong",
+}
+
+// String names the message kind for diagnostics.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is one protocol message. The field meanings depend on Kind
+// (see the Kind constants); unused fields stay zero and cost two bytes
+// each on the wire.
+type Message struct {
+	Kind Kind
+	Seq  uint32 // request/reply correlation
+	Line uint32 // line id, when relevant
+	Name string // primary name (procedure, path, module)
+	Str  string // secondary string (machine, address, signature)
+	Err  string // error text for KError
+	Data []byte // marshaled payload
+}
+
+// String renders a compact diagnostic form.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s seq=%d line=%d name=%q str=%q err=%q data=%dB",
+		m.Kind, m.Seq, m.Line, m.Name, m.Str, m.Err, len(m.Data))
+}
+
+const (
+	maxString = 1 << 16 // per string field
+	maxData   = 1 << 26 // 64 MiB payload cap
+)
+
+// Encode appends the serialized message to buf. The layout is:
+// kind(1) seq(4) line(4) name(2+n) str(2+n) err(2+n) data(4+n),
+// all big-endian.
+func (m *Message) Encode(buf []byte) ([]byte, error) {
+	if m.Kind == KInvalid {
+		return nil, fmt.Errorf("wire: cannot encode invalid message")
+	}
+	for _, s := range []string{m.Name, m.Str, m.Err} {
+		if len(s) >= maxString {
+			return nil, fmt.Errorf("wire: string field of %d bytes too long", len(s))
+		}
+	}
+	if len(m.Data) > maxData {
+		return nil, fmt.Errorf("wire: payload of %d bytes too long", len(m.Data))
+	}
+	buf = append(buf, byte(m.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, m.Line)
+	for _, s := range []string{m.Name, m.Str, m.Err} {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
+	return append(buf, m.Data...), nil
+}
+
+// DecodeMessage parses a serialized message, which must be exactly one
+// message with no trailing bytes.
+func DecodeMessage(buf []byte) (*Message, error) {
+	if len(buf) < 1+4+4 {
+		return nil, fmt.Errorf("wire: message truncated at header (%d bytes)", len(buf))
+	}
+	m := &Message{Kind: Kind(buf[0])}
+	if m.Kind == KInvalid || m.Kind > KPong {
+		return nil, fmt.Errorf("wire: unknown message kind %d", buf[0])
+	}
+	m.Seq = binary.BigEndian.Uint32(buf[1:])
+	m.Line = binary.BigEndian.Uint32(buf[5:])
+	buf = buf[9:]
+	for _, dst := range []*string{&m.Name, &m.Str, &m.Err} {
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("wire: message truncated at string length")
+		}
+		n := int(binary.BigEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < n {
+			return nil, fmt.Errorf("wire: message truncated inside string")
+		}
+		*dst = string(buf[:n])
+		buf = buf[n:]
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("wire: message truncated at payload length")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	if n > maxData {
+		return nil, fmt.Errorf("wire: payload length %d too large", n)
+	}
+	if len(buf) != int(n) {
+		return nil, fmt.Errorf("wire: payload length %d does not match %d remaining bytes", n, len(buf))
+	}
+	if n > 0 {
+		m.Data = append([]byte(nil), buf...)
+	}
+	return m, nil
+}
+
+// Conn carries whole messages between two endpoints. Implementations
+// must allow Send and Recv to be used concurrently with each other;
+// concurrent Sends (or concurrent Recvs) require external locking.
+type Conn interface {
+	Send(m *Message) error
+	Recv() (*Message, error)
+	Close() error
+	// RemoteLabel describes the peer for diagnostics ("hostname" or
+	// network address).
+	RemoteLabel() string
+}
+
+// StreamConn adapts a byte stream (e.g. a TCP connection) to the Conn
+// interface using a 4-byte big-endian length frame per message.
+type StreamConn struct {
+	rw    io.ReadWriteCloser
+	label string
+	rbuf  []byte
+}
+
+// NewStreamConn wraps a stream; label describes the peer.
+func NewStreamConn(rw io.ReadWriteCloser, label string) *StreamConn {
+	return &StreamConn{rw: rw, label: label}
+}
+
+// Send frames and writes one message.
+func (c *StreamConn) Send(m *Message) error {
+	body, err := m.Encode(nil)
+	if err != nil {
+		return err
+	}
+	frame := binary.BigEndian.AppendUint32(make([]byte, 0, 4+len(body)), uint32(len(body)))
+	frame = append(frame, body...)
+	_, err = c.rw.Write(frame)
+	return err
+}
+
+// Recv reads one framed message, blocking until available.
+func (c *StreamConn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxData+maxString*4 {
+		return nil, fmt.Errorf("wire: frame of %d bytes too large", n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.rw, buf); err != nil {
+		return nil, err
+	}
+	return DecodeMessage(buf)
+}
+
+// Close closes the underlying stream.
+func (c *StreamConn) Close() error { return c.rw.Close() }
+
+// RemoteLabel describes the peer.
+func (c *StreamConn) RemoteLabel() string { return c.label }

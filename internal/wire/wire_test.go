@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if KCall.String() != "Call" || KReply.String() != "Reply" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KCall, Seq: 42, Line: 7,
+		Name: "shaft", Str: "cray-ymp-lerc/9001", Err: "",
+		Data: []byte{1, 2, 3, 4, 5},
+	}
+	buf, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Seq != m.Seq || got.Line != m.Line ||
+		got.Name != m.Name || got.Str != m.Str || got.Err != m.Err ||
+		!bytes.Equal(got.Data, m.Data) {
+		t.Errorf("round trip: got %v, want %v", got, m)
+	}
+}
+
+func TestEncodeEmptyFields(t *testing.T) {
+	m := &Message{Kind: KPing}
+	buf, err := m.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KPing || got.Name != "" || got.Data != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := (&Message{}).Encode(nil); err == nil {
+		t.Error("invalid kind encoded")
+	}
+	long := strings.Repeat("x", maxString)
+	if _, err := (&Message{Kind: KPing, Name: long}).Encode(nil); err == nil {
+		t.Error("oversized string encoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, _ := (&Message{Kind: KCall, Name: "p", Data: []byte{9}}).Encode(nil)
+	cases := [][]byte{
+		nil,
+		{},
+		good[:3],                              // header truncated
+		good[:len(good)-1],                    // payload truncated
+		append(good[:len(good):len(good)], 0), // trailing byte
+		{0, 0, 0, 0, 0, 0, 0, 0, 0},           // kind 0
+		{255, 0, 0, 0, 0, 0, 0, 0, 0},         // kind out of range
+	}
+	for i, b := range cases {
+		if _, err := DecodeMessage(b); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+	// String length running past end.
+	bad := append([]byte{byte(KPing)}, make([]byte, 8)...)
+	bad = append(bad, 0xff, 0xff)
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("runaway string length decoded")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Kind: Kind(1 + r.Intn(int(KPong))),
+			Seq:  r.Uint32(),
+			Line: r.Uint32(),
+			Name: randStr(r, 50),
+			Str:  randStr(r, 50),
+			Err:  randStr(r, 50),
+		}
+		if n := r.Intn(100); n > 0 {
+			m.Data = make([]byte, n)
+			r.Read(m.Data)
+		}
+		buf, err := m.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.Seq == m.Seq && got.Line == m.Line &&
+			got.Name == m.Name && got.Str == m.Str && got.Err == m.Err &&
+			bytes.Equal(got.Data, m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randStr(r *rand.Rand, max int) string {
+	b := make([]byte, r.Intn(max))
+	for i := range b {
+		b[i] = byte(32 + r.Intn(95))
+	}
+	return string(b)
+}
+
+func TestStreamConn(t *testing.T) {
+	a, b := net.Pipe()
+	ca := NewStreamConn(a, "peer-b")
+	cb := NewStreamConn(b, "peer-a")
+	if ca.RemoteLabel() != "peer-b" {
+		t.Errorf("label = %q", ca.RemoteLabel())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got *Message
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		got, recvErr = cb.Recv()
+	}()
+	want := &Message{Kind: KCall, Seq: 3, Name: "duct", Data: []byte("payload")}
+	if err := ca.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if got.Name != "duct" || string(got.Data) != "payload" {
+		t.Errorf("got %v", got)
+	}
+	// Several messages in sequence reuse the read buffer.
+	go func() {
+		for i := 0; i < 10; i++ {
+			ca.Send(&Message{Kind: KPing, Seq: uint32(i)})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		m, err := cb.Recv()
+		if err != nil || m.Seq != uint32(i) {
+			t.Fatalf("message %d: %v, %v", i, m, err)
+		}
+	}
+	ca.Close()
+	if _, err := cb.Recv(); err != io.EOF && err != io.ErrUnexpectedEOF && err != io.ErrClosedPipe {
+		t.Logf("Recv after close: %v (acceptable)", err)
+	}
+	cb.Close()
+}
