@@ -20,10 +20,11 @@ import (
 	"os"
 
 	"npss/internal/exper"
+	"npss/internal/trace"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, chaos, all")
 	transient := flag.Float64("transient", 0.5, "transient length, s")
 	step := flag.Float64("step", 5e-4, "integration step, s")
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
@@ -91,11 +92,28 @@ func main() {
 			all = append(all, utsn...)
 			fmt.Print(exper.FormatAblations(all))
 		},
+		"chaos": func() {
+			fmt.Println("== Chaos: Table 2 workload under loss, flaps, and a machine crash ==")
+			fmt.Print(exper.FormatChaos(exper.Chaos(exper.ChaosSpec{Run: spec})))
+		},
+	}
+
+	// printCounters reports the global trace counters an experiment
+	// accumulated — in particular the retry/timeout/failover counters
+	// of the fault-tolerant runtime — then clears them so the next
+	// experiment reports only its own.
+	printCounters := func() {
+		if snap := trace.Snapshot(); snap != "" {
+			fmt.Println("-- trace counters --")
+			fmt.Print(snap)
+		}
+		trace.Reset()
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"fig1", "fig2", "table1", "table2", "incremental", "lines", "zooming", "ablations"} {
+		for _, name := range []string{"fig1", "fig2", "table1", "table2", "incremental", "lines", "zooming", "ablations", "chaos"} {
 			run[name]()
+			printCounters()
 			fmt.Println()
 		}
 		return
@@ -106,4 +124,5 @@ func main() {
 		os.Exit(2)
 	}
 	fn()
+	printCounters()
 }

@@ -1,0 +1,250 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"npss/internal/core"
+	"npss/internal/engine"
+	"npss/internal/netsim"
+	"npss/internal/schooner"
+	"npss/internal/trace"
+)
+
+// ChaosSpec configures the chaos experiment: the Table 2 combined
+// F100 workload run under injected message loss, latency jitter, link
+// flaps, and one mid-transient machine crash, with the fault-tolerant
+// runtime (call deadlines, retry with rebind, Manager health
+// monitoring, stateless failover) expected to carry the simulation to
+// the same answer as the undisturbed local run.
+type ChaosSpec struct {
+	Run RunSpec
+	// Seed makes the injected faults reproducible (default 1993).
+	Seed int64
+	// Loss is the per-message drop probability on the client-side
+	// links (default 0.5%).
+	Loss float64
+	// Jitter is the maximum extra per-message latency (default 200µs
+	// of simulated time).
+	Jitter time.Duration
+	// FlapEvery/FlapLen schedule transient link outages: after every
+	// FlapEvery carried messages the link drops the next FlapLen
+	// (defaults 400 and 3).
+	FlapEvery, FlapLen int
+	// CrashHost is crashed mid-transient (default the RS/6000, which
+	// hosts both shaft computations). The machine stays down; the
+	// Manager's health monitor must fail its processes over.
+	CrashHost string
+	// CrashStep is the transient step at which the crash is injected
+	// (default: halfway through the transient).
+	CrashStep int
+	// Policy is the client call policy (default: a tight-deadline,
+	// generous-retry policy whose budget outlasts crash detection and
+	// failover).
+	Policy schooner.CallPolicy
+	// Health is the Manager's monitoring policy (default: 5ms sweeps,
+	// 3 missed probes declare a machine dead).
+	Health schooner.HealthPolicy
+}
+
+func (s *ChaosSpec) defaults() {
+	s.Run.defaults()
+	if s.Seed == 0 {
+		s.Seed = 1993
+	}
+	if s.Loss == 0 {
+		s.Loss = 0.005
+	}
+	if s.Jitter == 0 {
+		s.Jitter = 200 * time.Microsecond
+	}
+	if s.FlapEvery == 0 {
+		s.FlapEvery = 400
+	}
+	if s.FlapLen == 0 {
+		s.FlapLen = 3
+	}
+	if s.CrashHost == "" {
+		s.CrashHost = RS6000Lerc
+	}
+	if s.CrashStep == 0 {
+		s.CrashStep = int(s.Run.Transient/s.Run.Step) / 2
+	}
+	if s.Policy == (schooner.CallPolicy{}) {
+		// A deadline well above the (unscaled) simulated round trip but
+		// small enough that dropped replies cost little wall-clock, and
+		// a retry/backoff budget that outlasts detection (3 sweeps of
+		// 5ms) plus failover respawn.
+		s.Policy = schooner.CallPolicy{
+			Timeout:    75 * time.Millisecond,
+			MaxRetries: 12,
+			Backoff:    2 * time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond,
+		}
+	}
+	if s.Health == (schooner.HealthPolicy{}) {
+		s.Health = schooner.HealthPolicy{
+			Interval:    5 * time.Millisecond,
+			Threshold:   3,
+			PingTimeout: 50 * time.Millisecond,
+		}
+	}
+}
+
+// chaosCounters are the fault-tolerance counters a chaos run reports
+// as deltas.
+var chaosCounters = []string{
+	"netsim.drops",
+	"schooner.client.calls",
+	"schooner.client.retries",
+	"schooner.client.timeouts",
+	"schooner.client.stale",
+	"schooner.client.rebinds",
+	"schooner.manager.heartbeats",
+	"schooner.manager.hostdown",
+	"schooner.manager.failovers",
+	"schooner.manager.failover_skipped_stateful",
+	"schooner.manager.spawn_retries",
+}
+
+// ChaosResult is the outcome of one chaos run: the usual combined-test
+// row plus the recovery-path counters accumulated during the faulty
+// run.
+type ChaosResult struct {
+	Row       *ModuleRun
+	CrashHost string
+	CrashStep int
+	// Counters holds the per-run deltas of the chaosCounters.
+	Counters map[string]int64
+}
+
+// Chaos runs the paper's Table 2 combined test — the TESS F100
+// simulation on the Arizona Sparc with six computations placed on
+// remote machines at both sites — under probabilistic fault
+// injection on every client link plus a mid-transient crash of the
+// machine hosting both shafts. The run must converge to the
+// local-only answer: lost messages are retried, the crashed machine's
+// stateless processes are restarted elsewhere by the Manager's health
+// monitor, and clients follow via the same lazy stale-cache recovery
+// that serves Move.
+func Chaos(spec ChaosSpec) *ChaosResult {
+	spec.defaults()
+	placements := Table2Placements()
+	row := &ModuleRun{AVSMachine: SparcUA, Placements: placements}
+	res := &ChaosResult{Row: row, CrashHost: spec.CrashHost, CrashStep: spec.CrashStep}
+	nets := make([]string, 0, len(placements))
+	for _, m := range placements {
+		nets = append(nets, LinkName(SparcUA, m))
+	}
+	row.Network = strings.Join(dedupe(nets), " + ")
+
+	tb, err := NewTestbed(SparcUA)
+	if err != nil {
+		row.Err = err
+		return res
+	}
+	defer tb.Stop()
+	tb.Net.SetTimeScale(spec.Run.TimeScale)
+	exec, err := tb.NewExecutive()
+	if err != nil {
+		row.Err = err
+		return res
+	}
+	defer exec.Destroy()
+	exec.Client.Policy = spec.Policy
+	if err := configure(exec, spec.Run); err != nil {
+		row.Err = err
+		return res
+	}
+
+	// Clean local baseline first: the correctness reference.
+	local, err := exec.Run(core.RunOptions{})
+	if err != nil {
+		row.Err = fmt.Errorf("local run: %w", err)
+		return res
+	}
+
+	// Arm the faults: every link from the AVS machine to a placement
+	// machine drops, jitters, and flaps. The Manager shares the AVS
+	// machine, so its heartbeats and respawns cross the same degraded
+	// links.
+	tb.Net.SetFaultSeed(spec.Seed)
+	flaky := netsim.FaultSpec{
+		LossProb:  spec.Loss,
+		MaxJitter: spec.Jitter,
+		FlapEvery: spec.FlapEvery,
+		FlapLen:   spec.FlapLen,
+	}
+	for _, m := range dedupe(placementHosts(placements)) {
+		tb.Net.SetLinkFlaky(SparcUA, m, flaky)
+	}
+	tb.Mgr.StartHealth(spec.Health)
+
+	for inst, m := range placements {
+		if err := exec.SetRemote(inst, m, ""); err != nil {
+			row.Err = err
+			return res
+		}
+	}
+	tb.Net.ResetStats()
+	before := make(map[string]int64, len(chaosCounters))
+	for _, k := range chaosCounters {
+		before[k] = trace.Get(k)
+	}
+
+	// The crash: mid-transient, the chosen machine goes silent and
+	// stays down. Every connection to it is dead from that instant —
+	// including replies already "on the wire".
+	steps, crashed := 0, false
+	observe := func(t float64, out engine.Outputs) {
+		steps++
+		if !crashed && steps >= spec.CrashStep {
+			crashed = true
+			tb.Net.SetHostDown(spec.CrashHost, true)
+		}
+	}
+	start := time.Now()
+	remote, err := exec.Run(core.RunOptions{Observe: observe})
+	row.Wall = time.Since(start)
+
+	res.Counters = make(map[string]int64, len(chaosCounters))
+	for _, k := range chaosCounters {
+		res.Counters[k] = trace.Get(k) - before[k]
+	}
+	if err != nil {
+		row.Err = fmt.Errorf("chaos run: %w", err)
+		return res
+	}
+	row.Converged = true
+	row.SteadyIters = remote.SteadyIters
+	row.RPCs = res.Counters["schooner.client.calls"]
+	row.SimNet = tb.Net.TotalSimDelay()
+	row.MaxRelErr = maxRelErr(local, remote)
+	return res
+}
+
+func placementHosts(p map[string]string) []string {
+	out := make([]string, 0, len(p))
+	for _, m := range p {
+		out = append(out, m)
+	}
+	return out
+}
+
+// FormatChaos renders a chaos result: the combined-test row, the
+// injected faults, and the recovery counters.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 workload under chaos: crash of %s at transient step %d\n", r.CrashHost, r.CrashStep)
+	if r.Row.Err != nil {
+		fmt.Fprintf(&b, "ERROR: %v\n", r.Row.Err)
+	} else {
+		fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e rpcs=%d wall=%s\n",
+			r.Row.Converged, r.Row.SteadyIters, r.Row.MaxRelErr, r.Row.RPCs, r.Row.Wall.Round(time.Millisecond))
+	}
+	for _, k := range chaosCounters {
+		fmt.Fprintf(&b, "  %s=%d\n", k, r.Counters[k])
+	}
+	return b.String()
+}

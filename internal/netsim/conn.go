@@ -118,11 +118,18 @@ func (c *simConn) Send(m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	delay := c.link.Delay(len(body))
+	// Fault injection: a dropped message consumes the wire but never
+	// arrives — the sender cannot tell, exactly as on a real network.
+	drop, jitter := c.net.faultFor(c.local, c.remote)
+	if drop {
+		c.net.accountDrop(c.link, len(body))
+		return nil
+	}
+	delay := c.link.Delay(len(body)) + jitter
 	c.net.account(c.link, len(body), delay)
 	scale := c.net.scale()
-	serial := time.Duration(float64(delay-c.link.Latency) * scale) // transmission time
-	prop := time.Duration(float64(c.link.Latency) * scale)
+	serial := time.Duration(float64(delay-c.link.Latency-jitter) * scale) // transmission time
+	prop := time.Duration(float64(c.link.Latency+jitter) * scale)
 	return c.out.pushShaped(copyMsg, serial, prop)
 }
 

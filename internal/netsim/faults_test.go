@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"npss/internal/machine"
+	"npss/internal/wire"
+)
+
+// faultTrace is the observable fault history of one link: for each
+// message sent, whether it was dropped and the simulated delay it was
+// charged (zero for drops, latency+serialization+jitter otherwise).
+type faultTrace struct {
+	dropped []bool
+	delay   []time.Duration
+}
+
+// sendTrace builds a two-host network with the given fault seed and
+// spec on its only link, sends n identical messages, and records the
+// per-message fault decisions.
+func sendTrace(t *testing.T, seed int64, spec FaultSpec, n int) faultTrace {
+	t.Helper()
+	net := New()
+	net.MustAddHost("a", machine.SPARC)
+	net.MustAddHost("b", machine.SGI)
+	net.SetLink("a", "b", LocalEthernet)
+	net.SetFaultSeed(seed)
+	net.SetLinkFlaky("a", "b", spec)
+	ha, err := net.Host("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := net.Host("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.Listen("p"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ha.Dial("b:p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var tr faultTrace
+	var lastDropped int64
+	var lastDelay time.Duration
+	for i := 0; i < n; i++ {
+		if err := conn.Send(&wire.Message{Kind: wire.KPing, Name: "probe"}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		d := net.TotalDropped()
+		tr.dropped = append(tr.dropped, d != lastDropped)
+		lastDropped = d
+		sd := net.TotalSimDelay()
+		tr.delay = append(tr.delay, sd-lastDelay)
+		lastDelay = sd
+	}
+	return tr
+}
+
+// TestFaultsDeterministicAcrossNetworks is the reproducibility
+// property: two networks built with the same seed see identical drop
+// and jitter sequences, message for message.
+func TestFaultsDeterministicAcrossNetworks(t *testing.T) {
+	spec := FaultSpec{LossProb: 0.3, MaxJitter: 500 * time.Microsecond, FlapEvery: 7, FlapLen: 2}
+	f := func(seed int64) bool {
+		a := sendTrace(t, seed, spec, 60)
+		b := sendTrace(t, seed, spec, 60)
+		for i := range a.dropped {
+			if a.dropped[i] != b.dropped[i] || a.delay[i] != b.delay[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultSeedsDiffer checks the complementary property: different
+// seeds give different sequences (with 200 draws at 30% loss, an
+// identical run is astronomically unlikely).
+func TestFaultSeedsDiffer(t *testing.T) {
+	spec := FaultSpec{LossProb: 0.3, MaxJitter: time.Millisecond}
+	a := sendTrace(t, 1, spec, 200)
+	b := sendTrace(t, 2, spec, 200)
+	same := true
+	for i := range a.dropped {
+		if a.dropped[i] != b.dropped[i] || a.delay[i] != b.delay[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 200-message fault sequences")
+	}
+}
+
+// TestFlapSchedule pins the deterministic flap shape: with loss and
+// jitter off, FlapEvery=3/FlapLen=2 carries three messages then drops
+// two, repeating.
+func TestFlapSchedule(t *testing.T) {
+	tr := sendTrace(t, 42, FaultSpec{FlapEvery: 3, FlapLen: 2}, 15)
+	want := []bool{
+		false, false, false, true, true,
+		false, false, false, true, true,
+		false, false, false, true, true,
+	}
+	for i, w := range want {
+		if tr.dropped[i] != w {
+			t.Fatalf("message %d: dropped=%v, want %v (sequence %v)", i, tr.dropped[i], w, tr.dropped)
+		}
+	}
+}
+
+// TestJitterBoundedAndCharged checks that delivered messages are
+// charged base delay plus jitter in [0, MaxJitter), and dropped
+// messages are charged nothing.
+func TestJitterBoundedAndCharged(t *testing.T) {
+	maxJ := 2 * time.Millisecond
+	tr := sendTrace(t, 7, FaultSpec{LossProb: 0.2, MaxJitter: maxJ}, 100)
+	msgBytes := 0
+	{
+		m := &wire.Message{Kind: wire.KPing, Name: "probe"}
+		body, err := m.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgBytes = len(body)
+	}
+	base := LocalEthernet.Delay(msgBytes)
+	drops := 0
+	for i := range tr.dropped {
+		if tr.dropped[i] {
+			drops++
+			if tr.delay[i] != 0 {
+				t.Errorf("message %d dropped but charged %v", i, tr.delay[i])
+			}
+			continue
+		}
+		if tr.delay[i] < base || tr.delay[i] >= base+maxJ {
+			t.Errorf("message %d delay %v outside [%v, %v)", i, tr.delay[i], base, base+maxJ)
+		}
+	}
+	if drops == 0 {
+		t.Error("no drops in 100 messages at 20% loss")
+	}
+}
+
+// TestZeroSpecRemovesFaults checks SetLinkFlaky with a zero spec
+// restores a clean link.
+func TestZeroSpecRemovesFaults(t *testing.T) {
+	net := New()
+	net.MustAddHost("a", machine.SPARC)
+	net.MustAddHost("b", machine.SGI)
+	net.SetFaultSeed(3)
+	net.SetLinkFlaky("a", "b", FaultSpec{LossProb: 1})
+	net.SetLinkFlaky("a", "b", FaultSpec{})
+	ha, _ := net.Host("a")
+	hb, _ := net.Host("b")
+	if _, err := hb.Listen("p"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ha.Dial("b:p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		if err := conn.Send(&wire.Message{Kind: wire.KPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := net.TotalDropped(); d != 0 {
+		t.Errorf("dropped %d messages on a cleaned link", d)
+	}
+}

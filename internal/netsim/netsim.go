@@ -18,12 +18,15 @@ package netsim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"npss/internal/machine"
+	"npss/internal/trace"
 	"npss/internal/wire"
 )
 
@@ -69,6 +72,40 @@ type LinkStats struct {
 	// SimDelay is the total simulated delay experienced by messages on
 	// the link (the unscaled clock).
 	SimDelay time.Duration
+	// Dropped counts messages lost to injected faults (loss or flap).
+	Dropped int64
+}
+
+// FaultSpec describes probabilistic fault injection on one link. All
+// randomness is drawn from a per-link generator seeded by the
+// network's fault seed, so two networks built with the same seed and
+// the same traffic see identical drop and jitter sequences.
+type FaultSpec struct {
+	// LossProb is the probability each message is silently dropped.
+	LossProb float64
+	// MaxJitter adds a uniform extra one-way delay in [0, MaxJitter)
+	// to each delivered message.
+	MaxJitter time.Duration
+	// FlapEvery and FlapLen model transient link flaps: after every
+	// FlapEvery carried messages the link goes down for a burst,
+	// silently dropping the next FlapLen messages. Zero disables
+	// flapping.
+	FlapEvery int
+	FlapLen   int
+}
+
+// enabled reports whether the spec injects any fault at all.
+func (f FaultSpec) enabled() bool {
+	return f.LossProb > 0 || f.MaxJitter > 0 || (f.FlapEvery > 0 && f.FlapLen > 0)
+}
+
+// linkFaults is the mutable fault state of one link: the spec, its
+// seeded generator, and the flap bookkeeping.
+type linkFaults struct {
+	spec     FaultSpec
+	rng      *rand.Rand
+	carried  int // messages since the last flap
+	flapLeft int // messages remaining in the current flap burst
 }
 
 // Network is a collection of hosts and links.
@@ -81,6 +118,8 @@ type Network struct {
 	timeScale   float64
 	downHosts   map[string]bool
 	downLinks   map[[2]string]bool
+	faultSeed   int64
+	faults      map[[2]string]*linkFaults
 }
 
 // New creates an empty network. The default link between hosts without
@@ -96,6 +135,7 @@ func New() *Network {
 		stats:       make(map[string]*LinkStats),
 		downHosts:   make(map[string]bool),
 		downLinks:   make(map[[2]string]bool),
+		faults:      make(map[[2]string]*linkFaults),
 	}
 }
 
@@ -207,6 +247,76 @@ func (n *Network) SetLinkDown(a, b string, down bool) {
 	n.downLinks[linkKey(a, b)] = down
 }
 
+// SetFaultSeed seeds the fault-injection generators. Links made flaky
+// before the call are re-seeded, so seed then traffic order fully
+// determines every drop and jitter decision.
+func (n *Network) SetFaultSeed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultSeed = seed
+	for key, lf := range n.faults {
+		lf.rng = rand.New(rand.NewSource(faultSeedFor(seed, key)))
+		lf.carried, lf.flapLeft = 0, 0
+	}
+}
+
+// SetLinkFlaky installs (or, with a zero FaultSpec, removes)
+// probabilistic fault injection on the path between two hosts.
+func (n *Network) SetLinkFlaky(a, b string, f FaultSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := linkKey(a, b)
+	if !f.enabled() {
+		delete(n.faults, key)
+		return
+	}
+	n.faults[key] = &linkFaults{
+		spec: f,
+		rng:  rand.New(rand.NewSource(faultSeedFor(n.faultSeed, key))),
+	}
+}
+
+// faultSeedFor derives a per-link seed so links fault independently
+// but reproducibly.
+func faultSeedFor(seed int64, key [2]string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key[0]))
+	h.Write([]byte{0})
+	h.Write([]byte(key[1]))
+	return seed ^ int64(h.Sum64())
+}
+
+// faultFor draws the fault decision for one message on a link: whether
+// it is dropped, and how much jitter it suffers otherwise. Both random
+// numbers are always drawn so the sequence is independent of which
+// faults fire.
+func (n *Network) faultFor(a, b string) (drop bool, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf, ok := n.faults[linkKey(a, b)]
+	if !ok {
+		return false, 0
+	}
+	pLoss := lf.rng.Float64()
+	pJit := lf.rng.Float64()
+	if lf.flapLeft > 0 {
+		lf.flapLeft--
+		return true, 0
+	}
+	lf.carried++
+	if lf.spec.FlapEvery > 0 && lf.spec.FlapLen > 0 && lf.carried >= lf.spec.FlapEvery {
+		lf.carried = 0
+		lf.flapLeft = lf.spec.FlapLen
+	}
+	if pLoss < lf.spec.LossProb {
+		return true, 0
+	}
+	if lf.spec.MaxJitter > 0 {
+		jitter = time.Duration(pJit * float64(lf.spec.MaxJitter))
+	}
+	return false, jitter
+}
+
 func (n *Network) pathDown(a, b string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -230,6 +340,32 @@ func (n *Network) account(link LinkSpec, bytes int, delay time.Duration) {
 	st.Messages++
 	st.Bytes += int64(bytes)
 	st.SimDelay += delay
+}
+
+// accountDrop records a message lost to fault injection.
+func (n *Network) accountDrop(link LinkSpec, bytes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.stats[link.Name]
+	if !ok {
+		st = &LinkStats{}
+		n.stats[link.Name] = st
+	}
+	st.Messages++
+	st.Bytes += int64(bytes)
+	st.Dropped++
+	trace.Count("netsim.drops")
+}
+
+// TotalDropped sums fault-injected message losses over all links.
+func (n *Network) TotalDropped() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total int64
+	for _, st := range n.stats {
+		total += st.Dropped
+	}
+	return total
 }
 
 // Stats returns a copy of the per-link statistics keyed by link name.

@@ -1,6 +1,7 @@
 package schooner
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +21,9 @@ type Client struct {
 	Host string
 	// ManagerHost is the machine the persistent Manager runs on.
 	ManagerHost string
+	// Policy bounds calls on every line this client opens. The zero
+	// value applies the package defaults (see CallPolicy).
+	Policy CallPolicy
 }
 
 // arch resolves the client's own architecture.
@@ -54,6 +58,7 @@ func (c *Client) ContactSchx(module string) (*Line, error) {
 		id:       resp.Line,
 		module:   module,
 		mgr:      conn,
+		policy:   c.Policy,
 		imports:  make(map[string]*uts.ProcSpec),
 		bindings: make(map[string]*binding),
 	}
@@ -74,9 +79,18 @@ type Line struct {
 	mu       sync.Mutex
 	mgr      wire.Conn
 	seq      uint32
+	policy   CallPolicy
 	imports  map[string]*uts.ProcSpec
 	bindings map[string]*binding
 	quit     bool
+}
+
+// SetCallPolicy overrides the line's call policy (inherited from the
+// client at ContactSchx time).
+func (l *Line) SetCallPolicy(p CallPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.policy = p
 }
 
 // binding caches the location of one remote procedure: the paper's
@@ -94,7 +108,10 @@ func (l *Line) ID() uint32 { return l.id }
 // Module returns the module name the line registered under.
 func (l *Line) Module() string { return l.module }
 
-// managerCall performs one request/response on the manager connection.
+// managerCall performs one request/response on the manager connection,
+// bounded by the line's call deadline. Transport failures and timeouts
+// are transient (wrapped as stale, so callers on the retry path try
+// again); a KError from the Manager is an application error and final.
 func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 	if l.quit {
 		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
@@ -102,11 +119,11 @@ func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 	l.seq++
 	req.Seq = l.seq
 	if err := l.mgr.Send(req); err != nil {
-		return nil, err
+		return nil, &staleError{err}
 	}
-	resp, err := l.mgr.Recv()
+	resp, err := recvTimeout(l.mgr, l.policy.withDefaults().Timeout)
 	if err != nil {
-		return nil, err
+		return nil, &staleError{err}
 	}
 	if resp.Kind == wire.KError {
 		return nil, fmt.Errorf("%s", resp.Err)
@@ -174,7 +191,9 @@ func (l *Line) lookup(name string, imp *uts.ProcSpec) (*binding, error) {
 	}
 	conn, err := l.client.Transport.Dial(l.client.Host, resp.Str)
 	if err != nil {
-		return nil, fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, resp.Str, err)
+		// Transient: the mapped host may be mid-crash, with the
+		// Manager's failover about to repoint the name; retry.
+		return nil, &staleError{fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, resp.Str, err)}
 	}
 	b := &binding{addr: resp.Str, exportName: resp.Name, conn: conn}
 	l.bindings[name] = b
@@ -196,9 +215,17 @@ func (l *Line) invalidate(name string, b *binding) {
 // The data path models the full heterogeneous conversion: arguments
 // pass through this machine's native representation, the UTS
 // interchange format, and the remote machine's native representation;
-// results make the reverse trip. A call that reaches a moved or dead
-// procedure fails, is re-bound through the Manager, and is retried
-// once — the lazy cache-invalidation protocol of section 4.2.
+// results make the reverse trip.
+//
+// Fault tolerance: every attempt is bounded by the line's CallPolicy
+// deadline, so a Call can never hang on a lost message or a partition.
+// Transient wire failures — transport errors, timeouts, terminated
+// processes, unreachable mappings — invalidate the cached binding,
+// re-ask the Manager (the lazy cache-invalidation protocol of section
+// 4.2, which also discovers Manager-initiated failover placements) and
+// retry with jittered exponential backoff, up to the policy's retry
+// budget. Application errors from the procedure are surfaced
+// immediately and never retried.
 func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	start := time.Now()
 	defer func() { trace.Observe("schooner.client.call", time.Since(start)) }()
@@ -234,16 +261,32 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 		return nil, err
 	}
 
+	pol := l.policy.withDefaults()
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	rebinding := false
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			trace.Count("schooner.client.retries")
+			time.Sleep(pol.backoffFor(attempt - 1))
+		}
 		b := l.bindings[name]
 		if b == nil {
+			if rebinding {
+				trace.Count("schooner.client.rebinds")
+			}
 			b, err = l.lookup(name, imp)
 			if err != nil {
-				return nil, err
+				if !isStale(err) {
+					return nil, err
+				}
+				lastErr = err
+				if attempt >= pol.MaxRetries {
+					break
+				}
+				continue
 			}
 		}
-		reply, err := l.callOnce(b, imp, data)
+		reply, err := l.callOnce(b, imp, data, pol.Timeout)
 		if err == nil {
 			// Inbound conversion: UTS -> native.
 			outs := imp.OutParams()
@@ -261,20 +304,25 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 			trace.Count("schooner.client.calls")
 			return results, nil
 		}
-		lastErr = err
 		if !isStale(err) {
 			return nil, err
 		}
-		// Stale cache: the procedure moved or died. Drop the binding
-		// and ask the Manager again.
+		// Stale cache: the procedure moved, died, or the wire failed.
+		// Drop the binding; the next attempt re-asks the Manager.
+		lastErr = err
 		l.invalidate(name, b)
 		trace.Count("schooner.client.stale")
+		rebinding = true
+		if attempt >= pol.MaxRetries {
+			break
+		}
 	}
-	return nil, fmt.Errorf("schooner: call to %q failed after rebind: %w", name, lastErr)
+	return nil, fmt.Errorf("schooner: call to %q failed after %d attempts: %w", name, pol.MaxRetries+1, lastErr)
 }
 
-// callOnce performs one call attempt over a binding.
-func (l *Line) callOnce(b *binding, imp *uts.ProcSpec, data []byte) ([]byte, error) {
+// callOnce performs one call attempt over a binding, bounded by the
+// per-attempt deadline.
+func (l *Line) callOnce(b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration) ([]byte, error) {
 	l.seq++
 	req := &wire.Message{
 		Kind: wire.KCall, Seq: l.seq, Line: l.id,
@@ -283,8 +331,11 @@ func (l *Line) callOnce(b *binding, imp *uts.ProcSpec, data []byte) ([]byte, err
 	if err := b.conn.Send(req); err != nil {
 		return nil, &staleError{err}
 	}
-	resp, err := b.conn.Recv()
+	resp, err := recvTimeout(b.conn, timeout)
 	if err != nil {
+		if errors.As(err, new(*timeoutError)) {
+			trace.Count("schooner.client.timeouts")
+		}
 		return nil, &staleError{err}
 	}
 	if resp.Kind == wire.KError {
@@ -305,9 +356,13 @@ type staleError struct{ err error }
 func (e *staleError) Error() string { return e.err.Error() }
 func (e *staleError) Unwrap() error { return e.err }
 
+// isStale reports whether an error (anywhere in its chain) marks a
+// stale binding. errors.As, not a direct type assertion: callers wrap
+// stale errors with context, and a wrapped stale error must still
+// trigger the rebind path.
 func isStale(err error) bool {
-	_, ok := err.(*staleError)
-	return ok
+	var se *staleError
+	return errors.As(err, &se)
 }
 
 // FlushCache drops every cached procedure binding, forcing the next

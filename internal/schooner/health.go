@@ -1,0 +1,287 @@
+package schooner
+
+import (
+	"sort"
+	"time"
+
+	"npss/internal/trace"
+	"npss/internal/wire"
+)
+
+// HealthPolicy configures the Manager's health monitor: how often
+// every machine's Server is heartbeated, how many consecutive missed
+// heartbeats declare the machine dead, and the deadline on each probe.
+type HealthPolicy struct {
+	// Interval between heartbeat sweeps (default 50ms).
+	Interval time.Duration
+	// Threshold is the number of consecutive probe failures that mark
+	// a machine dead and trigger failover (default 2).
+	Threshold int
+	// PingTimeout bounds one probe's round trip (default 1s).
+	PingTimeout time.Duration
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.Interval == 0 {
+		p.Interval = 50 * time.Millisecond
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 2
+	}
+	if p.PingTimeout == 0 {
+		p.PingTimeout = time.Second
+	}
+	return p
+}
+
+// hostHealth is the Manager's record of one machine's liveness.
+type hostHealth struct {
+	fails int  // consecutive failed probes
+	dead  bool // declared dead (threshold reached)
+}
+
+// StartHealth begins heartbeating every machine's Server and, when a
+// machine is declared dead, automatically restarts its stateless
+// procedure processes on an alternate up machine and repoints the
+// name database — the same migration machinery as Move, so clients'
+// lazy stale-cache recovery finds the new home transparently.
+// Stateful procedures (those with a state clause) are never failed
+// over, mirroring the paper's restriction of Move to stateless
+// procedures: their lost state cannot be reconstructed on a fresh
+// copy. Health monitoring is off by default; call StartHealth to opt
+// in, StopHealth (or Stop) to end it.
+func (m *Manager) StartHealth(p HealthPolicy) {
+	p = p.withDefaults()
+	m.mu.Lock()
+	if m.stopped || m.hbStop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.hbPol = p
+	m.health = make(map[string]*hostHealth)
+	m.hbStop = make(chan struct{})
+	m.hbDone = make(chan struct{})
+	stop, done := m.hbStop, m.hbDone
+	m.mu.Unlock()
+	go m.healthLoop(p, stop, done)
+}
+
+// StopHealth halts the health monitor, waiting for an in-flight sweep
+// to finish.
+func (m *Manager) StopHealth() {
+	m.mu.Lock()
+	stop, done := m.hbStop, m.hbDone
+	m.hbStop, m.hbDone = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// HostHealth reports the monitor's current view: machine -> alive.
+// Machines not yet probed are absent. Returns nil when the monitor is
+// not running.
+func (m *Manager) HostHealth() map[string]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.health == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(m.health))
+	for h, st := range m.health {
+		out[h] = !st.dead
+	}
+	return out
+}
+
+func (m *Manager) healthLoop(p HealthPolicy, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(p.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.healthSweep(p)
+		}
+	}
+}
+
+// healthSweep probes every candidate machine once and reacts to
+// liveness transitions.
+func (m *Manager) healthSweep(p HealthPolicy) {
+	for _, host := range m.candidateHosts() {
+		ok := m.pingServer(host, p.PingTimeout)
+		trace.Count("schooner.manager.heartbeats")
+		m.mu.Lock()
+		if m.health == nil {
+			m.mu.Unlock()
+			return
+		}
+		st := m.health[host]
+		if st == nil {
+			st = &hostHealth{}
+			m.health[host] = st
+		}
+		var died bool
+		if ok {
+			if st.dead {
+				trace.Count("schooner.manager.hostup")
+			}
+			st.fails, st.dead = 0, false
+		} else {
+			st.fails++
+			if st.fails >= p.Threshold && !st.dead {
+				st.dead = true
+				died = true
+			}
+		}
+		m.mu.Unlock()
+		if died {
+			trace.Count("schooner.manager.hostdown")
+			m.failoverHost(host)
+		}
+	}
+}
+
+// candidateHosts is the machine universe to monitor: every host the
+// transport knows about, or — for transports without a host list —
+// every host currently running a procedure process.
+func (m *Manager) candidateHosts() []string {
+	if hl, ok := m.transport.(HostLister); ok {
+		return hl.Hosts()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, ln := range m.lines {
+		for _, pr := range ln.processes {
+			seen[pr.host] = true
+		}
+	}
+	for _, pr := range m.shared.processes {
+		seen[pr.host] = true
+	}
+	hosts := make([]string, 0, len(seen))
+	for h := range seen {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// pingServer probes one machine's Server with a bounded KPing round
+// trip.
+func (m *Manager) pingServer(host string, timeout time.Duration) bool {
+	conn, err := m.transport.Dial(m.host, host+":"+ServerPort)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KPing}); err != nil {
+		return false
+	}
+	resp, err := recvTimeout(conn, timeout)
+	return err == nil && resp.Kind == wire.KPong
+}
+
+// aliveHosts lists machines currently believed up, excluding one,
+// sorted for deterministic failover placement.
+func (m *Manager) aliveHosts(exclude string) []string {
+	dead := make(map[string]bool)
+	m.mu.Lock()
+	for h, st := range m.health {
+		if st.dead {
+			dead[h] = true
+		}
+	}
+	m.mu.Unlock()
+	var out []string
+	for _, h := range m.candidateHosts() {
+		if h != exclude && !dead[h] {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// statelessProc reports whether every export of a process is
+// stateless (no state clause) — the property that makes
+// shutdown-here/start-anew-there recovery correct.
+func statelessProc(p *remoteProc) bool {
+	for _, spec := range p.exports {
+		if len(spec.State) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// failoverHost restarts every stateless procedure process of a dead
+// machine on an alternate up machine and repoints the name database.
+// Stateful processes are left in place: their calls keep failing until
+// the machine returns, which is surfaced to the affected line.
+func (m *Manager) failoverHost(deadHost string) {
+	type victim struct {
+		ln   *line
+		proc *remoteProc
+	}
+	var victims []victim
+	m.mu.Lock()
+	for _, ln := range m.lines {
+		for _, pr := range ln.processes {
+			if pr.host == deadHost {
+				victims = append(victims, victim{ln, pr})
+			}
+		}
+	}
+	for _, pr := range m.shared.processes {
+		if pr.host == deadHost {
+			victims = append(victims, victim{m.shared, pr})
+		}
+	}
+	m.mu.Unlock()
+
+	for _, v := range victims {
+		if !statelessProc(v.proc) {
+			trace.Count("schooner.manager.failover_skipped_stateful")
+			continue
+		}
+		for _, target := range m.aliveHosts(deadHost) {
+			fresh, specs, err := m.spawn(target, v.proc.path)
+			if err != nil {
+				continue // try the next machine
+			}
+			if err := sameExports(v.proc.exports, specs, v.proc.language); err != nil {
+				m.shutdownProcess(fresh)
+				continue
+			}
+			// Swap under lock, verifying the line and process are
+			// still installed (a concurrent Move or quit wins).
+			m.mu.Lock()
+			lineLive := v.ln == m.shared || m.lines[v.ln.id] == v.ln
+			if !lineLive || v.ln.processes[v.proc.addr] != v.proc {
+				m.mu.Unlock()
+				m.shutdownProcess(fresh)
+				break
+			}
+			for name, r := range v.ln.names {
+				if r.proc == v.proc {
+					v.ln.names[name] = &procRef{proc: fresh, spec: r.spec}
+				}
+			}
+			delete(v.ln.processes, v.proc.addr)
+			v.ln.processes[fresh.addr] = fresh
+			m.mu.Unlock()
+			// Best-effort shutdown of the original (usually
+			// unreachable — the machine is dead).
+			m.shutdownProcess(v.proc)
+			trace.Count("schooner.manager.failovers")
+			break
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"npss/internal/trace"
 	"npss/internal/uts"
@@ -31,7 +32,24 @@ type Manager struct {
 	lines    map[uint32]*line
 	shared   *line // line id 0: the shared procedure database
 	stopped  bool
+
+	// Health monitoring (see health.go); nil maps/channels when the
+	// monitor is not running.
+	hbPol  HealthPolicy
+	health map[string]*hostHealth
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
+
+// rpcTimeout bounds the Manager's own request/response round trips
+// (spawn, shutdown, state transfer) so a lost message on a faulty
+// link cannot hang the Manager.
+const rpcTimeout = 3 * time.Second
+
+// spawnAttempts is how many times the Manager retries a spawn whose
+// transport failed (a dropped message, a flapping link) before
+// reporting the failure.
+const spawnAttempts = 3
 
 // line is one thread of control and its procedure name database.
 type line struct {
@@ -96,6 +114,7 @@ func (m *Manager) Addr() string { return m.listener.Addr() }
 // Stop shuts down the Manager and every procedure process in every
 // line, including shared procedures.
 func (m *Manager) Stop() {
+	m.StopHealth()
 	m.mu.Lock()
 	if m.stopped {
 		m.mu.Unlock()
@@ -287,36 +306,53 @@ func (m *Manager) handleStartProc(registered uint32, req *wire.Message) *wire.Me
 }
 
 // spawn contacts a machine's Server and instantiates a program there.
+// Transport failures (dropped messages, timeouts) are retried a
+// bounded number of times; a Server-reported error is final.
 func (m *Manager) spawn(host, path string) (*remoteProc, []*uts.ProcSpec, error) {
+	var lastErr error
+	for attempt := 0; attempt < spawnAttempts; attempt++ {
+		proc, specs, err, final := m.spawnOnce(host, path)
+		if err == nil || final {
+			return proc, specs, err
+		}
+		lastErr = err
+		trace.Count("schooner.manager.spawn_retries")
+	}
+	return nil, nil, lastErr
+}
+
+// spawnOnce performs one spawn round trip; final reports whether the
+// error (if any) is not worth retrying.
+func (m *Manager) spawnOnce(host, path string) (_ *remoteProc, _ []*uts.ProcSpec, err error, final bool) {
 	conn, err := m.transport.Dial(m.host, host+":"+ServerPort)
 	if err != nil {
-		return nil, nil, fmt.Errorf("no Schooner server on %s: %w", host, err)
+		return nil, nil, fmt.Errorf("no Schooner server on %s: %w", host, err), false
 	}
 	defer conn.Close()
 	if err := conn.Send(&wire.Message{Kind: wire.KSpawn, Name: path}); err != nil {
-		return nil, nil, err
+		return nil, nil, err, false
 	}
-	resp, err := conn.Recv()
+	resp, err := recvTimeout(conn, rpcTimeout)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, err, false
 	}
 	if resp.Kind == wire.KError {
-		return nil, nil, fmt.Errorf("%s", resp.Err)
+		return nil, nil, fmt.Errorf("%s", resp.Err), true
 	}
 	if resp.Kind != wire.KSpawnOK {
-		return nil, nil, fmt.Errorf("unexpected %v from server", resp.Kind)
+		return nil, nil, fmt.Errorf("unexpected %v from server", resp.Kind), true
 	}
 	lang, specText := splitSpawnPayload(string(resp.Data))
 	specFile, err := uts.Parse(specText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bad export specification from %s: %w", path, err)
+		return nil, nil, fmt.Errorf("bad export specification from %s: %w", path, err), true
 	}
 	exports := specFile.Exports()
 	if len(exports) == 0 {
-		return nil, nil, fmt.Errorf("%s exports no procedures", path)
+		return nil, nil, fmt.Errorf("%s exports no procedures", path), true
 	}
 	proc := &remoteProc{path: path, host: host, addr: resp.Str, language: lang, exports: exports}
-	return proc, exports, nil
+	return proc, exports, nil, false
 }
 
 // splitSpawnPayload separates the optional "#language ..." header from
@@ -528,7 +564,7 @@ func (m *Manager) captureState(proc *remoteProc) (map[string][]byte, error) {
 		if err := conn.Send(&wire.Message{Kind: wire.KStateGet, Name: spec.Name}); err != nil {
 			return nil, err
 		}
-		resp, err := conn.Recv()
+		resp, err := recvTimeout(conn, rpcTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -554,7 +590,7 @@ func (m *Manager) installState(proc *remoteProc, state map[string][]byte) error 
 		if err := conn.Send(&wire.Message{Kind: wire.KStatePut, Name: name, Data: data}); err != nil {
 			return err
 		}
-		resp, err := conn.Recv()
+		resp, err := recvTimeout(conn, rpcTimeout)
 		if err != nil {
 			return err
 		}
@@ -593,5 +629,5 @@ func (m *Manager) shutdownProcess(p *remoteProc) {
 	if err := conn.Send(&wire.Message{Kind: wire.KShutdown}); err != nil {
 		return
 	}
-	_, _ = conn.Recv()
+	_, _ = recvTimeout(conn, rpcTimeout)
 }

@@ -1,0 +1,122 @@
+package schooner
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"npss/internal/wire"
+)
+
+// CallPolicy bounds remote procedure calls so a Line.Call can never
+// hang on a lost message, a dead process, or a partitioned machine.
+// Transient wire failures (transport errors, timeouts, terminated
+// processes) are retried with exponential backoff after re-asking the
+// Manager for the procedure's current location; application errors
+// returned by the procedure itself are surfaced immediately and never
+// retried.
+type CallPolicy struct {
+	// Timeout is the per-attempt deadline covering one send/receive
+	// round trip. Zero selects DefaultCallTimeout; negative disables
+	// the deadline (the pre-fault-tolerance behavior).
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// for transient failures. Zero selects DefaultMaxRetries; negative
+	// disables retrying.
+	MaxRetries int
+	// Backoff is the base delay before the first retry; each further
+	// retry doubles it. Zero selects DefaultBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled delay. Zero selects
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+}
+
+// Defaults for zero CallPolicy fields: bounded, so every call
+// terminates even with no policy configured anywhere.
+const (
+	DefaultCallTimeout = 3 * time.Second
+	DefaultMaxRetries  = 2
+	DefaultBackoff     = 2 * time.Millisecond
+	DefaultMaxBackoff  = 250 * time.Millisecond
+)
+
+// withDefaults fills zero fields with the default bounds.
+func (p CallPolicy) withDefaults() CallPolicy {
+	if p.Timeout == 0 {
+		p.Timeout = DefaultCallTimeout
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = DefaultMaxRetries
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff == 0 {
+		p.Backoff = DefaultBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	return p
+}
+
+// backoffJitter is the client's own randomness source: retry delays
+// are jittered so colliding clients do not retry in lockstep.
+var backoffJitter = struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// backoffFor computes the jittered delay before retry number n
+// (0-based): half the exponential step plus a random half.
+func (p CallPolicy) backoffFor(n int) time.Duration {
+	d := p.Backoff << uint(n)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	backoffJitter.mu.Lock()
+	f := backoffJitter.rng.Float64()
+	backoffJitter.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// timeoutError marks a receive that exceeded its deadline, so call
+// sites can count timeouts separately from other transient failures.
+type timeoutError struct {
+	peer string
+	d    time.Duration
+}
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("schooner: receive from %s timed out after %v", e.peer, e.d)
+}
+
+// recvTimeout receives one message with a deadline. On timeout the
+// connection is closed (unblocking the pending receive) and a
+// *timeoutError is returned; the caller must treat the connection as
+// dead. A non-positive timeout blocks indefinitely.
+func recvTimeout(conn wire.Conn, timeout time.Duration) (*wire.Message, error) {
+	if timeout <= 0 {
+		return conn.Recv()
+	}
+	type result struct {
+		m   *wire.Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := conn.Recv()
+		ch <- result{m, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-timer.C:
+		conn.Close()
+		return nil, &timeoutError{peer: conn.RemoteLabel(), d: timeout}
+	}
+}

@@ -66,6 +66,15 @@ type Listener interface {
 	Addr() string
 }
 
+// HostLister is optionally implemented by transports that know the
+// full machine universe; the Manager's health monitor uses it to
+// decide which machines to heartbeat and where failover may place
+// restarted processes. Both SimTransport and TCPTransport implement
+// it.
+type HostLister interface {
+	Hosts() []string
+}
+
 // SimTransport runs Schooner over a netsim.Network.
 type SimTransport struct {
 	Net *netsim.Network
@@ -91,6 +100,11 @@ func (t *SimTransport) Dial(fromHost, addr string) (wire.Conn, error) {
 	}
 	return h.Dial(addr)
 }
+
+// Hosts lists the simulated hosts, sorted. It satisfies the optional
+// HostLister interface the Manager's health monitor uses to learn the
+// machine universe.
+func (t *SimTransport) Hosts() []string { return t.Net.Hosts() }
 
 // HostArch reports a simulated host's architecture.
 func (t *SimTransport) HostArch(host string) (*machine.Arch, error) {
