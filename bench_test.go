@@ -34,28 +34,41 @@ func benchSpec() exper.RunSpec {
 	return exper.RunSpec{Transient: 0.05, Step: 5e-4, Throttle: true}
 }
 
+// benchSpecTimed is the spec for the sequential-vs-parallel Table 2
+// comparison: shorter transient, but the simulated network actually
+// sleeps 1% of its delays, so ns/op reflects the network shape and the
+// overlap of the parallel scheduler is visible as wall clock.
+func benchSpecTimed() exper.RunSpec {
+	return exper.RunSpec{Transient: 0.02, Step: 5e-4, Throttle: true, TimeScale: 0.01}
+}
+
 // runRemoteBench measures repeated executive runs with the given
 // placements on a fresh testbed.
 func runRemoteBench(b *testing.B, avs string, placements map[string]string) {
+	runRemoteBenchSpec(b, avs, placements, benchSpec())
+}
+
+func runRemoteBenchSpec(b *testing.B, avs string, placements map[string]string, spec exper.RunSpec) {
 	b.Helper()
 	tb, err := exper.NewTestbed(avs)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer tb.Stop()
+	tb.Net.SetTimeScale(spec.TimeScale)
 	exec, err := tb.NewExecutive()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer exec.Destroy()
-	spec := benchSpec()
 	if err := exec.Network.SetParam(core.InstSystem, "transient seconds", spec.Transient); err != nil {
 		b.Fatal(err)
 	}
 	if err := exec.Network.SetParam(core.InstSystem, "time step", spec.Step); err != nil {
 		b.Fatal(err)
 	}
-	if err := exec.Network.SetParam(core.InstComb, "fuel schedule", "0:1.48, 0.005:1.33"); err != nil {
+	sched := fmt.Sprintf("0:1.48, %g:1.33", spec.Transient/10)
+	if err := exec.Network.SetParam(core.InstComb, "fuel schedule", sched); err != nil {
 		b.Fatal(err)
 	}
 	for inst, m := range placements {
@@ -64,14 +77,14 @@ func runRemoteBench(b *testing.B, avs string, placements map[string]string) {
 		}
 	}
 	// Warm up (starts the lines).
-	if _, err := exec.Run(core.RunOptions{}); err != nil {
+	if _, err := exec.Run(core.RunOptions{Parallel: spec.Parallel}); err != nil {
 		b.Fatal(err)
 	}
 	tb.Net.ResetStats()
 	calls0 := trace.Get("schooner.client.calls")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.Run(core.RunOptions{}); err != nil {
+		if _, err := exec.Run(core.RunOptions{Parallel: spec.Parallel}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,9 +108,23 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2_Combined regenerates the paper's Table 2: the
 // simulation on the Arizona Sparc with six remote computations across
-// both sites.
+// both sites, each RPC issued sequentially as the original NPSS did.
+// Uses the timed spec so its wall clock is directly comparable to
+// BenchmarkTable2_Parallel.
 func BenchmarkTable2_Combined(b *testing.B) {
-	runRemoteBench(b, exper.SparcUA, exper.Table2Placements())
+	spec := benchSpecTimed()
+	runRemoteBenchSpec(b, exper.SparcUA, exper.Table2Placements(), spec)
+}
+
+// BenchmarkTable2_Parallel is the same workload with overlapped module
+// calls: wavefront network execution plus concurrent adapted-hook RPCs
+// via Line.Go. Per pass the wall clock approaches the slowest
+// dependency chain (bleed -> combustor -> mixer -> nozzle) instead of
+// the sum of all six remote calls.
+func BenchmarkTable2_Parallel(b *testing.B) {
+	spec := benchSpecTimed()
+	spec.Parallel = true
+	runRemoteBenchSpec(b, exper.SparcUA, exper.Table2Placements(), spec)
 }
 
 // BenchmarkTableBaseline_AllLocal is the local-compute-only reference

@@ -8,6 +8,7 @@
 //
 //	npss-exp -exp table1
 //	npss-exp -exp table2 -transient 1.0
+//	npss-exp -exp table2 -parallel          # overlap the six remote modules
 //	npss-exp -exp all
 //	npss-exp -exp table1 -timescale 0.01   # actually sleep 1% of the
 //	                                       # simulated network delays
@@ -29,9 +30,10 @@ func main() {
 	step := flag.Float64("step", 5e-4, "integration step, s")
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
 	calls := flag.Int("calls", 200, "operation count for the ablation timings")
+	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
 	flag.Parse()
 
-	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale}
+	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel}
 
 	run := map[string]func(){
 		"table1": func() {

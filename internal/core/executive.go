@@ -180,7 +180,16 @@ type RunOptions struct {
 	SkipTransient bool
 	// Observe, when non-nil, receives every transient step.
 	Observe func(t float64, out engine.Outputs)
+	// Parallel overlaps the independent remote module computations:
+	// the dataflow network executes as a wavefront and the engine's
+	// adapted hook calls run concurrently where the airflow graph
+	// allows. Results are bit-identical to a sequential run.
+	Parallel bool
 }
+
+// parallelWorkers bounds the wavefront scheduler's worker pool; the
+// F100 network's widest level is smaller than this.
+const parallelWorkers = 8
 
 // RunResult reports one simulation run.
 type RunResult struct {
@@ -207,7 +216,11 @@ func (x *Executive) Run(opts RunOptions) (*RunResult, error) {
 	if x.Network == nil {
 		return nil, fmt.Errorf("core: no network loaded; call BuildF100 or load one")
 	}
-	if _, err := x.Network.Execute(); err != nil {
+	workers := 1
+	if opts.Parallel {
+		workers = parallelWorkers
+	}
+	if _, err := x.Network.ExecuteParallel(workers); err != nil {
 		return nil, err
 	}
 	eng, err := x.buildEngine()
@@ -217,6 +230,7 @@ func (x *Executive) Run(opts RunOptions) (*RunResult, error) {
 	if err := x.installHooks(eng); err != nil {
 		return nil, err
 	}
+	eng.Parallel = opts.Parallel
 
 	steadyMethod := "Newton-Raphson"
 	if _, err := x.Network.Node(InstSystem); err == nil {

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Node is one module instance placed in a network.
@@ -295,53 +296,129 @@ func (n *Network) topoOrder() ([]*Node, error) {
 // Execute runs the scheduler: modules whose widgets changed or whose
 // upstream outputs changed are computed in dataflow order, and fresh
 // outputs propagate downstream. It returns the number of modules
-// computed.
+// computed. Execute is the sequential scheduler — ExecuteParallel
+// with one worker.
 func (n *Network) Execute() (int, error) {
+	return n.ExecuteParallel(1)
+}
+
+// ExecuteParallel runs the scheduler as a wavefront. The topological
+// order is sliced into levels: a node's level is one past the deepest
+// of its upstream nodes, so every input of a level-k node was produced
+// at level < k. Within a level the dirty nodes' inputs are gathered
+// first, then their Compute functions run concurrently on up to
+// `workers` goroutines, then outputs are applied and dirty flags
+// propagated in deterministic insertion order before the next level
+// starts. Because same-level nodes never feed each other, each module
+// sees exactly the inputs the sequential scheduler would have handed
+// it, and per-node results are independent of worker count. On a
+// Compute error the earlier nodes of that level (in order) keep their
+// fresh outputs, later ones stay dirty and recompute on the next
+// Execute, and the first error in deterministic order is returned.
+func (n *Network) ExecuteParallel(workers int) (int, error) {
 	order, err := n.topoOrder()
 	if err != nil {
 		return 0, err
 	}
-	computed := 0
+	if workers < 1 {
+		workers = 1
+	}
+	level := make(map[string]int, len(order))
+	maxLevel := 0
 	for _, node := range order {
-		if !node.dirty {
-			continue
-		}
-		ctx := &Context{
-			node:   node,
-			inputs: make(map[string]any),
-			outs:   make(map[string]any),
-		}
+		lv := 0
 		for _, c := range n.conns {
 			if c.toNode == node.Name {
-				if from, ok := n.nodes[c.fromNode]; ok {
-					if v, ok := from.outputs[c.fromPort]; ok {
-						ctx.inputs[c.toPort] = v
-					}
+				if up := level[c.fromNode] + 1; up > lv {
+					lv = up
 				}
 			}
 		}
-		if err := node.module.Compute(ctx); err != nil {
-			return computed, fmt.Errorf("dataflow: computing %q: %w", node.Name, err)
+		level[node.Name] = lv
+		if lv > maxLevel {
+			maxLevel = lv
 		}
-		computed++
-		node.dirty = false
-		// Propagate changed outputs downstream.
-		for port, v := range ctx.outs {
-			old, had := node.outputs[port]
-			node.outputs[port] = v
-			if had && safeEqual(old, v) {
-				continue
+	}
+	computed := 0
+	for lv := 0; lv <= maxLevel; lv++ {
+		var batch []*Node
+		for _, node := range order {
+			if level[node.Name] == lv && node.dirty {
+				batch = append(batch, node)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		ctxs := make([]*Context, len(batch))
+		for i, node := range batch {
+			ctx := &Context{
+				node:   node,
+				inputs: make(map[string]any),
+				outs:   make(map[string]any),
 			}
 			for _, c := range n.conns {
-				if c.fromNode == node.Name && c.fromPort == port {
-					if to, ok := n.nodes[c.toNode]; ok {
-						to.dirty = true
+				if c.toNode == node.Name {
+					if from, ok := n.nodes[c.fromNode]; ok {
+						if v, ok := from.outputs[c.fromPort]; ok {
+							ctx.inputs[c.toPort] = v
+						}
 					}
+				}
+			}
+			ctxs[i] = ctx
+		}
+		errs := make([]error, len(batch))
+		if workers == 1 || len(batch) == 1 {
+			for i, node := range batch {
+				if errs[i] = node.module.Compute(ctxs[i]); errs[i] != nil {
+					// Stop computing; the rest of the level stays dirty.
+					break
+				}
+			}
+		} else {
+			sem := make(chan struct{}, workers)
+			var wg sync.WaitGroup
+			for i, node := range batch {
+				wg.Add(1)
+				go func(i int, node *Node) {
+					defer wg.Done()
+					sem <- struct{}{}
+					errs[i] = node.module.Compute(ctxs[i])
+					<-sem
+				}(i, node)
+			}
+			wg.Wait()
+		}
+		for i, node := range batch {
+			if errs[i] != nil {
+				return computed, fmt.Errorf("dataflow: computing %q: %w", node.Name, errs[i])
+			}
+			n.apply(node, ctxs[i])
+			computed++
+		}
+	}
+	return computed, nil
+}
+
+// apply commits one computed node: clear its dirty flag, store its
+// outputs, and mark downstream nodes dirty where an output changed.
+func (n *Network) apply(node *Node, ctx *Context) {
+	node.dirty = false
+	for port, v := range ctx.outs {
+		old, had := node.outputs[port]
+		node.outputs[port] = v
+		if had && safeEqual(old, v) {
+			continue
+		}
+		for _, c := range n.conns {
+			if c.fromNode == node.Name && c.fromPort == port {
+				if to, ok := n.nodes[c.toNode]; ok {
+					to.dirty = true
 				}
 			}
 		}
 	}
-	return computed, nil
 }
 
 // safeEqual compares two port values, treating non-comparable types

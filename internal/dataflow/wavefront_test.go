@@ -1,0 +1,224 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// summer adds its two inputs — gives the wavefront tests a diamond.
+type summer struct{}
+
+func (s *summer) Spec(sp *Spec) {
+	sp.SetName("summer")
+	sp.InPort("a", "number")
+	sp.InPort("b", "number")
+	sp.OutPort("out", "number")
+}
+
+func (s *summer) Compute(c *Context) error {
+	a, _ := c.In("a").(float64)
+	b, _ := c.In("b").(float64)
+	return c.Out("out", a+b)
+}
+
+func (s *summer) Destroy() {}
+
+// diamond builds source -> {doubler gain=2, doubler gain=3} -> summer
+// -> sink, returning the network and the sink.
+func diamond(t *testing.T) (*Network, *sink) {
+	t.Helper()
+	n := NewNetwork("diamond")
+	snk := &sink{}
+	mustAdd := func(name, typ string, m Module) {
+		t.Helper()
+		if _, err := n.Add(name, typ, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("src", "source", &source{})
+	mustAdd("left", "doubler", &doubler{})
+	mustAdd("right", "doubler", &doubler{})
+	mustAdd("sum", "summer", &summer{})
+	mustAdd("snk", "sink", snk)
+	for _, c := range [][4]string{
+		{"src", "out", "left", "in"},
+		{"src", "out", "right", "in"},
+		{"left", "out", "sum", "a"},
+		{"right", "out", "sum", "b"},
+		{"sum", "out", "snk", "in"},
+	} {
+		if err := n.Connect(c[0], c[1], c[2], c[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.SetParam("src", "value", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetParam("right", "gain", 3.0); err != nil {
+		t.Fatal(err)
+	}
+	return n, snk
+}
+
+// TestWavefrontMatchesSequential checks that the parallel scheduler
+// computes the same values, the same number of nodes, and the same
+// dirty-propagation behavior as the sequential one.
+func TestWavefrontMatchesSequential(t *testing.T) {
+	seqNet, seqSink := diamond(t)
+	parNet, parSink := diamond(t)
+
+	nSeq, err := seqNet.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPar, err := parNet.ExecuteParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSeq != nPar {
+		t.Errorf("computed %d sequential vs %d parallel", nSeq, nPar)
+	}
+	if seqSink.last != parSink.last {
+		t.Errorf("sink saw %g sequential vs %g parallel", seqSink.last, parSink.last)
+	}
+	if parSink.last != 5*2+5*3 {
+		t.Errorf("sink = %g, want 25", parSink.last)
+	}
+
+	// A widget change on one branch recomputes only that slice of the
+	// graph, under both schedulers.
+	for _, net := range []*Network{seqNet, parNet} {
+		if err := net.SetParam("left", "gain", 4.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nSeq, _ = seqNet.Execute()
+	nPar, _ = parNet.ExecuteParallel(4)
+	if nSeq != nPar {
+		t.Errorf("incremental recompute: %d sequential vs %d parallel", nSeq, nPar)
+	}
+	if seqSink.last != parSink.last || parSink.last != 5*4+5*3 {
+		t.Errorf("incremental: sink %g/%g, want 35", seqSink.last, parSink.last)
+	}
+}
+
+// slowModule sleeps in Compute and records how many peers ran at the
+// same time.
+type slowModule struct {
+	running *atomic.Int32
+	peak    *atomic.Int32
+}
+
+func (m *slowModule) Spec(sp *Spec) {
+	sp.SetName("slow")
+	sp.InPort("in", "number")
+	sp.OutPort("out", "number")
+}
+
+func (m *slowModule) Compute(c *Context) error {
+	cur := m.running.Add(1)
+	for {
+		p := m.peak.Load()
+		if cur <= p || m.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.running.Add(-1)
+	in, _ := c.In("in").(float64)
+	return c.Out("out", in)
+}
+
+func (m *slowModule) Destroy() {}
+
+// TestWavefrontOverlapsALevel pins the point of the scheduler: nodes
+// on the same level run concurrently.
+func TestWavefrontOverlapsALevel(t *testing.T) {
+	n := NewNetwork("fanout")
+	var running, peak atomic.Int32
+	if _, err := n.Add("src", "source", &source{}); err != nil {
+		t.Fatal(err)
+	}
+	const fan = 4
+	for i := 0; i < fan; i++ {
+		name := fmt.Sprintf("slow%d", i)
+		if _, err := n.Add(name, "slow", &slowModule{running: &running, peak: &peak}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Connect("src", "out", name, "in"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if _, err := n.ExecuteParallel(fan); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := peak.Load(); got < 2 {
+		t.Errorf("peak concurrency %d, want >= 2", got)
+	}
+	if elapsed > fan*20*time.Millisecond*3/4 {
+		t.Errorf("level took %v, not overlapped", elapsed)
+	}
+}
+
+// failOnce errors on its first Compute and succeeds afterwards.
+type failOnce struct{ failed bool }
+
+func (m *failOnce) Spec(sp *Spec) {
+	sp.SetName("failonce")
+	sp.InPort("in", "number")
+	sp.OutPort("out", "number")
+}
+
+func (m *failOnce) Compute(c *Context) error {
+	if !m.failed {
+		m.failed = true
+		return fmt.Errorf("transient failure")
+	}
+	in, _ := c.In("in").(float64)
+	return c.Out("out", in)
+}
+
+func (m *failOnce) Destroy() {}
+
+// TestWavefrontErrorKeepsNodesRecomputable checks the error contract:
+// a failing node is reported, stays dirty, and the next Execute
+// finishes the graph.
+func TestWavefrontErrorKeepsNodesRecomputable(t *testing.T) {
+	n := NewNetwork("recover")
+	snk := &sink{}
+	if _, err := n.Add("src", "source", &source{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Add("flaky", "failonce", &failOnce{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Add("snk", "sink", snk); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("src", "out", "flaky", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("flaky", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetParam("src", "value", 7.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ExecuteParallel(4); err == nil {
+		t.Fatal("first execute did not surface the failure")
+	}
+	m, err := n.ExecuteParallel(4)
+	if err != nil {
+		t.Fatalf("second execute did not recover: %v", err)
+	}
+	if m == 0 {
+		t.Error("failed node not recomputed")
+	}
+	if snk.last != 7 {
+		t.Errorf("sink = %g, want 7", snk.last)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"npss/internal/gasdyn"
 	"npss/internal/solver"
@@ -117,6 +118,13 @@ type Engine struct {
 	// Hooks route the four adapted computations.
 	Hooks Hooks
 
+	// Parallel selects the overlapped evaluation pass: the adapted
+	// hook computations (ducts, combustor, nozzle, shafts) are invoked
+	// concurrently where the dataflow allows, so remote calls overlap
+	// on the wire. Results are bit-identical to the sequential pass;
+	// see Eval.
+	Parallel bool
+
 	// DesignState is the state vector at the design point, the
 	// natural initial guess for balancing.
 	DesignState []float64
@@ -198,10 +206,23 @@ func (e *Engine) PackState(x []float64, omegaL, omegaH float64) {
 
 // Eval performs one full algebraic pass at time t and state x,
 // returning the state derivatives and the engine outputs. It is the
-// single place the component computations are invoked, always in
-// airflow order; the hook indirection decides where each computation
-// physically executes.
+// single place the component computations are invoked; the hook
+// indirection decides where each computation physically executes, and
+// the Parallel flag decides whether independent hook invocations
+// overlap in time. Both passes apply the same per-volume operation
+// sequence, so their results are bit-identical (the only reordering,
+// V1's two outflows, commutes exactly in IEEE arithmetic because the
+// outflow accumulator is a two-term sum).
 func (e *Engine) Eval(t float64, x []float64, dx []float64) (Outputs, error) {
+	if e.Parallel {
+		return e.evalParallel(t, x, dx)
+	}
+	return e.evalSequential(t, x, dx)
+}
+
+// evalSequential invokes every component in strict airflow order, one
+// at a time — the reference pass.
+func (e *Engine) evalSequential(t float64, x []float64, dx []float64) (Outputs, error) {
 	var out Outputs
 	omegaL, omegaH, err := e.UnpackState(x)
 	if err != nil {
@@ -343,6 +364,268 @@ func (e *Engine) Eval(t float64, x []float64, dx []float64) (Outputs, error) {
 	dOmegaH, err := e.Hooks.Shaft("high", hpt.Torque, hpc.Torque, e.InertiaH, omegaH)
 	if err != nil {
 		return out, err
+	}
+
+	if dx != nil {
+		if len(dx) != NumStates {
+			return out, fmt.Errorf("engine: derivative vector has %d entries, want %d", len(dx), NumStates)
+		}
+		dx[0], dx[1] = dOmegaL, dOmegaH
+		for i, v := range e.Volumes {
+			dP, dT, err := v.Derivatives()
+			if err != nil {
+				return out, err
+			}
+			dx[2+2*i] = dP
+			dx[2+2*i+1] = dT
+		}
+	}
+
+	out = Outputs{
+		Thrust:     thrust,
+		Fuel:       wf + wfa,
+		AugFuel:    wfa,
+		W2:         fan.W,
+		NL:         omegaL / e.NLDes,
+		NH:         omegaH / e.NHDes,
+		T4:         v3.T,
+		FanBeta:    fan.Beta,
+		HPCBeta:    hpc.Beta,
+		NozzleFlow: w8,
+	}
+	if hpc.W > 0 {
+		out.BPR = wByp / hpc.W
+	}
+	return out, nil
+}
+
+// launch runs fn on its own goroutine and returns an idempotent wait
+// function delivering its error. The parallel evaluation pass uses it
+// to overlap hook invocations.
+func launch(fn func() error) func() error {
+	ch := make(chan error, 1)
+	go func() { ch <- fn() }()
+	var once sync.Once
+	var res error
+	return func() error {
+		once.Do(func() { res = <-ch })
+		return res
+	}
+}
+
+// evalParallel is the overlapped evaluation pass: each adapted hook
+// invocation is launched on its own goroutine the moment its inputs
+// are final, while every volume mutation stays on the calling
+// goroutine. The dataflow dependencies force only three hook calls
+// onto the critical path (combustor -> mixer-core -> nozzle); the
+// bypass duct overlaps the compressor/turbine arithmetic and the two
+// shaft calls overlap the mixer and nozzle. Hook arguments are
+// captured as scalars at launch, so goroutines never read volume
+// state.
+//
+// Bit-exactness: per volume, the sequence of AddIn/AddOut/AddFuel/
+// UpdateFAR operations (and their argument values) is identical to
+// evalSequential, with one exception — V1's outflow accumulates
+// hpc.W before wByp instead of after. The outflow accumulator is a
+// two-term sum and IEEE addition of two terms is commutative, so the
+// accumulated value is bit-identical.
+func (e *Engine) evalParallel(t float64, x []float64, dx []float64) (Outputs, error) {
+	var out Outputs
+	omegaL, omegaH, err := e.UnpackState(x)
+	if err != nil {
+		return out, err
+	}
+	if omegaL <= 0 || omegaH <= 0 {
+		return out, fmt.Errorf("engine: non-positive spool speed (NL=%g NH=%g)", omegaL, omegaH)
+	}
+	for _, v := range e.Volumes {
+		v.BeginPass()
+	}
+	v1 := e.Volumes[VFanExit]
+	v2 := e.Volumes[VHPCExit]
+	v3 := e.Volumes[VCombExit]
+	v4 := e.Volumes[VHPTExit]
+	v5 := e.Volumes[VLPTExit]
+	v6 := e.Volumes[VBypExit]
+	v7 := e.Volumes[VMixExit]
+
+	// fail drains every launched goroutine before an error return, so
+	// no hook call outlives the pass.
+	var waits []func() error
+	launchHook := func(fn func() error) func() error {
+		w := launch(fn)
+		waits = append(waits, w)
+		return w
+	}
+	fail := func(err error) (Outputs, error) {
+		for _, w := range waits {
+			_ = w()
+		}
+		return Outputs{}, err
+	}
+
+	// Ambient and inlet, following the flight profile when one is set.
+	alt, mach := e.Alt, e.Mach
+	if e.AltSched != nil {
+		alt = e.AltSched.At(t)
+	}
+	if e.MachSched != nil {
+		mach = e.MachSched.At(t)
+	}
+	pamb, _ := gasdyn.StandardAtmosphere(alt)
+	p2, t2 := e.Inlet.Compute(alt, mach)
+
+	// Fan.
+	fan, err := e.Fan.Compute(p2, t2, 0, v1.P, omegaL, e.FanStator.At(t))
+	if err != nil {
+		return out, err
+	}
+	v1.AddIn(Stream{W: fan.W, Tt: fan.Tt, FAR: 0})
+	v1.UpdateFAR()
+
+	// Bypass duct V1 -> V6, launched: its inputs are final and its
+	// result is not needed until the bypass mixer bookkeeping.
+	var wByp float64
+	bypP, bypT, bypFAR, bypDown := v1.P, v1.T, v1.FAR, v6.P
+	waitByp := launchHook(func() (err error) {
+		wByp, err = e.Hooks.Duct("bypass", e.KByp, bypP, bypT, bypFAR, bypDown)
+		return err
+	})
+
+	// High-pressure compressor V1 -> V2.
+	hpc, err := e.HPC.Compute(v1.P, v1.T, v1.FAR, v2.P, omegaH, e.HPCStator.At(t))
+	if err != nil {
+		return fail(err)
+	}
+	v1.AddOut(hpc.W)
+	v2.AddIn(Stream{W: hpc.W, Tt: hpc.Tt, FAR: v1.FAR})
+	v2.UpdateFAR()
+
+	// Combustor V2 -> V3, launched: the turbines need its result, but
+	// it overlaps the bleed and the in-flight bypass duct.
+	wf := e.Fuel.At(t)
+	var w3, t3, far3 float64
+	combP, combT, combFAR, combDown, combStator := v2.P, v2.T, v2.FAR, v3.P, e.CombStator.At(t)
+	waitComb := launchHook(func() (err error) {
+		w3, t3, far3, err = e.Hooks.Combustor(e.KComb, combP, combT, combFAR, combDown, wf, e.BurnEff, combStator)
+		return err
+	})
+
+	// Cooling bleed V2 -> V4 (always a local computation).
+	wBleed, err := e.Hooks.Duct("bleed", e.KBleed, v2.P, v2.T, v2.FAR, v4.P)
+	if err != nil {
+		return fail(err)
+	}
+	v2.AddOut(wBleed)
+	v4.AddIn(Stream{W: wBleed, Tt: v2.T, FAR: v2.FAR})
+
+	if err := waitComb(); err != nil {
+		return fail(err)
+	}
+	wAir := w3 - wf
+	if wAir < 0 {
+		wAir = 0
+	}
+	v2.AddOut(wAir)
+	v3.AddInEnthalpy(w3, gasdyn.H(t3, far3), far3)
+	v3.UpdateFAR()
+
+	// High-pressure turbine V3 -> V4.
+	hpt, err := e.HPT.Compute(v3.P, v3.T, v3.FAR, v4.P, omegaH)
+	if err != nil {
+		return fail(err)
+	}
+	v3.AddOut(hpt.W)
+	v4.AddIn(Stream{W: hpt.W, Tt: hpt.Tt, FAR: v3.FAR})
+	v4.UpdateFAR()
+
+	// Low-pressure turbine V4 -> V5.
+	lpt, err := e.LPT.Compute(v4.P, v4.T, v4.FAR, v5.P, omegaL)
+	if err != nil {
+		return fail(err)
+	}
+	v4.AddOut(lpt.W)
+	v5.AddIn(Stream{W: lpt.W, Tt: lpt.Tt, FAR: v4.FAR})
+	v5.UpdateFAR()
+
+	// Both spools' torques are known; launch the shaft dynamics to
+	// overlap the mixer and nozzle.
+	var dOmegaL, dOmegaH float64
+	lptQ, fanQ := lpt.Torque, fan.Torque
+	waitShaftL := launchHook(func() (err error) {
+		dOmegaL, err = e.Hooks.Shaft("low", lptQ, fanQ, e.InertiaL, omegaL)
+		return err
+	})
+	hptQ, hpcQ := hpt.Torque, hpc.Torque
+	waitShaftH := launchHook(func() (err error) {
+		dOmegaH, err = e.Hooks.Shaft("high", hptQ, hpcQ, e.InertiaH, omegaH)
+		return err
+	})
+
+	// Mixer core side V5 -> V7, launched.
+	var wMixCore float64
+	mcP, mcT, mcFAR, mcDown := v5.P, v5.T, v5.FAR, v7.P
+	waitMixCore := launchHook(func() (err error) {
+		wMixCore, err = e.Hooks.Duct("mixer-core", e.KMixCore, mcP, mcT, mcFAR, mcDown)
+		return err
+	})
+
+	// Bypass bookkeeping waits on the bypass duct result.
+	if err := waitByp(); err != nil {
+		return fail(err)
+	}
+	v1.AddOut(wByp)
+	v6.AddIn(Stream{W: wByp, Tt: v1.T, FAR: v1.FAR})
+	v6.UpdateFAR()
+
+	// Mixer bypass side V6 -> V7 (always a local computation).
+	wMixByp, err := e.Hooks.Duct("mixer-bypass", e.KMixByp, v6.P, v6.T, v6.FAR, v7.P)
+	if err != nil {
+		return fail(err)
+	}
+
+	if err := waitMixCore(); err != nil {
+		return fail(err)
+	}
+	v5.AddOut(wMixCore)
+	v7.AddIn(Stream{W: wMixCore, Tt: v5.T, FAR: v5.FAR})
+	v6.AddOut(wMixByp)
+	v7.AddIn(Stream{W: wMixByp, Tt: v6.T, FAR: v6.FAR})
+
+	// Augmentor: afterburner fuel burns in the mixer volume.
+	wfa := 0.0
+	if e.AugFuel != nil {
+		wfa = e.AugFuel.At(t)
+	}
+	if wfa < 0 {
+		return fail(fmt.Errorf("engine: negative augmentor fuel %g", wfa))
+	}
+	if wfa > 0 {
+		v7.AddFuel(wfa, e.AugEff*gasdyn.FuelLHV)
+	}
+	v7.UpdateFAR()
+	if v7.FAR > gasdyn.FARStoich {
+		return fail(fmt.Errorf("engine: augmentor drives FAR to %.4f beyond stoichiometric", v7.FAR))
+	}
+
+	// Nozzle V7 -> ambient; overlaps only the shaft calls still in
+	// flight — everything else on the flow path is upstream of it.
+	var w8, thrust float64
+	nzP, nzT, nzFAR, nzArea := v7.P, v7.T, v7.FAR, e.NozzleArea.At(t)
+	waitNozzle := launchHook(func() (err error) {
+		w8, thrust, err = e.Hooks.Nozzle(e.A8, nzP, nzT, nzFAR, pamb, nzArea)
+		return err
+	})
+	if err := waitNozzle(); err != nil {
+		return fail(err)
+	}
+	v7.AddOut(w8)
+
+	if err := waitShaftL(); err != nil {
+		return fail(err)
+	}
+	if err := waitShaftH(); err != nil {
+		return fail(err)
 	}
 
 	if dx != nil {

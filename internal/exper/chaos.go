@@ -101,6 +101,7 @@ var chaosCounters = []string{
 	"schooner.client.timeouts",
 	"schooner.client.stale",
 	"schooner.client.rebinds",
+	"schooner.client.call_failures",
 	"schooner.manager.heartbeats",
 	"schooner.manager.hostdown",
 	"schooner.manager.failovers",
@@ -170,6 +171,7 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	// machine, so its heartbeats and respawns cross the same degraded
 	// links.
 	tb.Net.SetFaultSeed(spec.Seed)
+	schooner.SetRetrySeed(spec.Seed)
 	flaky := netsim.FaultSpec{
 		LossProb:  spec.Loss,
 		MaxJitter: spec.Jitter,

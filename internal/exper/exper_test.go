@@ -95,6 +95,28 @@ func TestTable2Quick(t *testing.T) {
 	}
 }
 
+// TestTable2Parallel runs the combined test with overlapped module
+// calls and holds it to the sequential run's correctness bar: the
+// parallel remote run must match the sequential local baseline to
+// solver tolerance (runConfigured's local run always stays
+// sequential, so MaxRelErr compares the two schedulers end to end).
+func TestTable2Parallel(t *testing.T) {
+	spec := RunSpec{Transient: 0.02, Step: 5e-4, Throttle: true, Parallel: true}
+	row := Table2(spec)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if !row.Converged {
+		t.Error("parallel combined run did not converge")
+	}
+	if row.MaxRelErr > 1e-12 {
+		t.Errorf("MaxRelErr = %g, parallel run drifted from the sequential baseline", row.MaxRelErr)
+	}
+	if row.RPCs == 0 {
+		t.Error("no RPCs counted")
+	}
+}
+
 func TestFig1(t *testing.T) {
 	events, err := Fig1()
 	if err != nil {

@@ -26,6 +26,11 @@ type RunSpec struct {
 	// sleep that fraction of its simulated delays, so wall-clock
 	// measurements reflect network shape (0 = record only).
 	TimeScale float64
+	// Parallel runs the placed (remote) simulation with overlapped
+	// module calls — wavefront network execution plus concurrent
+	// adapted-hook RPCs. The local baseline stays sequential, so the
+	// comparison also verifies the parallel path's correctness.
+	Parallel bool
 }
 
 func (s *RunSpec) defaults() {
@@ -102,7 +107,7 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	tb.Net.ResetStats()
 	callsBefore := trace.Get("schooner.client.calls")
 	start := time.Now()
-	remote, err := exec.Run(core.RunOptions{})
+	remote, err := exec.Run(core.RunOptions{Parallel: spec.Parallel})
 	row.Wall = time.Since(start)
 	if err != nil {
 		row.Err = fmt.Errorf("remote run: %w", err)

@@ -57,7 +57,7 @@ func (c *Client) ContactSchx(module string) (*Line, error) {
 		client:   c,
 		id:       resp.Line,
 		module:   module,
-		mgr:      conn,
+		mgr:      newMgrConn(conn),
 		policy:   c.Policy,
 		imports:  make(map[string]*uts.ProcSpec),
 		bindings: make(map[string]*binding),
@@ -69,15 +69,21 @@ func (c *Client) ContactSchx(module string) (*Line, error) {
 // execution of procedures, some of which may be located on remote
 // machines. Lines execute independently of each other with no
 // synchronization; procedure names are unique within a line but may
-// repeat across lines. A Line's methods must be called from one
-// goroutine at a time (a line is, by definition, sequential).
+// repeat across lines.
+//
+// A Line is safe for concurrent use: any number of goroutines may
+// issue Call and Go through it, and the in-flight calls overlap on the
+// wire (each leases its own connection to the procedure process). The
+// mutex guards only the binding cache, the import table, and the
+// sequence-number bookkeeping — it is never held across a network
+// round trip or a backoff sleep.
 type Line struct {
 	client *Client
 	id     uint32
 	module string
+	mgr    *mgrConn
 
 	mu       sync.Mutex
-	mgr      wire.Conn
 	seq      uint32
 	policy   CallPolicy
 	imports  map[string]*uts.ProcSpec
@@ -93,13 +99,191 @@ func (l *Line) SetCallPolicy(p CallPolicy) {
 	l.policy = p
 }
 
+// nextSeq allocates a request sequence number.
+func (l *Line) nextSeq() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	return l.seq
+}
+
+// currentPolicy reads the line's policy with defaults applied.
+func (l *Line) currentPolicy() CallPolicy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.policy.withDefaults()
+}
+
+// isQuit reports whether the line has been shut down.
+func (l *Line) isQuit() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quit
+}
+
+// mgrConn multiplexes the line's single Manager connection across
+// concurrently calling goroutines: requests carry a sequence number,
+// the Manager echoes it in every reply, and a reader goroutine routes
+// each reply to the goroutine whose request carried that number. On a
+// deadline, the waiter abandons its pending entry but the connection
+// stays open — closing it would make the Manager treat the line as
+// dead and shut down its remote computations.
+type mgrConn struct {
+	conn wire.Conn
+
+	// sendMu serializes frames onto the shared connection.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint32]chan *wire.Message
+	err     error // terminal receive failure: the connection is dead
+}
+
+func newMgrConn(conn wire.Conn) *mgrConn {
+	g := &mgrConn{conn: conn, pending: make(map[uint32]chan *wire.Message)}
+	go g.readLoop()
+	return g
+}
+
+// readLoop dispatches Manager replies by echoed sequence number.
+// Replies whose waiter already gave up are discarded. A receive error
+// is terminal: every pending and future waiter fails.
+func (g *mgrConn) readLoop() {
+	for {
+		m, err := g.conn.Recv()
+		if err != nil {
+			g.mu.Lock()
+			g.err = err
+			for seq, ch := range g.pending {
+				close(ch)
+				delete(g.pending, seq)
+			}
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Lock()
+		ch, ok := g.pending[m.Seq]
+		if ok {
+			delete(g.pending, m.Seq)
+		}
+		g.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (g *mgrConn) forget(seq uint32) {
+	g.mu.Lock()
+	delete(g.pending, seq)
+	g.mu.Unlock()
+}
+
+// call performs one request/response exchange, bounded by timeout.
+// Transport failures and timeouts are transient (wrapped stale); a
+// KError reply from the Manager is an application error and final.
+func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
+	ch := make(chan *wire.Message, 1)
+	g.mu.Lock()
+	if g.err != nil {
+		err := g.err
+		g.mu.Unlock()
+		return nil, &staleError{fmt.Errorf("schooner: manager connection lost: %w", err)}
+	}
+	g.pending[req.Seq] = ch
+	g.mu.Unlock()
+
+	g.sendMu.Lock()
+	err := g.conn.Send(req)
+	g.sendMu.Unlock()
+	if err != nil {
+		g.forget(req.Seq)
+		return nil, &staleError{err}
+	}
+
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, &staleError{errors.New("schooner: manager connection lost")}
+		}
+		if resp.Kind == wire.KError {
+			return nil, fmt.Errorf("%s", resp.Err)
+		}
+		return resp, nil
+	case <-timerC:
+		g.forget(req.Seq)
+		return nil, &staleError{&timeoutError{peer: g.conn.RemoteLabel(), d: timeout}}
+	}
+}
+
+// Close tears down the underlying Manager connection; the reader
+// goroutine exits and pending waiters fail.
+func (g *mgrConn) Close() { g.conn.Close() }
+
 // binding caches the location of one remote procedure: the paper's
 // per-procedure name cache, refreshed lazily when a call to a stale
-// address fails after a move.
+// address fails after a move. Connections to the procedure process are
+// leased per in-flight call — the process serves each connection
+// sequentially, so a private connection per call lets concurrent calls
+// through one line overlap without reply matching — and pooled for
+// reuse between calls.
 type binding struct {
 	addr       string
 	exportName string
-	conn       wire.Conn
+
+	mu    sync.Mutex
+	idle  []wire.Conn
+	stale bool
+}
+
+// lease hands out a pooled idle connection or dials a fresh one.
+func (b *binding) lease(t Transport, from, name string) (wire.Conn, error) {
+	b.mu.Lock()
+	if n := len(b.idle); n > 0 {
+		conn := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.mu.Unlock()
+		return conn, nil
+	}
+	b.mu.Unlock()
+	conn, err := t.Dial(from, b.addr)
+	if err != nil {
+		// Transient: the mapped host may be mid-crash, with the
+		// Manager's failover about to repoint the name; retry.
+		return nil, &staleError{fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, b.addr, err)}
+	}
+	return conn, nil
+}
+
+// release returns a healthy connection to the pool, unless the binding
+// was invalidated while the call was in flight.
+func (b *binding) release(conn wire.Conn) {
+	b.mu.Lock()
+	if b.stale {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.idle = append(b.idle, conn)
+	b.mu.Unlock()
+}
+
+// markStale invalidates the binding and closes its pooled connections.
+func (b *binding) markStale() {
+	b.mu.Lock()
+	b.stale = true
+	idle := b.idle
+	b.idle = nil
+	b.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
 }
 
 // ID returns the Manager-assigned line id.
@@ -108,27 +292,16 @@ func (l *Line) ID() uint32 { return l.id }
 // Module returns the module name the line registered under.
 func (l *Line) Module() string { return l.module }
 
-// managerCall performs one request/response on the manager connection,
-// bounded by the line's call deadline. Transport failures and timeouts
-// are transient (wrapped as stale, so callers on the retry path try
-// again); a KError from the Manager is an application error and final.
+// managerCall performs one request/response with the Manager, bounded
+// by the line's call deadline. The sequence number is allocated under
+// the line lock; the round trip itself runs on the demultiplexed
+// Manager connection with no lock held.
 func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
-	if l.quit {
+	if l.isQuit() {
 		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
 	}
-	l.seq++
-	req.Seq = l.seq
-	if err := l.mgr.Send(req); err != nil {
-		return nil, &staleError{err}
-	}
-	resp, err := recvTimeout(l.mgr, l.policy.withDefaults().Timeout)
-	if err != nil {
-		return nil, &staleError{err}
-	}
-	if resp.Kind == wire.KError {
-		return nil, fmt.Errorf("%s", resp.Err)
-	}
-	return resp, nil
+	req.Seq = l.nextSeq()
+	return l.mgr.call(req, l.currentPolicy().Timeout)
 }
 
 // StartRemote asks the Manager to instantiate the procedure file at
@@ -136,8 +309,6 @@ func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 // machine and path are exactly what the user selects with the module's
 // radio-button and type-in widgets.
 func (l *Line) StartRemote(path, machineName string) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: l.id, Name: path, Str: machineName})
 	return err
 }
@@ -146,8 +317,6 @@ func (l *Line) StartRemote(path, machineName string) error {
 // shared procedure, available to every line. The process is not part
 // of this line and survives this line's shutdown.
 func (l *Line) StartShared(path, machineName string) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: 0, Name: path, Str: machineName})
 	return err
 }
@@ -179,8 +348,9 @@ func (l *Line) ImportFile(f *uts.SpecFile) error {
 	return nil
 }
 
-// lookup binds a procedure name, asking the Manager and opening a
-// connection to the procedure process.
+// lookup binds a procedure name by asking the Manager. When several
+// goroutines miss the cache simultaneously, the first to install a
+// binding wins and the others adopt it.
 func (l *Line) lookup(name string, imp *uts.ProcSpec) (*binding, error) {
 	resp, err := l.managerCall(&wire.Message{
 		Kind: wire.KLookup, Line: l.id, Name: name,
@@ -189,23 +359,26 @@ func (l *Line) lookup(name string, imp *uts.ProcSpec) (*binding, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := l.client.Transport.Dial(l.client.Host, resp.Str)
-	if err != nil {
-		// Transient: the mapped host may be mid-crash, with the
-		// Manager's failover about to repoint the name; retry.
-		return nil, &staleError{fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, resp.Str, err)}
+	nb := &binding{addr: resp.Str, exportName: resp.Name}
+	l.mu.Lock()
+	if cur, ok := l.bindings[name]; ok {
+		l.mu.Unlock()
+		return cur, nil
 	}
-	b := &binding{addr: resp.Str, exportName: resp.Name, conn: conn}
-	l.bindings[name] = b
-	return b, nil
+	l.bindings[name] = nb
+	l.mu.Unlock()
+	return nb, nil
 }
 
-// invalidate drops a stale binding.
+// invalidate drops a stale binding from the cache (unless a concurrent
+// rebind already replaced it) and closes its pooled connections.
 func (l *Line) invalidate(name string, b *binding) {
-	if b.conn != nil {
-		b.conn.Close()
+	l.mu.Lock()
+	if l.bindings[name] == b {
+		delete(l.bindings, name)
 	}
-	delete(l.bindings, name)
+	l.mu.Unlock()
+	b.markStale()
 }
 
 // Call invokes the named remote procedure with the given arguments
@@ -226,16 +399,62 @@ func (l *Line) invalidate(name string, b *binding) {
 // retry with jittered exponential backoff, up to the policy's retry
 // budget. Application errors from the procedure are surfaced
 // immediately and never retried.
+//
+// Concurrency: calls from multiple goroutines proceed in parallel on
+// the wire; no lock is held across the round trip or the backoff
+// sleep.
 func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	start := time.Now()
 	defer func() { trace.Observe("schooner.client.call", time.Since(start)) }()
+	res, err := l.call(name, args)
+	if err != nil {
+		trace.Count("schooner.client.call_failures")
+		return nil, err
+	}
+	return res, nil
+}
 
+// Pending is an in-flight asynchronous call started with Go.
+type Pending struct {
+	done chan struct{}
+	res  []uts.Value
+	err  error
+}
+
+// Wait blocks until the call completes and returns its results, with
+// the same semantics as a synchronous Call.
+func (p *Pending) Wait() ([]uts.Value, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// Done returns a channel that is closed when the call has completed,
+// for select-based composition.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Go begins an asynchronous call on the line and returns immediately.
+// The call runs with the full Call machinery — deadlines, retries,
+// stale-cache rebind, failover discovery — and overlaps with any other
+// calls in flight on the line.
+func (l *Line) Go(name string, args ...uts.Value) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.res, p.err = l.Call(name, args...)
+	}()
+	return p
+}
+
+// call is the retry machine behind Call and Go.
+func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.quit {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
 	}
 	imp, ok := l.imports[name]
+	pol := l.policy.withDefaults()
+	l.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("schooner: no import specification registered for %q", name)
 	}
@@ -261,15 +480,22 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 		return nil, err
 	}
 
-	pol := l.policy.withDefaults()
 	var lastErr error
 	rebinding := false
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			trace.Count("schooner.client.retries")
+			// The backoff sleep runs with no locks held: other
+			// goroutines' calls on this line proceed during it.
 			time.Sleep(pol.backoffFor(attempt - 1))
 		}
+		l.mu.Lock()
+		if l.quit {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("schooner: line %d already quit", l.id)
+		}
 		b := l.bindings[name]
+		l.mu.Unlock()
 		if b == nil {
 			if rebinding {
 				trace.Count("schooner.client.rebinds")
@@ -279,15 +505,33 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 				if !isStale(err) {
 					return nil, err
 				}
+				// A transient lookup failure — the Manager briefly
+				// unreachable, or the name mapped to a machine that is
+				// mid-crash — is retried exactly like a stale call.
+				// This is the first-bind retry path; it counts toward
+				// rebinds on the next attempt via the flag above.
 				lastErr = err
+				rebinding = true
 				if attempt >= pol.MaxRetries {
 					break
 				}
 				continue
 			}
 		}
-		reply, err := l.callOnce(b, imp, data, pol.Timeout)
+		conn, err := b.lease(l.client.Transport, l.client.Host, name)
+		if err != nil {
+			lastErr = err
+			l.invalidate(name, b)
+			trace.Count("schooner.client.stale")
+			rebinding = true
+			if attempt >= pol.MaxRetries {
+				break
+			}
+			continue
+		}
+		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout)
 		if err == nil {
+			b.release(conn)
 			// Inbound conversion: UTS -> native.
 			outs := imp.OutParams()
 			results, err := uts.DecodeParams(reply, outs)
@@ -304,6 +548,7 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 			trace.Count("schooner.client.calls")
 			return results, nil
 		}
+		conn.Close()
 		if !isStale(err) {
 			return nil, err
 		}
@@ -320,18 +565,19 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	return nil, fmt.Errorf("schooner: call to %q failed after %d attempts: %w", name, pol.MaxRetries+1, lastErr)
 }
 
-// callOnce performs one call attempt over a binding, bounded by the
-// per-attempt deadline.
-func (l *Line) callOnce(b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration) ([]byte, error) {
-	l.seq++
+// callOnce performs one call attempt over a leased connection, bounded
+// by the per-attempt deadline. The procedure process serves requests
+// one at a time per connection, so the next message on the connection
+// is the reply to this request.
+func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration) ([]byte, error) {
 	req := &wire.Message{
-		Kind: wire.KCall, Seq: l.seq, Line: l.id,
+		Kind: wire.KCall, Seq: l.nextSeq(), Line: l.id,
 		Name: b.exportName, Str: imp.Signature(), Data: data,
 	}
-	if err := b.conn.Send(req); err != nil {
+	if err := conn.Send(req); err != nil {
 		return nil, &staleError{err}
 	}
-	resp, err := recvTimeout(b.conn, timeout)
+	resp, err := recvTimeout(conn, timeout)
 	if err != nil {
 		if errors.As(err, new(*timeoutError)) {
 			trace.Count("schooner.client.timeouts")
@@ -370,9 +616,11 @@ func isStale(err error) bool {
 // name-cache ablation experiments; normal programs never need it.
 func (l *Line) FlushCache() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	for name, b := range l.bindings {
-		l.invalidate(name, b)
+	old := l.bindings
+	l.bindings = make(map[string]*binding)
+	l.mu.Unlock()
+	for _, b := range old {
+		b.markStale()
 	}
 }
 
@@ -381,8 +629,6 @@ func (l *Line) FlushCache() {
 // variables are transferred; otherwise the procedure must be stateless
 // (the fresh copy starts from its initial state).
 func (l *Line) Move(name, newMachine string, withState bool) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var data []byte
 	if withState {
 		data = []byte("state")
@@ -397,8 +643,6 @@ func (l *Line) Move(name, newMachine string, withState bool) error {
 // MoveShared relocates a shared procedure; all lines' future calls
 // follow it.
 func (l *Line) MoveShared(name, newMachine string, withState bool) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var data []byte
 	if withState {
 		data = []byte("state")
@@ -409,18 +653,25 @@ func (l *Line) MoveShared(name, newMachine string, withState bool) error {
 
 // IQuit is sch_i_quit: the module is being destroyed. The Manager
 // shuts down the remote procedures of this line only; other lines and
-// shared procedures are unaffected.
+// shared procedures are unaffected. Calls still in flight when IQuit
+// runs fail with a quit or connection error.
 func (l *Line) IQuit() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.quit {
+		l.mu.Unlock()
 		return nil
 	}
-	_, err := l.managerCall(&wire.Message{Kind: wire.KQuitLine, Line: l.id})
 	l.quit = true
-	for name, b := range l.bindings {
-		l.invalidate(name, b)
+	l.seq++
+	seq := l.seq
+	timeout := l.policy.withDefaults().Timeout
+	old := l.bindings
+	l.bindings = make(map[string]*binding)
+	l.mu.Unlock()
+	for _, b := range old {
+		b.markStale()
 	}
+	_, err := l.mgr.call(&wire.Message{Kind: wire.KQuitLine, Line: l.id, Seq: seq}, timeout)
 	l.mgr.Close()
 	return err
 }

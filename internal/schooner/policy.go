@@ -69,6 +69,16 @@ var backoffJitter = struct {
 	rng *rand.Rand
 }{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
 
+// SetRetrySeed re-seeds the retry jitter source. Experiments that
+// promise reproducibility (the chaos harness, the fault tests) call
+// this next to netsim.SetFaultSeed, so a seed pair fully determines
+// both the fault draws and the retry timing.
+func SetRetrySeed(seed int64) {
+	backoffJitter.mu.Lock()
+	backoffJitter.rng = rand.New(rand.NewSource(seed))
+	backoffJitter.mu.Unlock()
+}
+
 // backoffFor computes the jittered delay before retry number n
 // (0-based): half the exponential step plus a random half.
 func (p CallPolicy) backoffFor(n int) time.Duration {

@@ -121,6 +121,11 @@ type Histogram struct {
 func NewHistogram() *Histogram { return &Histogram{min: math.MaxInt64} }
 
 func bucketOf(d time.Duration) int {
+	// Zero and negative durations (clock steps, sub-microsecond
+	// observations) land in bucket 0 with upper bound 0, not 1µs.
+	if d <= 0 {
+		return 0
+	}
 	us := d.Microseconds()
 	b := 0
 	for us > 0 && b < len((&Histogram{}).buckets)-1 {
@@ -130,8 +135,12 @@ func bucketOf(d time.Duration) int {
 	return b
 }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations are clamped to
+// zero so Min/Max/Quantile stay within physically meaningful bounds.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.buckets[bucketOf(d)]++
@@ -180,7 +189,9 @@ func (h *Histogram) Max() time.Duration {
 }
 
 // Quantile reports an approximate quantile (0..1) from the buckets:
-// the upper bound of the bucket containing the q-th observation.
+// the upper bound of the bucket containing the q-th observation,
+// clamped into [Min, Max] so a bucket bound can never exceed the
+// largest (or undercut the smallest) observation actually recorded.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -195,10 +206,22 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, n := range h.buckets {
 		seen += n
 		if seen > target {
-			return time.Duration(1<<uint(i)) * time.Microsecond
+			return h.clamp(time.Duration(1<<uint(i)) * time.Microsecond)
 		}
 	}
 	return h.max
+}
+
+// clamp bounds a bucket-derived value by the observed extremes; the
+// caller holds h.mu.
+func (h *Histogram) clamp(d time.Duration) time.Duration {
+	if d > h.max {
+		return h.max
+	}
+	if d < h.min {
+		return h.min
+	}
+	return d
 }
 
 // String renders a one-line summary.

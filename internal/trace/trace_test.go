@@ -106,9 +106,52 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestQuantileClampedToObservedRange pins the clamp fix: the bucket
+// upper bound for a single 3µs observation is 4µs, but no quantile of
+// a histogram whose largest observation is 3µs may exceed 3µs.
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Microsecond)
+	if got := h.Quantile(1.0); got != 3*time.Microsecond {
+		t.Errorf("Quantile(1.0) = %v, want Max 3µs", got)
+	}
+	if got := h.Quantile(0.0); got != 3*time.Microsecond {
+		t.Errorf("Quantile(0.0) = %v, want 3µs", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if v := h.Quantile(q); v < h.Min() || v > h.Max() {
+			t.Errorf("Quantile(%g) = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+		}
+	}
+}
+
+// TestObserveZeroAndNegative pins the d <= 0 handling: such
+// observations land in bucket 0 and report zero throughout, instead
+// of a fictitious 1µs.
+func TestObserveZeroAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("min/max = %v/%v, want 0/0", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %v, want 0", got)
+	}
+	if h.Mean() != 0 {
+		t.Errorf("mean = %v, want 0", h.Mean())
+	}
+}
+
 func TestBucketOf(t *testing.T) {
 	if bucketOf(0) != 0 {
 		t.Error("bucketOf(0)")
+	}
+	if bucketOf(-time.Second) != 0 {
+		t.Error("bucketOf(negative)")
 	}
 	if bucketOf(time.Microsecond) != 1 {
 		t.Errorf("bucketOf(1us) = %d", bucketOf(time.Microsecond))
