@@ -12,6 +12,10 @@
 //	npss-exp -exp all
 //	npss-exp -exp table1 -timescale 0.01   # actually sleep 1% of the
 //	                                       # simulated network delays
+//	npss-exp -exp table2 -parallel -trace out.json
+//	                                       # capture a Chrome trace-event
+//	                                       # timeline (open in a trace
+//	                                       # viewer such as about:tracing)
 package main
 
 import (
@@ -31,7 +35,14 @@ func main() {
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
 	calls := flag.Int("calls", 200, "operation count for the ablation timings")
 	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		trace.SetRecorder(rec)
+	}
 
 	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel}
 
@@ -118,13 +129,41 @@ func main() {
 			printCounters()
 			fmt.Println()
 		}
-		return
+	} else {
+		fn, ok := run[*which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "npss-exp: unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+		fn()
+		printCounters()
 	}
-	fn, ok := run[*which]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "npss-exp: unknown experiment %q\n", *which)
-		os.Exit(2)
+
+	if rec != nil {
+		if err := writeTimeline(rec, *traceOut); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fn()
-	printCounters()
+}
+
+// writeTimeline dumps the recorded spans as Chrome trace-event JSON.
+func writeTimeline(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	n := len(rec.Spans())
+	fmt.Printf("npss-exp: wrote %d spans to %s", n, path)
+	if d := rec.Dropped(); d > 0 {
+		fmt.Printf(" (%d dropped at the recorder's span limit)", d)
+	}
+	fmt.Println()
+	return nil
 }

@@ -12,24 +12,44 @@
 //
 // The Manager is persistent: it serves any number of lines and
 // simulation runs until interrupted.
+//
+// A running Manager can be introspected without stopping it:
+//
+//	schooner-manager -listen 127.0.0.1:7500 -status
+//
+// prints its live lines, the health monitor's view of the machines,
+// and the trace counters, then exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"npss/internal/daemon"
 	"npss/internal/schooner"
+	"npss/internal/wire"
 )
 
 func main() {
 	host := flag.String("host", "avs-sparc", "logical machine name the Manager runs on")
 	listen := flag.String("listen", "127.0.0.1:7500", "socket address to listen on")
 	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
+	status := flag.Bool("status", false, "query the Manager at -listen for its status report and exit")
 	flag.Parse()
+
+	if *status {
+		report, err := queryStatus(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		return
+	}
 
 	hosts, err := daemon.ParseHosts(*hostTable)
 	if err != nil {
@@ -49,4 +69,27 @@ func main() {
 	<-sig
 	fmt.Println("schooner-manager: shutting down")
 	mgr.Stop()
+}
+
+// queryStatus dials a running Manager daemon directly and asks for its
+// plain-text status report.
+func queryStatus(addr string) (string, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", fmt.Errorf("schooner-manager: cannot reach manager at %s: %w", addr, err)
+	}
+	conn := wire.NewStreamConn(c, addr)
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KStatus}); err != nil {
+		return "", err
+	}
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := conn.Recv()
+	if err != nil {
+		return "", err
+	}
+	if resp.Kind != wire.KStatusOK {
+		return "", fmt.Errorf("schooner-manager: status query failed: %s", resp.Err)
+	}
+	return string(resp.Data), nil
 }

@@ -20,6 +20,7 @@ import (
 	"npss/internal/cmap"
 	"npss/internal/engine"
 	"npss/internal/solver"
+	"npss/internal/trace"
 )
 
 func main() {
@@ -37,7 +38,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the trajectory as CSV on stdout")
 	every := flag.Float64("every", 0.05, "print interval during the transient, s")
 	writeMaps := flag.String("write-maps", "", "write the default performance map files into this directory and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		trace.SetRecorder(rec)
+	}
 
 	if *writeMaps != "" {
 		if err := writeMapLibrary(*writeMaps); err != nil {
@@ -120,6 +128,20 @@ func main() {
 	if !*csv {
 		fmt.Printf("final (t=%.2fs, %s):\n", *transient, m)
 		report(*transient, final)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tess: wrote %d spans to %s\n", len(rec.Spans()), *traceOut)
 	}
 }
 

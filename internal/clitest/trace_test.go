@@ -1,0 +1,112 @@
+package clitest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeDump mirrors the Chrome trace-event JSON npss-exp -trace
+// writes, reading just the fields the assertions need.
+type chromeDump struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestNpssExpTraceExport runs the parallel Table 2 combined test with
+// the timeline capture on and checks the exported JSON end to end:
+// it parses, every placed module contributed at least one dataflow
+// node span, and client call spans share trace ids with dispatch
+// spans recorded on other machines.
+func TestNpssExpTraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := build(t, "npss/cmd/npss-exp")
+	traceFile := filepath.Join(t.TempDir(), "table2-timeline.json")
+	out := run(t, bin, "-exp", "table2", "-parallel", "-transient", "0.02", "-trace", traceFile)
+
+	if !strings.Contains(out, "converged=true") {
+		t.Fatalf("table2 did not converge:\n%s", out)
+	}
+	// The post-run snapshot includes the labeled latency histograms.
+	for _, want := range []string{
+		"schooner.client.call{proc=",
+		"schooner.proc.call{host=",
+		"wrote",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%.2000s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump chromeDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	hostOf := map[int]string{}
+	for _, e := range dump.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			hostOf[e.Pid] = e.Args["name"]
+		}
+	}
+
+	// One dataflow node span per placed module instance, at least.
+	nodeSpans := map[string]int{}
+	callTraces := map[string]bool{}
+	dispatchHosts := map[string]map[string]bool{} // trace -> hosts of its dispatch spans
+	callHost := map[string]string{}               // trace -> host of its call span
+	for _, e := range dump.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "node "):
+			nodeSpans[strings.TrimPrefix(e.Name, "node ")]++
+		case strings.HasPrefix(e.Name, "call "):
+			callTraces[e.Args["trace"]] = true
+			callHost[e.Args["trace"]] = hostOf[e.Pid]
+		case strings.HasPrefix(e.Name, "dispatch "):
+			tr := e.Args["trace"]
+			if dispatchHosts[tr] == nil {
+				dispatchHosts[tr] = map[string]bool{}
+			}
+			dispatchHosts[tr][hostOf[e.Pid]] = true
+		}
+	}
+	// The six Table 2 placements (see exper.Table2Placements).
+	for _, inst := range []string{
+		"combustor", "bypass duct", "augmentor duct",
+		"nozzle", "low speed shaft", "high speed shaft",
+	} {
+		if nodeSpans[inst] == 0 {
+			t.Errorf("no dataflow node span for placed module %q", inst)
+		}
+	}
+	// Cross-machine propagation: some call's trace must include a
+	// dispatch span on a different machine than the caller's.
+	crossed := 0
+	for tr := range callTraces {
+		for h := range dispatchHosts[tr] {
+			if h != "" && h != callHost[tr] {
+				crossed++
+				break
+			}
+		}
+	}
+	if crossed == 0 {
+		t.Errorf("no trace crossed machines: %d call traces, %d with dispatches",
+			len(callTraces), len(dispatchHosts))
+	}
+}

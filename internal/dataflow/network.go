@@ -3,7 +3,10 @@ package dataflow
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+
+	"npss/internal/trace"
 )
 
 // Node is one module instance placed in a network.
@@ -369,9 +372,26 @@ func (n *Network) ExecuteParallel(workers int) (int, error) {
 			ctxs[i] = ctx
 		}
 		errs := make([]error, len(batch))
+		// compute runs one node, wrapped in a span when a recorder is
+		// installed: one span per dataflow node, laned by batch slot,
+		// makes the wavefront schedule visible on a timeline.
+		compute := func(i int, node *Node) error {
+			if !trace.Enabled() {
+				return node.module.Compute(ctxs[i])
+			}
+			sp := trace.StartSpan("node "+node.Name, "dataflow")
+			sp.SetTrack(int64(i) + 1)
+			sp.Annotate("level", strconv.Itoa(lv))
+			err := node.module.Compute(ctxs[i])
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			}
+			sp.End()
+			return err
+		}
 		if workers == 1 || len(batch) == 1 {
 			for i, node := range batch {
-				if errs[i] = node.module.Compute(ctxs[i]); errs[i] != nil {
+				if errs[i] = compute(i, node); errs[i] != nil {
 					// Stop computing; the rest of the level stays dirty.
 					break
 				}
@@ -384,7 +404,7 @@ func (n *Network) ExecuteParallel(workers int) (int, error) {
 				go func(i int, node *Node) {
 					defer wg.Done()
 					sem <- struct{}{}
-					errs[i] = node.module.Compute(ctxs[i])
+					errs[i] = compute(i, node)
 					<-sem
 				}(i, node)
 			}

@@ -6,6 +6,7 @@ import (
 
 	"npss/internal/gasdyn"
 	"npss/internal/solver"
+	"npss/internal/trace"
 )
 
 // Hooks are the component computations the engine calls through
@@ -695,6 +696,8 @@ type SteadyOptions struct {
 // seeded with DesignState. It returns the outputs at the balanced
 // point and the iteration/step count.
 func (e *Engine) Balance(x []float64, opt SteadyOptions) (Outputs, int, error) {
+	sp := trace.StartSpan("balance", "engine")
+	defer sp.End()
 	if opt.Tol == 0 {
 		opt.Tol = 1e-9
 	}
@@ -784,6 +787,8 @@ type TransientOptions struct {
 // configured duration, updating x in place, and returns the outputs at
 // the final time.
 func (e *Engine) Transient(x []float64, opt TransientOptions) (Outputs, error) {
+	sp := trace.StartSpan("transient", "engine")
+	defer sp.End()
 	if opt.Duration == 0 {
 		opt.Duration = 1.0
 	}

@@ -131,6 +131,15 @@ type ChaosResult struct {
 // that serves Move.
 func Chaos(spec ChaosSpec) *ChaosResult {
 	spec.defaults()
+	// Scope the experiment to its own trace sets: the clean baseline
+	// records into one, and the faulty run into a fresh one installed
+	// just before the faults are armed — so the crash-recovery phase
+	// reports its own counts, not deltas against whatever the process
+	// accumulated earlier. The original global set is restored (after
+	// the testbed's deferred shutdown, whose last heartbeats land in
+	// the scoped set) on return.
+	prev := trace.Swap(trace.NewSet())
+	defer trace.Swap(prev)
 	placements := Table2Placements()
 	row := &ModuleRun{AVSMachine: SparcUA, Placements: placements}
 	res := &ChaosResult{Row: row, CrashHost: spec.CrashHost, CrashStep: spec.CrashStep}
@@ -190,10 +199,8 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 		}
 	}
 	tb.Net.ResetStats()
-	before := make(map[string]int64, len(chaosCounters))
-	for _, k := range chaosCounters {
-		before[k] = trace.Get(k)
-	}
+	chaosSet := trace.NewSet()
+	trace.Swap(chaosSet)
 
 	// The crash: mid-transient, the chosen machine goes silent and
 	// stays down. Every connection to it is dead from that instant —
@@ -212,7 +219,7 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 
 	res.Counters = make(map[string]int64, len(chaosCounters))
 	for _, k := range chaosCounters {
-		res.Counters[k] = trace.Get(k) - before[k]
+		res.Counters[k] = chaosSet.Get(k)
 	}
 	if err != nil {
 		row.Err = fmt.Errorf("chaos run: %w", err)

@@ -93,7 +93,11 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 		return row
 	}
 
+	// Phase spans bracket the two runs so a timeline shows the local
+	// baseline and the placed run as top-level lanes.
+	localSp := trace.StartSpan("local run", avs)
 	local, err := exec.Run(core.RunOptions{})
+	localSp.End()
 	if err != nil {
 		row.Err = fmt.Errorf("local run: %w", err)
 		return row
@@ -106,9 +110,14 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	}
 	tb.Net.ResetStats()
 	callsBefore := trace.Get("schooner.client.calls")
+	remoteSp := trace.StartSpan("remote run", avs)
+	if remoteSp != nil && spec.Parallel {
+		remoteSp.Annotate("mode", "parallel")
+	}
 	start := time.Now()
 	remote, err := exec.Run(core.RunOptions{Parallel: spec.Parallel})
 	row.Wall = time.Since(start)
+	remoteSp.End()
 	if err != nil {
 		row.Err = fmt.Errorf("remote run: %w", err)
 		return row

@@ -3,6 +3,7 @@ package schooner
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,13 @@ import (
 	"npss/internal/uts"
 	"npss/internal/wire"
 )
+
+// inject copies a span's context into a request message; a nil span
+// leaves the message untraced.
+func inject(m *wire.Message, sp *trace.Span) {
+	ctx := sp.Context()
+	m.Trace, m.Span = ctx.Trace, ctx.Span
+}
 
 // Client is the Schooner communication library as linked into one
 // module (for example an AVS module): it knows which machine it runs
@@ -309,7 +317,14 @@ func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 // machine and path are exactly what the user selects with the module's
 // radio-button and type-in widgets.
 func (l *Line) StartRemote(path, machineName string) error {
-	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: l.id, Name: path, Str: machineName})
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan("start "+path+" on "+machineName, l.client.Host)
+		defer sp.End()
+	}
+	req := &wire.Message{Kind: wire.KStartProc, Line: l.id, Name: path, Str: machineName}
+	inject(req, sp)
+	_, err := l.managerCall(req)
 	return err
 }
 
@@ -317,7 +332,14 @@ func (l *Line) StartRemote(path, machineName string) error {
 // shared procedure, available to every line. The process is not part
 // of this line and survives this line's shutdown.
 func (l *Line) StartShared(path, machineName string) error {
-	_, err := l.managerCall(&wire.Message{Kind: wire.KStartProc, Line: 0, Name: path, Str: machineName})
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan("start shared "+path+" on "+machineName, l.client.Host)
+		defer sp.End()
+	}
+	req := &wire.Message{Kind: wire.KStartProc, Line: 0, Name: path, Str: machineName}
+	inject(req, sp)
+	_, err := l.managerCall(req)
 	return err
 }
 
@@ -350,12 +372,25 @@ func (l *Line) ImportFile(f *uts.SpecFile) error {
 
 // lookup binds a procedure name by asking the Manager. When several
 // goroutines miss the cache simultaneously, the first to install a
-// binding wins and the others adopt it.
-func (l *Line) lookup(name string, imp *uts.ProcSpec) (*binding, error) {
-	resp, err := l.managerCall(&wire.Message{
+// binding wins and the others adopt it. The lookup round trip is
+// traced as a child of sp, so rebinds show up on the call's timeline.
+func (l *Line) lookup(name string, imp *uts.ProcSpec, sp *trace.Span) (*binding, error) {
+	var ls *trace.Span
+	if sp != nil {
+		ls = sp.Child("lookup "+name, l.client.Host)
+	}
+	req := &wire.Message{
 		Kind: wire.KLookup, Line: l.id, Name: name,
 		Data: []byte(imp.String()),
-	})
+	}
+	inject(req, ls)
+	resp, err := l.managerCall(req)
+	if ls != nil {
+		if err != nil {
+			ls.Annotate("error", err.Error())
+		}
+		ls.End()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -403,10 +438,29 @@ func (l *Line) invalidate(name string, b *binding) {
 // Concurrency: calls from multiple goroutines proceed in parallel on
 // the wire; no lock is held across the round trip or the backoff
 // sleep.
+//
+// Tracing: when a span recorder is installed (trace.Enabled), every
+// call allocates a root span carried to the remote side in the wire
+// envelope, with one child span per network attempt and annotations
+// for retries, rebinds, timeouts, and failover rebinds. Disabled
+// tracing costs one atomic load and no allocations.
 func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	start := time.Now()
-	defer func() { trace.Observe("schooner.client.call", time.Since(start)) }()
-	res, err := l.call(name, args)
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan("call "+name, l.client.Host)
+	}
+	res, err := l.call(name, args, sp)
+	d := time.Since(start)
+	trace.Observe("schooner.client.call", d)
+	if sp != nil {
+		trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "proc", Value: name}), d)
+		trace.Count(trace.LKey("schooner.client.calls", trace.Label{Key: "line", Value: strconv.FormatUint(uint64(l.id), 10)}))
+		if err != nil {
+			sp.Annotate("error", err.Error())
+		}
+		sp.End()
+	}
 	if err != nil {
 		trace.Count("schooner.client.call_failures")
 		return nil, err
@@ -445,8 +499,11 @@ func (l *Line) Go(name string, args ...uts.Value) *Pending {
 	return p
 }
 
-// call is the retry machine behind Call and Go.
-func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
+// call is the retry machine behind Call and Go. sp is the call's root
+// span (nil when tracing is disabled): each network attempt becomes a
+// child of it, so a retried call keeps one trace id across attempts
+// and a failover-rebound attempt stays linked to the original parent.
+func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value, error) {
 	l.mu.Lock()
 	if l.quit {
 		l.mu.Unlock()
@@ -482,9 +539,14 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 
 	var lastErr error
 	rebinding := false
+	prevAddr := "" // address of the binding the last failure used
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			trace.Count("schooner.client.retries")
+			if sp != nil {
+				sp.Annotate("retry."+strconv.Itoa(attempt), lastErr.Error())
+				trace.Count(trace.LKey("schooner.client.retries", trace.Label{Key: "proc", Value: name}))
+			}
 			// The backoff sleep runs with no locks held: other
 			// goroutines' calls on this line proceed during it.
 			time.Sleep(pol.backoffFor(attempt - 1))
@@ -500,7 +562,15 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 			if rebinding {
 				trace.Count("schooner.client.rebinds")
 			}
-			b, err = l.lookup(name, imp)
+			b, err = l.lookup(name, imp, sp)
+			if err == nil && sp != nil && rebinding {
+				sp.Annotate("rebind", "rebound to "+b.addr)
+				if prevAddr != "" && b.addr != prevAddr {
+					// The name came back mapped somewhere else: a Move
+					// or a Manager failover placed it on a new machine.
+					sp.Annotate("failover", prevAddr+" -> "+b.addr)
+				}
+			}
 			if err != nil {
 				if !isStale(err) {
 					return nil, err
@@ -521,6 +591,7 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 		conn, err := b.lease(l.client.Transport, l.client.Host, name)
 		if err != nil {
 			lastErr = err
+			prevAddr = b.addr
 			l.invalidate(name, b)
 			trace.Count("schooner.client.stale")
 			rebinding = true
@@ -529,7 +600,25 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 			}
 			continue
 		}
-		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout)
+		var att *trace.Span
+		var attStart time.Time
+		if sp != nil {
+			att = sp.Child("attempt "+name, l.client.Host)
+			att.Annotate("addr", b.addr)
+			attStart = time.Now()
+		}
+		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout, att)
+		if att != nil {
+			if err != nil {
+				att.Annotate("error", err.Error())
+			} else {
+				host := addrHost(b.addr)
+				d := time.Since(attStart)
+				trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "host", Value: host}), d)
+				trace.Count(trace.LKey("schooner.client.calls", trace.Label{Key: "host", Value: host}))
+			}
+			att.End()
+		}
 		if err == nil {
 			b.release(conn)
 			// Inbound conversion: UTS -> native.
@@ -555,6 +644,7 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 		// Stale cache: the procedure moved, died, or the wire failed.
 		// Drop the binding; the next attempt re-asks the Manager.
 		lastErr = err
+		prevAddr = b.addr
 		l.invalidate(name, b)
 		trace.Count("schooner.client.stale")
 		rebinding = true
@@ -568,12 +658,14 @@ func (l *Line) call(name string, args []uts.Value) ([]uts.Value, error) {
 // callOnce performs one call attempt over a leased connection, bounded
 // by the per-attempt deadline. The procedure process serves requests
 // one at a time per connection, so the next message on the connection
-// is the reply to this request.
-func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration) ([]byte, error) {
+// is the reply to this request. sp is the attempt span whose context
+// rides in the request envelope (nil when tracing is disabled).
+func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration, sp *trace.Span) ([]byte, error) {
 	req := &wire.Message{
 		Kind: wire.KCall, Seq: l.nextSeq(), Line: l.id,
 		Name: b.exportName, Str: imp.Signature(), Data: data,
 	}
+	inject(req, sp)
 	if err := conn.Send(req); err != nil {
 		return nil, &staleError{err}
 	}
@@ -581,6 +673,7 @@ func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []by
 	if err != nil {
 		if errors.As(err, new(*timeoutError)) {
 			trace.Count("schooner.client.timeouts")
+			sp.Annotate("timeout", timeout.String())
 		}
 		return nil, &staleError{err}
 	}
@@ -633,7 +726,14 @@ func (l *Line) Move(name, newMachine string, withState bool) error {
 	if withState {
 		data = []byte("state")
 	}
-	_, err := l.managerCall(&wire.Message{Kind: wire.KMove, Line: l.id, Name: name, Str: newMachine, Data: data})
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan("move "+name+" to "+newMachine, l.client.Host)
+		defer sp.End()
+	}
+	req := &wire.Message{Kind: wire.KMove, Line: l.id, Name: name, Str: newMachine, Data: data}
+	inject(req, sp)
+	_, err := l.managerCall(req)
 	// The cached binding is now stale. As in the paper, caches update
 	// lazily: the next call to the old location fails, resulting in an
 	// automatic re-ask of the Manager.

@@ -226,6 +226,13 @@ func statelessProc(p *remoteProc) bool {
 // Stateful processes are left in place: their calls keep failing until
 // the machine returns, which is surfaced to the affected line.
 func (m *Manager) failoverHost(deadHost string) {
+	// Failover is Manager-initiated, so it roots its own trace; the
+	// affected clients' later rebinds annotate their own call spans.
+	var sp *trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan("failover "+deadHost, m.host)
+		defer sp.End()
+	}
 	type victim struct {
 		ln   *line
 		proc *remoteProc
@@ -252,7 +259,7 @@ func (m *Manager) failoverHost(deadHost string) {
 			continue
 		}
 		for _, target := range m.aliveHosts(deadHost) {
-			fresh, specs, err := m.spawn(target, v.proc.path)
+			fresh, specs, err := m.spawn(target, v.proc.path, sp.Context())
 			if err != nil {
 				continue // try the next machine
 			}
@@ -281,6 +288,10 @@ func (m *Manager) failoverHost(deadHost string) {
 			// unreachable — the machine is dead).
 			m.shutdownProcess(v.proc)
 			trace.Count("schooner.manager.failovers")
+			if sp != nil {
+				sp.Annotate(v.proc.path, deadHost+" -> "+target)
+				trace.Count(trace.LKey("schooner.manager.failovers", trace.Label{Key: "host", Value: deadHost}))
+			}
 			break
 		}
 	}

@@ -194,6 +194,14 @@ func (m *Manager) serve(conn wire.Conn) {
 		if err != nil {
 			return
 		}
+		// A traced request parents a Manager-side span: the client's
+		// span context arrives in the envelope and the span tree
+		// continues here (and, for spawns, on into the Server).
+		var sp *trace.Span
+		if req.Trace != 0 {
+			sp = trace.StartChild(trace.SpanContext{Trace: req.Trace, Span: req.Span},
+				"manager."+req.Kind.String(), m.host)
+		}
 		var resp *wire.Message
 		switch req.Kind {
 		case wire.KRegisterLine:
@@ -209,11 +217,13 @@ func (m *Manager) serve(conn wire.Conn) {
 			registered = id
 			resp = &wire.Message{Kind: wire.KLineOK, Line: id}
 		case wire.KStartProc:
-			resp = m.handleStartProc(registered, req)
+			resp = m.handleStartProc(registered, req, sp)
 		case wire.KLookup:
 			resp = m.handleLookup(registered, req)
 		case wire.KMove:
-			resp = m.handleMove(registered, req)
+			resp = m.handleMove(registered, req, sp)
+		case wire.KStatus:
+			resp = &wire.Message{Kind: wire.KStatusOK, Data: []byte(m.StatusReport())}
 		case wire.KQuitLine:
 			if registered == 0 {
 				resp = errMsg("schooner: no line registered on this connection")
@@ -233,6 +243,12 @@ func (m *Manager) serve(conn wire.Conn) {
 			resp = &wire.Message{Kind: wire.KPong}
 		default:
 			resp = errMsg("schooner: manager cannot handle %v", req.Kind)
+		}
+		if sp != nil {
+			if resp.Kind == wire.KError {
+				sp.Annotate("error", resp.Err)
+			}
+			sp.End()
 		}
 		resp.Seq = req.Seq
 		if err := conn.Send(resp); err != nil {
@@ -284,7 +300,8 @@ func (m *Manager) lineFor(registered, requested uint32) (*line, *wire.Message) {
 
 // handleStartProc asks the target machine's Server to instantiate the
 // procedure file, then records its exports in the line's database.
-func (m *Manager) handleStartProc(registered uint32, req *wire.Message) *wire.Message {
+// The request span (if any) continues into the spawn round trip.
+func (m *Manager) handleStartProc(registered uint32, req *wire.Message, sp *trace.Span) *wire.Message {
 	ln, errResp := m.lineFor(registered, req.Line)
 	if errResp != nil {
 		return errResp
@@ -293,7 +310,7 @@ func (m *Manager) handleStartProc(registered uint32, req *wire.Message) *wire.Me
 	if path == "" || host == "" {
 		return errMsg("schooner: start request needs a path and a machine")
 	}
-	proc, specs, err := m.spawn(host, path)
+	proc, specs, err := m.spawn(host, path, sp.Context())
 	if err != nil {
 		return errMsg("schooner: starting %s on %s: %v", path, host, err)
 	}
@@ -307,11 +324,13 @@ func (m *Manager) handleStartProc(registered uint32, req *wire.Message) *wire.Me
 
 // spawn contacts a machine's Server and instantiates a program there.
 // Transport failures (dropped messages, timeouts) are retried a
-// bounded number of times; a Server-reported error is final.
-func (m *Manager) spawn(host, path string) (*remoteProc, []*uts.ProcSpec, error) {
+// bounded number of times; a Server-reported error is final. ctx is
+// the span context the KSpawn request carries to the Server (zero when
+// untraced).
+func (m *Manager) spawn(host, path string, ctx trace.SpanContext) (*remoteProc, []*uts.ProcSpec, error) {
 	var lastErr error
 	for attempt := 0; attempt < spawnAttempts; attempt++ {
-		proc, specs, err, final := m.spawnOnce(host, path)
+		proc, specs, err, final := m.spawnOnce(host, path, ctx)
 		if err == nil || final {
 			return proc, specs, err
 		}
@@ -323,13 +342,13 @@ func (m *Manager) spawn(host, path string) (*remoteProc, []*uts.ProcSpec, error)
 
 // spawnOnce performs one spawn round trip; final reports whether the
 // error (if any) is not worth retrying.
-func (m *Manager) spawnOnce(host, path string) (_ *remoteProc, _ []*uts.ProcSpec, err error, final bool) {
+func (m *Manager) spawnOnce(host, path string, ctx trace.SpanContext) (_ *remoteProc, _ []*uts.ProcSpec, err error, final bool) {
 	conn, err := m.transport.Dial(m.host, host+":"+ServerPort)
 	if err != nil {
 		return nil, nil, fmt.Errorf("no Schooner server on %s: %w", host, err), false
 	}
 	defer conn.Close()
-	if err := conn.Send(&wire.Message{Kind: wire.KSpawn, Name: path}); err != nil {
+	if err := conn.Send(&wire.Message{Kind: wire.KSpawn, Name: path, Trace: ctx.Trace, Span: ctx.Span}); err != nil {
 		return nil, nil, err, false
 	}
 	resp, err := recvTimeout(conn, rpcTimeout)
@@ -447,6 +466,11 @@ func (m *Manager) handleLookup(registered uint32, req *wire.Message) *wire.Messa
 		}
 	}
 	trace.Count("schooner.manager.lookups")
+	if trace.Enabled() {
+		trace.Count(trace.LKey("schooner.manager.lookups",
+			trace.Label{Key: "proc", Value: req.Name},
+			trace.Label{Key: "host", Value: ref.proc.host}))
+	}
 	return &wire.Message{Kind: wire.KLookupOK, Str: ref.proc.addr, Name: ref.spec.Name}
 }
 
@@ -457,7 +481,7 @@ func (m *Manager) handleLookup(registered uint32, req *wire.Message) *wire.Messa
 // finds the new location. When req.Data is "state", migration state is
 // captured before shutdown and installed into the new process (the
 // planned state-transfer extension).
-func (m *Manager) handleMove(registered uint32, req *wire.Message) *wire.Message {
+func (m *Manager) handleMove(registered uint32, req *wire.Message, sp *trace.Span) *wire.Message {
 	ln, errResp := m.lineFor(registered, req.Line)
 	if errResp != nil {
 		return errResp
@@ -495,7 +519,7 @@ func (m *Manager) handleMove(registered uint32, req *wire.Message) *wire.Message
 
 	// Paper ordering: shut down the original, then start the copy.
 	m.shutdownProcess(old)
-	fresh, specs, err := m.spawn(newHost, old.path)
+	fresh, specs, err := m.spawn(newHost, old.path, sp.Context())
 	if err != nil {
 		return errMsg("schooner: restarting %s on %s: %v", old.path, newHost, err)
 	}

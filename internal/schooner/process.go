@@ -3,6 +3,7 @@ package schooner
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"npss/internal/machine"
 	"npss/internal/trace"
@@ -157,11 +158,24 @@ func (p *process) importSpec(name, sig string) (*uts.ProcSpec, error) {
 }
 
 func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
+	// Remote half of the call's span tree: a traced request parents a
+	// dispatch span on this host, with children for the decode half of
+	// the conversion, the procedure body, and the encode half.
+	var dispatch *trace.Span
+	if m.Trace != 0 {
+		dispatch = trace.StartChild(trace.SpanContext{Trace: m.Trace, Span: m.Span},
+			"dispatch "+m.Name, p.host)
+		defer dispatch.End()
+	}
 	bp := p.instance.Find(m.Name, p.program.Language)
 	if bp == nil {
 		p.reply(conn, m, &wire.Message{Kind: wire.KError,
 			Err: fmt.Sprintf("schooner: no procedure %q in %s", m.Name, p.program.Path)})
 		return
+	}
+	var decode *trace.Span
+	if dispatch != nil {
+		decode = dispatch.Child("decode", p.host)
 	}
 	imp, err := p.importSpec(m.Name, m.Str)
 	if err != nil {
@@ -204,12 +218,28 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 		}
 		in[i] = nv
 	}
+	decode.End()
 
 	// One line is sequential; distinct lines may call concurrently
 	// into a shared procedure, so serialize at the instance.
+	var body *trace.Span
+	var bodyStart time.Time
+	enabled := trace.Enabled()
+	if enabled {
+		if dispatch != nil {
+			body = dispatch.Child("proc "+m.Name, p.host)
+		}
+		bodyStart = time.Now()
+	}
 	p.mu.Lock()
 	out, err := bp.Fn(in)
 	p.mu.Unlock()
+	if enabled {
+		d := time.Since(bodyStart)
+		body.End()
+		trace.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "proc", Value: m.Name}), d)
+		trace.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "host", Value: p.host}), d)
+	}
 	trace.Count("schooner.proc.calls")
 	if err != nil {
 		p.reply(conn, m, &wire.Message{Kind: wire.KError,
@@ -224,6 +254,10 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	}
 	// Native-to-UTS conversion of results, then keep only the
 	// out-parameters the import asked for, in import order.
+	var encode *trace.Span
+	if dispatch != nil {
+		encode = dispatch.Child("encode", p.host)
+	}
 	outByName := make(map[string]uts.Value, len(out))
 	for i, prm := range exportOut {
 		nv, err := p.arch.NativeRoundTrip(out[i])
@@ -244,6 +278,7 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
 		return
 	}
+	encode.End()
 	p.reply(conn, m, &wire.Message{Kind: wire.KReply, Data: data})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"npss/internal/trace"
 	"npss/internal/uts"
 	"npss/internal/wire"
 )
@@ -121,6 +122,14 @@ func (s *Server) serve(conn wire.Conn) {
 }
 
 func (s *Server) handleSpawn(m *wire.Message) *wire.Message {
+	// Continue the Manager's span tree: a traced StartRemote shows
+	// client -> Manager -> Server -> process creation on one timeline.
+	var sp *trace.Span
+	if m.Trace != 0 {
+		sp = trace.StartChild(trace.SpanContext{Trace: m.Trace, Span: m.Span},
+			"server.spawn "+m.Name, s.host)
+		defer sp.End()
+	}
 	s.mu.Lock()
 	stopped := s.stopped
 	s.mu.Unlock()

@@ -1,0 +1,75 @@
+package schooner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"npss/internal/trace"
+	"npss/internal/wire"
+)
+
+// StatusReport renders the Manager's plain-text introspection dump:
+// live lines, the health monitor's view of the machines, and the
+// global trace counters and latency histograms. It is what a KStatus
+// request answers with (`schooner-manager -status` on a deployment,
+// or QueryStatus in-process).
+func (m *Manager) StatusReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schooner manager on %s\n", m.host)
+
+	b.WriteString("-- lines --\n")
+	lines := m.Lines()
+	if len(lines) == 0 {
+		b.WriteString("(none)\n")
+	}
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("-- health --\n")
+	hh := m.HostHealth()
+	if hh == nil {
+		b.WriteString("(monitor off)\n")
+	} else {
+		hosts := make([]string, 0, len(hh))
+		for h := range hh {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			state := "up"
+			if !hh[h] {
+				state = "down"
+			}
+			fmt.Fprintf(&b, "%s %s\n", h, state)
+		}
+	}
+
+	b.WriteString("-- counters --\n")
+	b.WriteString(trace.Snapshot())
+	return b.String()
+}
+
+// QueryStatus asks the Manager on managerHost for its status report
+// over the given transport — the in-process equivalent of the
+// schooner-manager -status query.
+func QueryStatus(t Transport, fromHost, managerHost string) (string, error) {
+	conn, err := t.Dial(fromHost, managerHost+":"+ManagerPort)
+	if err != nil {
+		return "", fmt.Errorf("schooner: cannot reach manager on %s: %w", managerHost, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KStatus}); err != nil {
+		return "", err
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	if err != nil {
+		return "", err
+	}
+	if resp.Kind != wire.KStatusOK {
+		return "", fmt.Errorf("schooner: status query failed: %s", resp.Err)
+	}
+	return string(resp.Data), nil
+}

@@ -36,8 +36,27 @@ import (
 
 	"npss/internal/machine"
 	"npss/internal/netsim"
+	"npss/internal/trace"
 	"npss/internal/wire"
 )
+
+// addrHost extracts the machine part of a dialable "host:port"
+// address, for per-host metric labels and span annotations.
+func addrHost(addr string) string {
+	host, _, err := netsim.SplitAddr(addr)
+	if err != nil {
+		return addr
+	}
+	return host
+}
+
+// countDial records a labeled per-destination dial counter when
+// detailed tracing is enabled; a no-op otherwise.
+func countDial(addr string) {
+	if trace.Enabled() {
+		trace.Count(trace.LKey("schooner.transport.dials", trace.Label{Key: "host", Value: addrHost(addr)}))
+	}
+}
 
 // ManagerPort is the well-known port the Manager listens on.
 const ManagerPort = "schx-manager"
@@ -98,6 +117,7 @@ func (t *SimTransport) Dial(fromHost, addr string) (wire.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	countDial(addr)
 	return h.Dial(addr)
 }
 
@@ -215,6 +235,7 @@ func (t *TCPTransport) Dial(fromHost, addr string) (wire.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("schooner: connection refused: no listener at %q", addr)
 	}
+	countDial(addr)
 	c, err := net.Dial("tcp", real)
 	if err != nil {
 		return nil, err

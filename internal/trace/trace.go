@@ -9,10 +9,29 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-var global = NewSet()
+// global is the process-wide set. It is swappable (see Swap) so a
+// harness can scope a phase of a run to its own set — the chaos
+// experiment gives its baseline and its crash-recovery phase separate
+// sets, so each phase reports its own retry/failover counts.
+var global atomic.Pointer[Set]
+
+func init() { global.Store(NewSet()) }
+
+func cur() *Set { return global.Load() }
+
+// Swap installs s as the global set and returns the previous one.
+// A nil s installs a fresh empty set. Recording goroutines pick up
+// the new set on their next operation.
+func Swap(s *Set) *Set {
+	if s == nil {
+		s = NewSet()
+	}
+	return global.Swap(s)
+}
 
 // Set is an independent collection of counters and histograms.
 type Set struct {
@@ -70,42 +89,61 @@ func (s *Set) Reset() {
 	s.hists = make(map[string]*Histogram)
 }
 
-// Snapshot returns the counters as a sorted, stable report.
+// Snapshot returns the counters and histograms as a sorted, stable
+// report: one "name=value" line per counter, then one
+// "name: n=... min=... mean=... p95=... max=..." line per histogram.
 func (s *Set) Snapshot() string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.counters))
 	for n := range s.counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	hnames := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	hists := make([]*Histogram, len(hnames))
+	counts := make([]int64, len(names))
+	for i, n := range names {
+		counts[i] = s.counters[n]
+	}
+	for i, n := range hnames {
+		hists[i] = s.hists[n]
+	}
+	s.mu.Unlock()
+
 	var b strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+	for i, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, counts[i])
+	}
+	for i, n := range hnames {
+		fmt.Fprintf(&b, "%s: %s\n", n, hists[i].String())
 	}
 	return b.String()
 }
 
 // Count increments a global counter.
-func Count(name string) { global.Count(name) }
+func Count(name string) { cur().Count(name) }
 
 // Add increments a global counter by n.
-func Add(name string, n int64) { global.Add(name, n) }
+func Add(name string, n int64) { cur().Add(name, n) }
 
 // Get reads a global counter.
-func Get(name string) int64 { return global.Get(name) }
+func Get(name string) int64 { return cur().Get(name) }
 
 // Observe records into a global histogram.
-func Observe(name string, d time.Duration) { global.Observe(name, d) }
+func Observe(name string, d time.Duration) { cur().Observe(name, d) }
 
 // GlobalHistogram returns a global histogram by name, or nil.
-func GlobalHistogram(name string) *Histogram { return global.Histogram(name) }
+func GlobalHistogram(name string) *Histogram { return cur().Histogram(name) }
 
 // Reset clears the global set.
-func Reset() { global.Reset() }
+func Reset() { cur().Reset() }
 
-// Snapshot reports the global counters.
-func Snapshot() string { return global.Snapshot() }
+// Snapshot reports the global counters and histograms.
+func Snapshot() string { return cur().Snapshot() }
 
 // Histogram is a log-2-bucketed latency histogram from 1µs to ~17min.
 type Histogram struct {
@@ -192,11 +230,19 @@ func (h *Histogram) Max() time.Duration {
 // the upper bound of the bucket containing the q-th observation,
 // clamped into [Min, Max] so a bucket bound can never exceed the
 // largest (or undercut the smallest) observation actually recorded.
+// The boundaries are exact: q<=0 returns Min and q>=1 returns Max,
+// even for a single-observation histogram.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
 	}
 	target := int64(q * float64(h.count))
 	if target >= h.count {

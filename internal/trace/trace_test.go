@@ -146,6 +146,90 @@ func TestObserveZeroAndNegative(t *testing.T) {
 	}
 }
 
+// TestQuantileBoundaries pins the exact boundary semantics: q<=0 is
+// the recorded minimum and q>=1 the recorded maximum — not a bucket
+// bound near them.
+func TestQuantileBoundaries(t *testing.T) {
+	h := NewHistogram()
+	// 3µs and 100µs sit strictly inside their buckets (4µs and 128µs
+	// upper bounds), so a bucket-walk answer would differ.
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	if got := h.Quantile(0); got != 3*time.Microsecond {
+		t.Errorf("Quantile(0) = %v, want Min 3µs exactly", got)
+	}
+	if got := h.Quantile(-0.5); got != 3*time.Microsecond {
+		t.Errorf("Quantile(-0.5) = %v, want Min 3µs", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Microsecond {
+		t.Errorf("Quantile(1) = %v, want Max 100µs exactly", got)
+	}
+	if got := h.Quantile(1.5); got != 100*time.Microsecond {
+		t.Errorf("Quantile(1.5) = %v, want Max 100µs", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 7*time.Microsecond {
+			t.Errorf("Quantile(%g) = %v, want the only observation 7µs", q, got)
+		}
+	}
+}
+
+// TestSnapshotHistograms pins the one-line histogram summaries in the
+// set snapshot: counters first, then "name: n=... min=... mean=...
+// p95=... max=..." lines, all sorted.
+func TestSnapshotHistograms(t *testing.T) {
+	s := NewSet()
+	s.Count("z.counter")
+	s.Observe("a.lat", 2*time.Microsecond)
+	s.Observe("a.lat", 4*time.Microsecond)
+	s.Observe("b.lat", time.Millisecond)
+	snap := s.Snapshot()
+	if !strings.Contains(snap, "z.counter=1") {
+		t.Errorf("snapshot missing counter: %q", snap)
+	}
+	if !strings.Contains(snap, "a.lat: n=2 min=2µs mean=3µs") {
+		t.Errorf("snapshot missing a.lat summary: %q", snap)
+	}
+	if !strings.Contains(snap, "b.lat: n=1") {
+		t.Errorf("snapshot missing b.lat summary: %q", snap)
+	}
+	// Histogram lines are sorted among themselves.
+	if strings.Index(snap, "a.lat:") > strings.Index(snap, "b.lat:") {
+		t.Errorf("histogram lines not sorted: %q", snap)
+	}
+}
+
+// TestSwap pins the phase-scoping contract: Swap installs a new global
+// set and returns the old one, so a harness can give each phase of a
+// run its own counters.
+func TestSwap(t *testing.T) {
+	phase1 := NewSet()
+	prev := Swap(phase1)
+	defer Swap(prev)
+	Count("phase.ops")
+	phase2 := NewSet()
+	if got := Swap(phase2); got != phase1 {
+		t.Fatal("Swap did not return the previous set")
+	}
+	Count("phase.ops")
+	Count("phase.ops")
+	if phase1.Get("phase.ops") != 1 || phase2.Get("phase.ops") != 2 {
+		t.Errorf("phase counts = %d/%d, want 1/2",
+			phase1.Get("phase.ops"), phase2.Get("phase.ops"))
+	}
+	if got := Swap(nil); got != phase2 {
+		t.Fatal("Swap(nil) did not return the previous set")
+	}
+	if Get("phase.ops") != 0 {
+		t.Error("Swap(nil) did not install a fresh set")
+	}
+}
+
 func TestBucketOf(t *testing.T) {
 	if bucketOf(0) != 0 {
 		t.Error("bucketOf(0)")

@@ -88,6 +88,11 @@ const (
 	// KPing/KPong are liveness probes.
 	KPing
 	KPong
+	// KStatus asks the Manager for its plain-text introspection dump
+	// (counters, histograms, health table, live lines); KStatusOK
+	// answers with the report in Data.
+	KStatus
+	KStatusOK
 )
 
 var kindNames = map[Kind]string{
@@ -102,6 +107,7 @@ var kindNames = map[Kind]string{
 	KStateGet: "StateGet", KStateOK: "StateOK",
 	KStatePut: "StatePut", KStatePutOK: "StatePutOK",
 	KError: "Error", KPing: "Ping", KPong: "Pong",
+	KStatus: "Status", KStatusOK: "StatusOK",
 }
 
 // String names the message kind for diagnostics.
@@ -119,10 +125,17 @@ type Message struct {
 	Kind Kind
 	Seq  uint32 // request/reply correlation
 	Line uint32 // line id, when relevant
-	Name string // primary name (procedure, path, module)
-	Str  string // secondary string (machine, address, signature)
-	Err  string // error text for KError
-	Data []byte // marshaled payload
+	// Trace/Span carry the distributed-tracing span context of the
+	// request (package trace): Trace groups every span of one logical
+	// operation across machines, Span identifies the sender's span so
+	// the receiver parents its own spans under it. Zero means the
+	// request is not traced.
+	Trace uint64
+	Span  uint64
+	Name  string // primary name (procedure, path, module)
+	Str   string // secondary string (machine, address, signature)
+	Err   string // error text for KError
+	Data  []byte // marshaled payload
 }
 
 // String renders a compact diagnostic form.
@@ -137,8 +150,8 @@ const (
 )
 
 // Encode appends the serialized message to buf. The layout is:
-// kind(1) seq(4) line(4) name(2+n) str(2+n) err(2+n) data(4+n),
-// all big-endian.
+// kind(1) seq(4) line(4) trace(8) span(8) name(2+n) str(2+n) err(2+n)
+// data(4+n), all big-endian.
 func (m *Message) Encode(buf []byte) ([]byte, error) {
 	if m.Kind == KInvalid {
 		return nil, fmt.Errorf("wire: cannot encode invalid message")
@@ -151,9 +164,15 @@ func (m *Message) Encode(buf []byte) ([]byte, error) {
 	if len(m.Data) > maxData {
 		return nil, fmt.Errorf("wire: payload of %d bytes too long", len(m.Data))
 	}
+	if buf == nil {
+		// One exact-size allocation instead of append growth steps.
+		buf = make([]byte, 0, 1+4+4+8+8+2+len(m.Name)+2+len(m.Str)+2+len(m.Err)+4+len(m.Data))
+	}
 	buf = append(buf, byte(m.Kind))
 	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
 	buf = binary.BigEndian.AppendUint32(buf, m.Line)
+	buf = binary.BigEndian.AppendUint64(buf, m.Trace)
+	buf = binary.BigEndian.AppendUint64(buf, m.Span)
 	for _, s := range []string{m.Name, m.Str, m.Err} {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
 		buf = append(buf, s...)
@@ -165,16 +184,18 @@ func (m *Message) Encode(buf []byte) ([]byte, error) {
 // DecodeMessage parses a serialized message, which must be exactly one
 // message with no trailing bytes.
 func DecodeMessage(buf []byte) (*Message, error) {
-	if len(buf) < 1+4+4 {
+	if len(buf) < 1+4+4+8+8 {
 		return nil, fmt.Errorf("wire: message truncated at header (%d bytes)", len(buf))
 	}
 	m := &Message{Kind: Kind(buf[0])}
-	if m.Kind == KInvalid || m.Kind > KPong {
+	if m.Kind == KInvalid || m.Kind > KStatusOK {
 		return nil, fmt.Errorf("wire: unknown message kind %d", buf[0])
 	}
 	m.Seq = binary.BigEndian.Uint32(buf[1:])
 	m.Line = binary.BigEndian.Uint32(buf[5:])
-	buf = buf[9:]
+	m.Trace = binary.BigEndian.Uint64(buf[9:])
+	m.Span = binary.BigEndian.Uint64(buf[17:])
+	buf = buf[25:]
 	for _, dst := range []*string{&m.Name, &m.Str, &m.Err} {
 		if len(buf) < 2 {
 			return nil, fmt.Errorf("wire: message truncated at string length")

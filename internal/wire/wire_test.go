@@ -23,6 +23,7 @@ func TestKindString(t *testing.T) {
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	m := &Message{
 		Kind: KCall, Seq: 42, Line: 7,
+		Trace: 0xdeadbeefcafe, Span: 0x1234,
 		Name: "shaft", Str: "cray-ymp-lerc/9001", Err: "",
 		Data: []byte{1, 2, 3, 4, 5},
 	}
@@ -35,6 +36,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Kind != m.Kind || got.Seq != m.Seq || got.Line != m.Line ||
+		got.Trace != m.Trace || got.Span != m.Span ||
 		got.Name != m.Name || got.Str != m.Str || got.Err != m.Err ||
 		!bytes.Equal(got.Data, m.Data) {
 		t.Errorf("round trip: got %v, want %v", got, m)
@@ -94,12 +96,14 @@ func TestQuickRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		m := &Message{
-			Kind: Kind(1 + r.Intn(int(KPong))),
-			Seq:  r.Uint32(),
-			Line: r.Uint32(),
-			Name: randStr(r, 50),
-			Str:  randStr(r, 50),
-			Err:  randStr(r, 50),
+			Kind:  Kind(1 + r.Intn(int(KStatusOK))),
+			Seq:   r.Uint32(),
+			Line:  r.Uint32(),
+			Trace: r.Uint64(),
+			Span:  r.Uint64(),
+			Name:  randStr(r, 50),
+			Str:   randStr(r, 50),
+			Err:   randStr(r, 50),
 		}
 		if n := r.Intn(100); n > 0 {
 			m.Data = make([]byte, n)
@@ -114,6 +118,7 @@ func TestQuickRoundTrip(t *testing.T) {
 			return false
 		}
 		return got.Kind == m.Kind && got.Seq == m.Seq && got.Line == m.Line &&
+			got.Trace == m.Trace && got.Span == m.Span &&
 			got.Name == m.Name && got.Str == m.Str && got.Err == m.Err &&
 			bytes.Equal(got.Data, m.Data)
 	}
