@@ -16,6 +16,10 @@
 //	                                       # capture a Chrome trace-event
 //	                                       # timeline (open in a trace
 //	                                       # viewer such as about:tracing)
+//	npss-exp -exp dst -seed 42 -ops 60     # one deterministic-simulation
+//	                                       # scenario (not part of "all";
+//	                                       # it checks invariants rather
+//	                                       # than producing an artifact)
 package main
 
 import (
@@ -29,13 +33,15 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, chaos, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, chaos, dst, all")
 	transient := flag.Float64("transient", 0.5, "transient length, s")
 	step := flag.Float64("step", 5e-4, "integration step, s")
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
 	calls := flag.Int("calls", 200, "operation count for the ablation timings")
 	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
+	seed := flag.Int64("seed", 1, "scenario seed for the dst experiment")
+	ops := flag.Int("ops", 40, "operation count for the dst experiment")
 	flag.Parse()
 
 	var rec *trace.Recorder
@@ -108,6 +114,14 @@ func main() {
 		"chaos": func() {
 			fmt.Println("== Chaos: Table 2 workload under loss, flaps, and a machine crash ==")
 			fmt.Print(exper.FormatChaos(exper.Chaos(exper.ChaosSpec{Run: spec})))
+		},
+		"dst": func() {
+			fmt.Println("== DST: deterministic cluster simulation in virtual time ==")
+			report, ok := exper.DSTReport(*seed, *ops)
+			fmt.Print(report)
+			if !ok {
+				os.Exit(1)
+			}
 		},
 	}
 

@@ -1,0 +1,720 @@
+package dst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"npss/internal/machine"
+	"npss/internal/netsim"
+	"npss/internal/schooner"
+	"npss/internal/trace"
+	"npss/internal/uts"
+	"npss/internal/vclock"
+)
+
+// Config selects a scenario.
+type Config struct {
+	// Seed determines the entire op schedule.
+	Seed int64
+	// Ops is how many operations to generate (Replay ignores it).
+	Ops int
+	// Hosts is the worker-machine count h1..hN (default 3). The
+	// Manager's machine "mgr" is additional and never faulted.
+	Hosts int
+	// Inject names a deliberate bug to plant, for testing the harness
+	// itself: "double-commit" makes the counter procedure commit twice
+	// on every fifth call ID.
+	Inject string
+}
+
+// Violation is one invariant failure, tied to the op after which it
+// was detected.
+type Violation struct {
+	Op     int // index into Result.Ops; len(Ops) = the final convergence check
+	Name   string
+	Detail string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("invariant %q violated after op %d: %s", v.Name, v.Op, v.Detail)
+}
+
+// Result is one scenario run.
+type Result struct {
+	Seed     int64
+	Ops      []Op
+	Outcomes []string // one entry per applied op, for schedule comparison
+	// Violation is nil on a clean run.
+	Violation *Violation
+	// Signature captures the deterministic metric counters: two runs of
+	// the same schedule must produce identical signatures.
+	Signature map[string]int64
+	// VirtualElapsed is how much simulated time the scenario covered;
+	// RealElapsed is the wall-clock cost of simulating it.
+	VirtualElapsed time.Duration
+	RealElapsed    time.Duration
+}
+
+// signatureKeys are the counters included in Result.Signature: every
+// one is a pure function of the op schedule under the virtual clock.
+// Deliberately absent: schooner.manager.heartbeats (depends on how
+// long teardown takes in probe periods) and netsim byte counters.
+var signatureKeys = []string{
+	"dst.calls.ok",
+	"dst.calls.fail",
+	"dst.calls.timeout",
+	"dst.ops.skipped",
+	"dst.commits",
+	"schooner.manager.moves",
+	"schooner.manager.failovers",
+	"schooner.manager.starts",
+	"schooner.manager.lines",
+	"schooner.client.calls",
+	"schooner.client.call_failures",
+	"schooner.client.retries",
+	"schooner.client.stale",
+	"schooner.client.timeouts",
+	"schooner.client.rebinds",
+}
+
+// verifyIDBase is the call-ID space for the driver's own invariant
+// verification calls, disjoint from generated bump and work IDs.
+const verifyIDBase = 1 << 30
+
+// ledger records every commit a procedure process performs, keyed by
+// (call ID, attempt number). The bump procedure is called with no
+// client-level retries and an explicit attempt number, so each key
+// must commit at most once: a second commit means the runtime
+// delivered one request twice.
+type ledger struct {
+	mu      sync.Mutex
+	commits map[[2]int64]int
+}
+
+func newLedger() *ledger {
+	return &ledger{commits: make(map[[2]int64]int)}
+}
+
+func (l *ledger) commit(id, attempt int64) {
+	l.mu.Lock()
+	l.commits[[2]int64{id, attempt}]++
+	l.mu.Unlock()
+	trace.Count("dst.commits")
+}
+
+// doubleCommit reports the first bump key committed more than once.
+func (l *ledger) doubleCommit() (key [2]int64, n int, found bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([][2]int64, 0, len(l.commits))
+	for k := range l.commits {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if k[0] < workIDBase && l.commits[k] > 1 {
+			return k, l.commits[k], true
+		}
+	}
+	return [2]int64{}, 0, false
+}
+
+// cluster is one simulated deployment under test.
+type cluster struct {
+	cfg     Config
+	v       *vclock.Virtual
+	net     *netsim.Network
+	tr      *schooner.SimTransport
+	mgr     *schooner.Manager
+	servers map[string]*schooner.Server
+	hosts   []string // h1..hN
+	led     *ledger
+
+	workLine *schooner.Line
+	lines    [maxLines]*schooner.Line
+
+	downs map[string]bool
+	parts map[string]bool // "a|b" keys
+
+	outcomes  []string
+	violation *Violation
+	verifySeq int64
+}
+
+// clean reports whether no fault is currently injected — the state in
+// which availability invariants must hold.
+func (c *cluster) clean() bool { return len(c.downs) == 0 && len(c.parts) == 0 }
+
+// violate records the first invariant failure; later ones are ignored
+// (the run stops at the first anyway).
+func (c *cluster) violate(op int, name, detail string) {
+	if c.violation == nil {
+		c.violation = &Violation{Op: op, Name: name, Detail: detail}
+	}
+}
+
+// xFor derives the deterministic input of a call from its ID. The
+// value is a small half-integer, exactly representable on every
+// simulated architecture including the Cray's 48-bit mantissa, so
+// answer checks need no tolerance for format conversion.
+func xFor(id int64) float64 { return float64(id%1024) / 2 }
+
+func bumpExpect(x float64) float64 { return 2*x + 1 }
+func workExpect(x float64) float64 { return 1.5*x + 1 }
+
+// close enough for cross-architecture round trips (exact for the
+// half-integer inputs used here; the tolerance is belt and braces).
+func near(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+}
+
+// counterProgram exports bump (fast, commits (id,attempt)) and nap
+// (commits, then holds the reply past any call deadline). Both report
+// to the run's ledger; nap sleeps on the run's virtual clock so the
+// stall costs no wall time.
+func (c *cluster) counterProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     "dst-counter",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			bump := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export bump prog("id" val long, "attempt" val long, "x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					id, _ := in[0].Int64()
+					attempt, _ := in[1].Int64()
+					c.led.commit(id, attempt)
+					if c.cfg.Inject == "double-commit" && id < workIDBase && id%5 == 3 {
+						c.led.commit(id, attempt)
+					}
+					return []uts.Value{uts.DoubleVal(bumpExpect(in[2].F))}, nil
+				},
+			}
+			nap := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export nap prog("id" val long, "x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					id, _ := in[0].Int64()
+					c.led.commit(id, 0)
+					c.v.Sleep(150 * time.Millisecond) // > the 80ms call deadline
+					return []uts.Value{uts.DoubleVal(bumpExpect(in[1].F))}, nil
+				},
+			}
+			return schooner.NewInstance(bump, nap)
+		},
+	}
+}
+
+// workProgram exports the shared work procedure. Its line keeps the
+// full client retry policy, so commits per ID are bounded but not
+// unique — the ledger entry uses attempt -1.
+func (c *cluster) workProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     "dst-work",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			work := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export work prog("id" val long, "x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					id, _ := in[0].Int64()
+					c.led.commit(id, -1)
+					return []uts.Value{uts.DoubleVal(workExpect(in[1].F))}, nil
+				},
+			}
+			return schooner.NewInstance(work)
+		},
+	}
+}
+
+// archCycle assigns the paper's testbed architectures round-robin to
+// worker hosts, so every run crosses byte orders and float formats.
+var archCycle = []*machine.Arch{
+	machine.SPARC, machine.PC, machine.CrayYMP, machine.RS6000, machine.SGI,
+}
+
+// bumpImport / napImport / workImport are the client-side import
+// specifications matching the program exports.
+var (
+	bumpImport = uts.MustParseProc(`import bump prog("id" val long, "attempt" val long, "x" val double, "y" res double)`)
+	napImport  = uts.MustParseProc(`import nap prog("id" val long, "x" val double, "y" res double)`)
+	workImport = uts.MustParseProc(`import work prog("id" val long, "x" val double, "y" res double)`)
+)
+
+// bumpPolicy is the call policy for scenario lines: one attempt only
+// (MaxRetries -1 means zero retries), so the driver controls retrying
+// and can tag each attempt with its number — the bookkeeping the
+// double-commit invariant rests on.
+var bumpPolicy = schooner.CallPolicy{
+	Timeout:    80 * time.Millisecond,
+	MaxRetries: -1,
+	Backoff:    2 * time.Millisecond,
+	MaxBackoff: 10 * time.Millisecond,
+}
+
+// workPolicy keeps the full retry machinery for the shared work line,
+// exercising backoff, rebind, and failover discovery.
+var workPolicy = schooner.CallPolicy{
+	Timeout:    80 * time.Millisecond,
+	MaxRetries: 3,
+	Backoff:    2 * time.Millisecond,
+	MaxBackoff: 10 * time.Millisecond,
+}
+
+// healthPolicy drives failover quickly in virtual time.
+var healthPolicy = schooner.HealthPolicy{
+	Interval:    25 * time.Millisecond,
+	Threshold:   2,
+	PingTimeout: 40 * time.Millisecond,
+}
+
+// runMu serializes scenario runs: each swaps the process-global clock
+// and metric set.
+var runMu sync.Mutex
+
+// Run generates a schedule from cfg.Seed and executes it.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 3
+	}
+	hosts := workerHosts(cfg.Hosts)
+	ops := Generate(cfg.Seed, cfg.Ops, hosts)
+	return Replay(cfg, ops)
+}
+
+// Replay executes an explicit schedule — the same path Run uses, so a
+// shrunk trace reproduces exactly what its parent run did.
+func Replay(cfg Config, ops []Op) (*Result, error) {
+	runMu.Lock()
+	defer runMu.Unlock()
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 3
+	}
+	realStart := time.Now()
+
+	c := &cluster{
+		cfg:     cfg,
+		v:       vclock.NewVirtual(),
+		hosts:   workerHosts(cfg.Hosts),
+		led:     newLedger(),
+		servers: make(map[string]*schooner.Server),
+		downs:   make(map[string]bool),
+		parts:   make(map[string]bool),
+	}
+
+	// Scope metrics to this run and install the virtual clock into the
+	// network and the Schooner runtime. SwapClock also pins the retry
+	// jitter to a fixed seed, making backoff durations reproducible.
+	set := trace.NewSet()
+	prevSet := trace.Swap(set)
+	prevClock := schooner.SwapClock(c.v)
+
+	c.net = netsim.New()
+	c.net.SetClock(c.v)
+	c.net.SetTimeScale(1.0)
+	c.net.MustAddHost("mgr", machine.SPARC)
+	for i, h := range c.hosts {
+		c.net.MustAddHost(h, archCycle[i%len(archCycle)])
+	}
+	c.tr = schooner.NewSimTransport(c.net)
+	reg := schooner.NewRegistry()
+	reg.MustRegister(c.counterProgram())
+	reg.MustRegister(c.workProgram())
+
+	var err error
+	c.mgr, err = schooner.StartManager(c.tr, "mgr")
+	if err != nil {
+		teardown(c, prevClock, prevSet)
+		return nil, err
+	}
+	for _, h := range append([]string{"mgr"}, c.hosts...) {
+		srv, serr := schooner.StartServer(c.tr, h, reg)
+		if serr != nil {
+			teardown(c, prevClock, prevSet)
+			return nil, serr
+		}
+		c.servers[h] = srv
+	}
+	c.mgr.StartHealth(healthPolicy)
+
+	// The shared work line exists for the whole run, its procedure
+	// initially on h1.
+	client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr", Policy: workPolicy}
+	c.workLine, err = client.ContactSchx("dst-work-driver")
+	if err == nil {
+		err = c.workLine.Import(workImport)
+	}
+	if err == nil {
+		err = c.workLine.StartShared("dst-work", c.hosts[0])
+	}
+	if err != nil {
+		teardown(c, prevClock, prevSet)
+		return nil, err
+	}
+
+	for i, op := range ops {
+		c.outcomes = append(c.outcomes, fmt.Sprintf("%d %s: %s", i, op, c.apply(i, op)))
+		c.checkLedger(i)
+		if c.violation != nil {
+			break
+		}
+	}
+	if c.violation == nil {
+		c.converge(len(ops))
+		c.checkLedger(len(ops))
+	}
+
+	res := &Result{
+		Seed:           cfg.Seed,
+		Ops:            ops,
+		Outcomes:       c.outcomes,
+		Violation:      c.violation,
+		Signature:      make(map[string]int64, len(signatureKeys)),
+		VirtualElapsed: c.v.Elapsed(),
+	}
+	for _, k := range signatureKeys {
+		res.Signature[k] = set.Get(k)
+	}
+	teardown(c, prevClock, prevSet)
+	res.RealElapsed = time.Since(realStart)
+	return res, nil
+}
+
+// teardown dismantles the cluster in dependency order: the health
+// prober first (it sleeps on the virtual clock, which must still be
+// running), then the Manager and Servers, then the clock itself —
+// stopping it releases any straggling virtual sleepers — and finally
+// the global clock and metric set are restored.
+func teardown(c *cluster, prevClock vclock.Clock, prevSet *trace.Set) {
+	if c.mgr != nil {
+		c.mgr.StopHealth()
+		c.mgr.Stop()
+	}
+	for _, s := range c.servers {
+		s.Stop()
+	}
+	c.v.Stop()
+	// Give released sleepers a moment to observe closed connections and
+	// exit before the real clock comes back.
+	time.Sleep(2 * time.Millisecond)
+	schooner.SwapClock(prevClock)
+	trace.Swap(prevSet)
+}
+
+func workerHosts(n int) []string {
+	hosts := make([]string, n)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%d", i+1)
+	}
+	return hosts
+}
+
+// partKey canonicalizes a severed pair.
+func partKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// apply executes one op and returns a short outcome word. Ops whose
+// precondition no longer holds (their setup op was shrunk away) are
+// skipped, never failed — shrinking must not manufacture violations.
+func (c *cluster) apply(idx int, op Op) string {
+	switch op.Kind {
+	case OpSpawnLine:
+		if c.lines[op.Line] != nil {
+			return c.skip()
+		}
+		client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr", Policy: bumpPolicy}
+		ln, err := client.ContactSchx(fmt.Sprintf("dst-line-%d", op.Line))
+		if err != nil {
+			return "fail: " + err.Error()
+		}
+		if err := ln.Import(bumpImport); err != nil {
+			return "fail: " + err.Error()
+		}
+		if err := ln.Import(napImport); err != nil {
+			return "fail: " + err.Error()
+		}
+		c.lines[op.Line] = ln
+		return "ok"
+
+	case OpQuitLine:
+		ln := c.lines[op.Line]
+		if ln == nil {
+			return c.skip()
+		}
+		c.lines[op.Line] = nil
+		if err := ln.IQuit(); err != nil {
+			return "fail: " + err.Error()
+		}
+		// Invariant: quitting a line never takes shared procedures with
+		// it. Only checkable when no fault could mask the loss.
+		if c.clean() {
+			if _, ok := c.verifiedWorkCall(); !ok {
+				c.violate(idx, "shared-lost", fmt.Sprintf("shared work procedure unreachable after line %d quit", op.Line))
+			}
+		}
+		return "ok"
+
+	case OpStartProc:
+		ln := c.lines[op.Line]
+		if ln == nil {
+			return c.skip()
+		}
+		if err := ln.StartRemote("dst-counter", op.Host); err != nil {
+			return "fail: " + err.Error()
+		}
+		return "ok"
+
+	case OpCall:
+		ln := c.lines[op.Line]
+		if ln == nil {
+			return c.skip()
+		}
+		ok := 0
+		for i := 0; i < op.N; i++ {
+			if c.bumpCall(idx, ln, op.ID+int64(i)) {
+				ok++
+			}
+			c.v.Sleep(5 * time.Millisecond)
+		}
+		return fmt.Sprintf("ok=%d/%d", ok, op.N)
+
+	case OpSlow:
+		ln := c.lines[op.Line]
+		if ln == nil {
+			return c.skip()
+		}
+		x := xFor(op.ID)
+		res, err := ln.Call("nap", uts.LongVal(op.ID), uts.DoubleVal(x))
+		if err != nil {
+			trace.Count("dst.calls.timeout")
+			return "timeout"
+		}
+		// The nap stalls 150ms against an 80ms deadline; a reply means
+		// the deadline machinery is broken.
+		c.violate(idx, "deadline-missed", fmt.Sprintf("nap id=%d returned %v despite stalling past the call deadline", op.ID, res))
+		return "unexpected-ok"
+
+	case OpBurst:
+		pend := make([]*schooner.Pending, op.N)
+		for i := range pend {
+			id := op.ID + int64(i)
+			pend[i] = c.workLine.Go("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
+		}
+		ok := 0
+		for i, p := range pend {
+			id := op.ID + int64(i)
+			res, err := p.Wait()
+			if err != nil {
+				trace.Count("dst.calls.fail")
+				continue
+			}
+			if !near(res[0].F, workExpect(xFor(id))) {
+				c.violate(idx, "wrong-answer", fmt.Sprintf("work id=%d: got %v want %v", id, res[0].F, workExpect(xFor(id))))
+				continue
+			}
+			trace.Count("dst.calls.ok")
+			ok++
+		}
+		return fmt.Sprintf("ok=%d/%d", ok, op.N)
+
+	case OpWork:
+		got, ok := c.workCallOnce(op.ID)
+		if !ok {
+			trace.Count("dst.calls.fail")
+			return "fail"
+		}
+		if !near(got, workExpect(xFor(op.ID))) {
+			c.violate(idx, "wrong-answer", fmt.Sprintf("work id=%d: got %v want %v", op.ID, got, workExpect(xFor(op.ID))))
+			return "wrong"
+		}
+		trace.Count("dst.calls.ok")
+		return "ok"
+
+	case OpMove:
+		ln := c.lines[op.Line]
+		if ln == nil {
+			return c.skip()
+		}
+		if err := ln.Move("bump", op.Host, false); err != nil {
+			return "fail: " + err.Error()
+		}
+		// Invariant: after a successful Move the Manager's name database
+		// points the procedure at the target machine...
+		if host := c.mgr.NameBindings(ln.ID())["bump"]; host != op.Host {
+			c.violate(idx, "move-db", fmt.Sprintf("after move of line %d bump to %s, name database says %q", op.Line, op.Host, host))
+			return "ok"
+		}
+		// ...and the procedure still answers there.
+		if !c.verifiedBumpCall(ln) {
+			c.violate(idx, "move-verify", fmt.Sprintf("bump unreachable after move of line %d to %s", op.Line, op.Host))
+		}
+		return "ok"
+
+	case OpMoveShared:
+		if err := c.workLine.MoveShared("work", op.Host, false); err != nil {
+			return "fail: " + err.Error()
+		}
+		return "ok"
+
+	case OpCrash:
+		if c.downs[op.Host] {
+			return c.skip()
+		}
+		c.net.SetHostDown(op.Host, true)
+		c.downs[op.Host] = true
+		return "ok"
+
+	case OpRestore:
+		if !c.downs[op.Host] {
+			return c.skip()
+		}
+		c.net.SetHostDown(op.Host, false)
+		delete(c.downs, op.Host)
+		return "ok"
+
+	case OpPartition:
+		k := partKey(op.Host, op.Host2)
+		if c.parts[k] {
+			return c.skip()
+		}
+		c.net.SetLinkDown(op.Host, op.Host2, true)
+		c.parts[k] = true
+		return "ok"
+
+	case OpHeal:
+		k := partKey(op.Host, op.Host2)
+		if !c.parts[k] {
+			return c.skip()
+		}
+		c.net.SetLinkDown(op.Host, op.Host2, false)
+		delete(c.parts, k)
+		return "ok"
+
+	case OpSettle:
+		c.v.Sleep(time.Duration(op.N) * 10 * time.Millisecond)
+		return "ok"
+	}
+	return c.skip()
+}
+
+func (c *cluster) skip() string {
+	trace.Count("dst.ops.skipped")
+	return "skipped"
+}
+
+// bumpCall performs one scenario call with driver-level retries: the
+// line policy allows a single network attempt, so every attempt is
+// tagged with its number and the ledger can detect a request that
+// committed twice under one (id, attempt).
+func (c *cluster) bumpCall(idx int, ln *schooner.Line, id int64) bool {
+	x := xFor(id)
+	for attempt := int64(0); attempt < 4; attempt++ {
+		res, err := ln.Call("bump", uts.LongVal(id), uts.LongVal(attempt), uts.DoubleVal(x))
+		if err == nil {
+			if !near(res[0].F, bumpExpect(x)) {
+				c.violate(idx, "wrong-answer", fmt.Sprintf("bump id=%d: got %v want %v", id, res[0].F, bumpExpect(x)))
+				return false
+			}
+			trace.Count("dst.calls.ok")
+			return true
+		}
+		c.v.Sleep(2 * time.Millisecond)
+	}
+	trace.Count("dst.calls.fail")
+	return false
+}
+
+// verifiedBumpCall checks a moved procedure answers at its new home,
+// using IDs outside the generated space so the check cannot collide
+// with scenario calls (or with an injected bug keyed on scenario IDs).
+func (c *cluster) verifiedBumpCall(ln *schooner.Line) bool {
+	c.verifySeq++
+	id := verifyIDBase + c.verifySeq
+	x := xFor(id)
+	for attempt := int64(0); attempt < 4; attempt++ {
+		res, err := ln.Call("bump", uts.LongVal(id), uts.LongVal(attempt), uts.DoubleVal(x))
+		if err == nil {
+			return near(res[0].F, bumpExpect(x))
+		}
+		c.v.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// workCallOnce performs one work call (the line's own retry policy
+// applies) and reports the result.
+func (c *cluster) workCallOnce(id int64) (float64, bool) {
+	res, err := c.workLine.Call("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
+	if err != nil {
+		return 0, false
+	}
+	return res[0].F, true
+}
+
+// verifiedWorkCall retries a work call at the driver level, for
+// availability invariants that must tolerate one stale cache miss.
+func (c *cluster) verifiedWorkCall() (float64, bool) {
+	c.verifySeq++
+	id := verifyIDBase + c.verifySeq
+	for attempt := 0; attempt < 4; attempt++ {
+		res, err := c.workLine.Call("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
+		if err == nil {
+			return res[0].F, true
+		}
+		c.v.Sleep(5 * time.Millisecond)
+	}
+	return 0, false
+}
+
+// checkLedger runs the double-commit invariant.
+func (c *cluster) checkLedger(idx int) {
+	if k, n, found := c.led.doubleCommit(); found {
+		c.violate(idx, "double-commit", fmt.Sprintf("call id=%d attempt=%d committed %d times", k[0], k[1], n))
+	}
+}
+
+// converge is the final invariant: once every fault is lifted and the
+// cluster has settled, the workload must return the locally computed
+// answer — the Table-2 property that distribution changes where the
+// computation runs, not what it computes.
+func (c *cluster) converge(idx int) {
+	for h := range c.downs {
+		c.net.SetHostDown(h, false)
+	}
+	c.downs = map[string]bool{}
+	for k := range c.parts {
+		for i := 0; i < len(k); i++ {
+			if k[i] == '|' {
+				c.net.SetLinkDown(k[:i], k[i+1:], false)
+			}
+		}
+	}
+	c.parts = map[string]bool{}
+	c.v.Sleep(500 * time.Millisecond) // let health probes mark everything up
+	c.workLine.FlushCache()
+
+	c.verifySeq++
+	id := verifyIDBase + c.verifySeq
+	want := workExpect(xFor(id))
+	for attempt := 0; attempt < 6; attempt++ {
+		res, err := c.workLine.Call("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
+		if err == nil {
+			if near(res[0].F, want) {
+				return
+			}
+			c.violate(idx, "no-convergence", fmt.Sprintf("after faults quiesced, work returned %v, local answer %v", res[0].F, want))
+			return
+		}
+		c.v.Sleep(20 * time.Millisecond)
+	}
+	c.violate(idx, "no-convergence", "work procedure unreachable after all faults quiesced")
+}

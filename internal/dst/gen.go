@@ -1,0 +1,228 @@
+package dst
+
+import "math/rand"
+
+// maxLines bounds how many scenario lines can be open at once.
+const maxLines = 4
+
+// workIDBase offsets work-call IDs away from bump-call IDs so the two
+// ledgers never collide.
+const workIDBase = 1 << 20
+
+// genModel is the generator's view of the cluster. It exists only to
+// keep the schedule sensible (no move to a down host, at most one
+// crash at a time); the driver re-checks everything at run time, so a
+// shrunk trace whose model would have been different still replays.
+type genModel struct {
+	hosts     []string // h1..hN, generation order
+	open      [maxLines]bool
+	started   [maxLines]bool
+	procHost  [maxLines]string
+	down      string    // at most one crashed host ("" = none)
+	partition [2]string // at most one severed pair
+	dirty     bool      // bindings may be stale (move-shared/crash/restore)
+}
+
+func (m *genModel) clean() bool {
+	return m.down == "" && m.partition[0] == ""
+}
+
+// upHosts lists hosts not currently crashed, in generation order.
+func (m *genModel) upHosts() []string {
+	var up []string
+	for _, h := range m.hosts {
+		if h != m.down {
+			up = append(up, h)
+		}
+	}
+	return up
+}
+
+// openLines and startedLines list slot indices in order.
+func (m *genModel) openLines() []int {
+	var out []int
+	for i := range m.open {
+		if m.open[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *genModel) startedLines() []int {
+	var out []int
+	for i := range m.open {
+		if m.open[i] && m.started[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *genModel) closedSlots() []int {
+	var out []int
+	for i := range m.open {
+		if !m.open[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// candidate is one weighted choice in the generator's menu.
+type candidate struct {
+	kind   OpKind
+	weight int
+}
+
+// Generate derives a scenario from the seed alone: same seed and
+// count, same ops, every time. Call IDs are allocated here (into
+// Op.ID) rather than at run time, so removing ops during shrinking
+// never renumbers the survivors.
+func Generate(seed int64, count int, hosts []string) []Op {
+	r := rand.New(rand.NewSource(seed))
+	m := &genModel{hosts: hosts}
+	var nextID int64 = 1
+	var nextWorkID int64 = workIDBase
+	ops := make([]Op, 0, count)
+
+	for len(ops) < count {
+		var menu []candidate
+		if len(m.closedSlots()) > 0 {
+			menu = append(menu, candidate{OpSpawnLine, 2})
+		}
+		if len(m.openLines()) > 0 {
+			menu = append(menu, candidate{OpQuitLine, 1})
+		}
+		if hasUnstarted(m) {
+			menu = append(menu, candidate{OpStartProc, 3})
+		}
+		if len(m.startedLines()) > 0 {
+			menu = append(menu, candidate{OpCall, 6}, candidate{OpSlow, 2}, candidate{OpMove, 2})
+		}
+		menu = append(menu, candidate{OpWork, 4}, candidate{OpSettle, 2}, candidate{OpMoveShared, 1})
+		if m.clean() && !m.dirty {
+			menu = append(menu, candidate{OpBurst, 3})
+		}
+		if m.down == "" {
+			menu = append(menu, candidate{OpCrash, 2})
+		} else {
+			menu = append(menu, candidate{OpRestore, 3})
+		}
+		if m.partition[0] == "" && len(m.upHosts()) >= 2 {
+			menu = append(menu, candidate{OpPartition, 1})
+		} else if m.partition[0] != "" {
+			menu = append(menu, candidate{OpHeal, 2})
+		}
+
+		kind := pickWeighted(r, menu)
+		op := Op{Kind: kind}
+		switch kind {
+		case OpSpawnLine:
+			slots := m.closedSlots()
+			op.Line = slots[r.Intn(len(slots))]
+			m.open[op.Line] = true
+			m.started[op.Line] = false
+		case OpQuitLine:
+			lines := m.openLines()
+			op.Line = lines[r.Intn(len(lines))]
+			m.open[op.Line] = false
+			m.started[op.Line] = false
+		case OpStartProc:
+			op.Line = pickUnstarted(r, m)
+			up := m.upHosts()
+			op.Host = up[r.Intn(len(up))]
+			m.started[op.Line] = true
+			m.procHost[op.Line] = op.Host
+		case OpCall:
+			lines := m.startedLines()
+			op.Line = lines[r.Intn(len(lines))]
+			op.N = 1 + r.Intn(3)
+			op.ID = nextID
+			nextID += int64(op.N)
+		case OpSlow:
+			lines := m.startedLines()
+			op.Line = lines[r.Intn(len(lines))]
+			op.ID = nextID
+			nextID++
+		case OpBurst:
+			op.N = 2 + r.Intn(3)
+			op.ID = nextWorkID
+			nextWorkID += int64(op.N)
+		case OpWork:
+			op.ID = nextWorkID
+			nextWorkID++
+			if m.clean() {
+				m.dirty = false
+			}
+		case OpMove:
+			lines := m.startedLines()
+			op.Line = lines[r.Intn(len(lines))]
+			up := m.upHosts()
+			op.Host = up[r.Intn(len(up))]
+			m.procHost[op.Line] = op.Host
+		case OpMoveShared:
+			up := m.upHosts()
+			op.Host = up[r.Intn(len(up))]
+			m.dirty = true
+		case OpCrash:
+			op.Host = m.hosts[r.Intn(len(m.hosts))]
+			m.down = op.Host
+			m.dirty = true
+		case OpRestore:
+			op.Host = m.down
+			m.down = ""
+			m.dirty = true
+		case OpPartition:
+			up := m.upHosts()
+			i := r.Intn(len(up))
+			j := r.Intn(len(up) - 1)
+			if j >= i {
+				j++
+			}
+			op.Host, op.Host2 = up[i], up[j]
+			m.partition = [2]string{op.Host, op.Host2}
+		case OpHeal:
+			op.Host, op.Host2 = m.partition[0], m.partition[1]
+			m.partition = [2]string{}
+		case OpSettle:
+			op.N = 5 + r.Intn(26) // 50ms..300ms of virtual time
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func hasUnstarted(m *genModel) bool {
+	for i := range m.open {
+		if m.open[i] && !m.started[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func pickUnstarted(r *rand.Rand, m *genModel) int {
+	var cands []int
+	for i := range m.open {
+		if m.open[i] && !m.started[i] {
+			cands = append(cands, i)
+		}
+	}
+	return cands[r.Intn(len(cands))]
+}
+
+func pickWeighted(r *rand.Rand, menu []candidate) OpKind {
+	total := 0
+	for _, c := range menu {
+		total += c.weight
+	}
+	n := r.Intn(total)
+	for _, c := range menu {
+		if n < c.weight {
+			return c.kind
+		}
+		n -= c.weight
+	}
+	return menu[len(menu)-1].kind
+}

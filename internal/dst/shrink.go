@@ -1,0 +1,35 @@
+package dst
+
+// Shrink minimizes a failing schedule: it greedily removes ops one at
+// a time (scanning backward, so cleanup ops go before the setup they
+// depend on) and keeps each removal that still reproduces a violation
+// with the same invariant name. Passes repeat until a full pass
+// removes nothing, bounded at maxShrinkPasses.
+//
+// Soundness rests on two driver properties: call IDs live in the ops
+// themselves (removal never renumbers survivors), and an op whose
+// setup was removed is skipped rather than failed (removal never
+// manufactures new behavior).
+func Shrink(cfg Config, ops []Op, wantName string) ([]Op, error) {
+	const maxShrinkPasses = 3
+	cur := append([]Op(nil), ops...)
+	for pass := 0; pass < maxShrinkPasses; pass++ {
+		removed := false
+		for i := len(cur) - 1; i >= 0; i-- {
+			cand := append([]Op(nil), cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			res, err := Replay(cfg, cand)
+			if err != nil {
+				return cur, err
+			}
+			if res.Violation != nil && res.Violation.Name == wantName {
+				cur = cand
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"npss/internal/dst"
+)
+
+// DSTReport runs one deterministic-simulation scenario — a whole
+// Schooner cluster under a seeded schedule of crashes, partitions, and
+// migrations, in virtual time — and renders a report. The boolean is
+// false when an invariant was violated; the report then carries the
+// seed and the shrunk trace needed to reproduce the failure.
+func DSTReport(seed int64, ops int) (string, bool) {
+	cfg := dst.Config{Seed: seed, Ops: ops}
+	res, err := dst.Run(cfg)
+	if err != nil {
+		return fmt.Sprintf("dst: harness error: %v\n", err), false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d ops, %v virtual in %v real\n",
+		res.Seed, len(res.Ops), res.VirtualElapsed.Round(1e6), res.RealElapsed.Round(1e6))
+
+	keys := make([]string, 0, len(res.Signature))
+	for k := range res.Signature {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-40s %d\n", k, res.Signature[k])
+	}
+
+	if res.Violation == nil {
+		b.WriteString("all invariants held\n")
+		return b.String(), true
+	}
+
+	fmt.Fprintf(&b, "INVARIANT VIOLATED: %s\n", res.Violation)
+	shrunk, serr := dst.Shrink(cfg, res.Ops, res.Violation.Name)
+	if serr != nil {
+		fmt.Fprintf(&b, "shrink failed (%v); full trace:\n%s", serr, dst.FormatTrace(seed, res.Ops))
+		return b.String(), false
+	}
+	fmt.Fprintf(&b, "minimized to %d of %d ops:\n%s", len(shrunk), len(res.Ops), dst.FormatTrace(seed, shrunk))
+	fmt.Fprintf(&b, "reproduce with: npss-exp -exp dst -seed %d -ops %d\n", seed, ops)
+	return b.String(), false
+}

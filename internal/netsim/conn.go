@@ -5,13 +5,14 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/vclock"
 	"npss/internal/wire"
 )
 
 // delivery is one message in flight with its simulated arrival time.
 type delivery struct {
 	msg     *wire.Message
-	arrival time.Time // real-clock arrival under the current TimeScale
+	arrival time.Time // arrival on the network's clock under the current TimeScale
 }
 
 // queue is one direction of a connection.
@@ -38,13 +39,14 @@ func newQueue() *queue {
 // pushShaped enqueues a message whose transmission takes serial time
 // on the link (serialized behind earlier messages) followed by prop
 // propagation delay, both already scaled by the network's TimeScale.
-func (q *queue) pushShaped(msg *wire.Message, serial, prop time.Duration) error {
+// now is the send time on the network's clock. The computed arrival
+// time is returned so the sender can anchor a virtual clock on it.
+func (q *queue) pushShaped(msg *wire.Message, now time.Time, serial, prop time.Duration) (time.Time, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return fmt.Errorf("netsim: send on closed connection")
+		return time.Time{}, fmt.Errorf("netsim: send on closed connection")
 	}
-	now := time.Now()
 	start := now
 	if q.busyUntil.After(start) {
 		start = q.busyUntil
@@ -57,7 +59,7 @@ func (q *queue) pushShaped(msg *wire.Message, serial, prop time.Duration) error 
 	q.lastArrival = arrival
 	q.items = append(q.items, delivery{msg: msg, arrival: arrival})
 	q.cond.Signal()
-	return nil
+	return arrival, nil
 }
 
 func (q *queue) pop() (delivery, error) {
@@ -130,7 +132,17 @@ func (c *simConn) Send(m *wire.Message) error {
 	scale := c.net.scale()
 	serial := time.Duration(float64(delay-c.link.Latency-jitter) * scale) // transmission time
 	prop := time.Duration(float64(c.link.Latency+jitter) * scale)
-	return c.out.pushShaped(copyMsg, serial, prop)
+	clock := c.net.Clock()
+	arrival, err := c.out.pushShaped(copyMsg, clock.Now(), serial, prop)
+	if err != nil {
+		return err
+	}
+	// Pin a virtual clock's timeline at the arrival so it cannot jump
+	// a pending delivery past a receiver's deadline, and hint that a
+	// message was handed to the receiving goroutine.
+	vclock.AnchorAt(clock, arrival)
+	vclock.Note(clock)
+	return nil
 }
 
 // Recv blocks for the next message, honoring its shaped arrival time.
@@ -139,9 +151,9 @@ func (c *simConn) Recv() (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if wait := time.Until(d.arrival); wait > 0 {
-		time.Sleep(wait)
-	}
+	clock := c.net.Clock()
+	vclock.Note(clock)
+	clock.SleepUntil(d.arrival)
 	if c.net.pathDown(c.local, c.remote) {
 		return nil, fmt.Errorf("netsim: link %s-%s down", c.local, c.remote)
 	}

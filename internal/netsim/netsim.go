@@ -27,6 +27,7 @@ import (
 
 	"npss/internal/machine"
 	"npss/internal/trace"
+	"npss/internal/vclock"
 	"npss/internal/wire"
 )
 
@@ -120,6 +121,7 @@ type Network struct {
 	downLinks   map[[2]string]bool
 	faultSeed   int64
 	faults      map[[2]string]*linkFaults
+	clock       vclock.Clock
 }
 
 // New creates an empty network. The default link between hosts without
@@ -136,7 +138,28 @@ func New() *Network {
 		downHosts:   make(map[string]bool),
 		downLinks:   make(map[[2]string]bool),
 		faults:      make(map[[2]string]*linkFaults),
+		clock:       vclock.Real(),
 	}
+}
+
+// SetClock installs the clock that times message deliveries. The
+// default is the wall clock; a deterministic simulation installs a
+// vclock.Virtual (with TimeScale 1.0) so every link delay is waited
+// in virtual time. Install the clock before traffic flows.
+func (n *Network) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Real()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = c
+}
+
+// Clock returns the network's delivery clock.
+func (n *Network) Clock() vclock.Clock {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
 }
 
 // SetTimeScale sets the fraction of simulated network delay that is

@@ -211,7 +211,7 @@ func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message,
 
 	var timerC <-chan time.Time
 	if timeout > 0 {
-		timer := time.NewTimer(timeout)
+		timer := clk().NewTimer(timeout)
 		defer timer.Stop()
 		timerC = timer.C
 	}
@@ -445,13 +445,13 @@ func (l *Line) invalidate(name string, b *binding) {
 // for retries, rebinds, timeouts, and failover rebinds. Disabled
 // tracing costs one atomic load and no allocations.
 func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
-	start := time.Now()
+	start := clk().Now()
 	var sp *trace.Span
 	if trace.Enabled() {
 		sp = trace.StartSpan("call "+name, l.client.Host)
 	}
 	res, err := l.call(name, args, sp)
-	d := time.Since(start)
+	d := clk().Since(start)
 	trace.Observe("schooner.client.call", d)
 	if sp != nil {
 		trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "proc", Value: name}), d)
@@ -549,7 +549,7 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 			}
 			// The backoff sleep runs with no locks held: other
 			// goroutines' calls on this line proceed during it.
-			time.Sleep(pol.backoffFor(attempt - 1))
+			clk().Sleep(pol.backoffFor(attempt - 1))
 		}
 		l.mu.Lock()
 		if l.quit {
@@ -605,7 +605,7 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 		if sp != nil {
 			att = sp.Child("attempt "+name, l.client.Host)
 			att.Annotate("addr", b.addr)
-			attStart = time.Now()
+			attStart = clk().Now()
 		}
 		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout, att)
 		if att != nil {
@@ -613,7 +613,7 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 				att.Annotate("error", err.Error())
 			} else {
 				host := addrHost(b.addr)
-				d := time.Since(attStart)
+				d := clk().Since(attStart)
 				trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "host", Value: host}), d)
 				trace.Count(trace.LKey("schooner.client.calls", trace.Label{Key: "host", Value: host}))
 			}

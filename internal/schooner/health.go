@@ -98,7 +98,9 @@ func (m *Manager) HostHealth() map[string]bool {
 
 func (m *Manager) healthLoop(p HealthPolicy, stop, done chan struct{}) {
 	defer close(done)
-	ticker := time.NewTicker(p.Interval)
+	// The sweep ticker runs on the package clock, so with a virtual
+	// clock installed the prober advances purely in virtual time.
+	ticker := clk().NewTicker(p.Interval)
 	defer ticker.Stop()
 	for {
 		select {

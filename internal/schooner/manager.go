@@ -164,6 +164,29 @@ func (m *Manager) Lines() []string {
 	return out
 }
 
+// NameBindings reports a line's procedure name database as lookup
+// name -> host currently serving it; line 0 reports the shared
+// database. Returns nil for an unknown line. It exists for invariant
+// checking (the DST harness verifies the database after every
+// migration and failover) and for diagnostics.
+func (m *Manager) NameBindings(lineID uint32) map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ln := m.shared
+	if lineID != 0 {
+		var ok bool
+		ln, ok = m.lines[lineID]
+		if !ok {
+			return nil
+		}
+	}
+	out := make(map[string]string, len(ln.names))
+	for name, ref := range ln.names {
+		out[name] = ref.proc.host
+	}
+	return out
+}
+
 func (m *Manager) acceptLoop() {
 	for {
 		conn, err := m.listener.Accept()

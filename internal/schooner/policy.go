@@ -103,10 +103,10 @@ func (e *timeoutError) Error() string {
 	return fmt.Sprintf("schooner: receive from %s timed out after %v", e.peer, e.d)
 }
 
-// recvTimeout receives one message with a deadline. On timeout the
-// connection is closed (unblocking the pending receive) and a
-// *timeoutError is returned; the caller must treat the connection as
-// dead. A non-positive timeout blocks indefinitely.
+// recvTimeout receives one message with a deadline on the package
+// clock. On timeout the connection is closed (unblocking the pending
+// receive) and a *timeoutError is returned; the caller must treat the
+// connection as dead. A non-positive timeout blocks indefinitely.
 func recvTimeout(conn wire.Conn, timeout time.Duration) (*wire.Message, error) {
 	if timeout <= 0 {
 		return conn.Recv()
@@ -120,7 +120,7 @@ func recvTimeout(conn wire.Conn, timeout time.Duration) (*wire.Message, error) {
 		m, err := conn.Recv()
 		ch <- result{m, err}
 	}()
-	timer := time.NewTimer(timeout)
+	timer := clk().NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:

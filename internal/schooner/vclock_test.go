@@ -1,0 +1,274 @@
+package schooner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"npss/internal/machine"
+	"npss/internal/netsim"
+	"npss/internal/trace"
+	"npss/internal/uts"
+	"npss/internal/vclock"
+)
+
+// newVirtualDeployment builds a deployment whose network and Schooner
+// runtime keep time on a virtual clock. The clock is installed before
+// anything starts, so no component ever arms a wall-clock timer.
+func newVirtualDeployment(t *testing.T, mgrHost string, hosts map[string]*machine.Arch) (*deployment, *vclock.Virtual) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	prev := SwapClock(v)
+	n := netsim.New()
+	n.SetClock(v)
+	n.SetTimeScale(1.0)
+	for name, arch := range hosts {
+		n.MustAddHost(name, arch)
+	}
+	tr := NewSimTransport(n)
+	reg := NewRegistry()
+	mgr, err := StartManager(tr, mgrHost)
+	if err != nil {
+		v.Stop()
+		SwapClock(prev)
+		t.Fatal(err)
+	}
+	d := &deployment{
+		net: n, tr: tr, reg: reg, mgr: mgr, mgrHost: mgrHost,
+		servers: make(map[string]*Server), clientBy: make(map[string]*Client),
+	}
+	for name := range hosts {
+		srv, err := StartServer(tr, name, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.servers[name] = srv
+	}
+	t.Cleanup(func() {
+		// Dependency order: runtime first (the prober and any pending
+		// sleeps are on the virtual clock, which must still be running),
+		// then the clock, then the wall clock comes back.
+		d.mgr.Stop()
+		for _, s := range d.servers {
+			s.Stop()
+		}
+		v.Stop()
+		time.Sleep(2 * time.Millisecond)
+		SwapClock(prev)
+	})
+	return d, v
+}
+
+// napProgram exports nap, which sleeps on the package clock before
+// answering — virtual seconds when a virtual clock is installed.
+func napProgram(path string, d time.Duration) *Program {
+	return &Program{
+		Path:     path,
+		Language: LangC,
+		Build: func() (*Instance, error) {
+			p := &BoundProc{
+				Spec: uts.MustParseProc(`export nap prog("x" val double, "y" res double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					clk().Sleep(d)
+					return []uts.Value{uts.DoubleVal(in[0].F * 2)}, nil
+				},
+			}
+			return NewInstance(p)
+		},
+	}
+}
+
+// TestVirtualCallDeadlineExpiry: a 30-second call deadline expires in
+// virtual time with no real wait. The procedure stalls two virtual
+// minutes against a 30-second timeout; the failure must arrive in far
+// less real time than the deadline itself, which is only possible if
+// the deadline timer runs on the virtual clock.
+func TestVirtualCallDeadlineExpiry(t *testing.T) {
+	d, v := newVirtualDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(napProgram("/npss/nap", 2*time.Minute))
+	ln, err := d.client("avs-sparc").ContactSchx("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/nap", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import nap prog("x" val double, "y" res double)`))
+	ln.SetCallPolicy(CallPolicy{
+		Timeout:    30 * time.Second,
+		MaxRetries: -1, // single attempt: the timeout itself is under test
+		Backoff:    time.Millisecond,
+		MaxBackoff: time.Millisecond,
+	})
+
+	timeoutsBefore := trace.Get("schooner.client.timeouts")
+	virtualBefore := v.Elapsed()
+	realStart := time.Now()
+	_, err = ln.Call("nap", uts.DoubleVal(1))
+	realElapsed := time.Since(realStart)
+	virtualElapsed := v.Elapsed() - virtualBefore
+
+	if err == nil {
+		t.Fatal("call survived a procedure stalled past its deadline")
+	}
+	if trace.Get("schooner.client.timeouts") == timeoutsBefore {
+		t.Error("deadline expiry not counted as a timeout")
+	}
+	if virtualElapsed < 30*time.Second {
+		t.Errorf("virtual clock advanced only %v, deadline should consume 30s", virtualElapsed)
+	}
+	if realElapsed >= 10*time.Second {
+		t.Errorf("30s virtual deadline took %v of real time — something slept on the wall clock", realElapsed)
+	}
+}
+
+// TestVirtualHealthFailover drives the Manager's health prober purely
+// by virtual-clock advancement: sweep intervals are whole virtual
+// seconds, so the machine could only be declared dead (and its
+// stateless process failed over) if the prober's ticker runs on the
+// virtual clock.
+func TestVirtualHealthFailover(t *testing.T) {
+	d, v := newVirtualDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	ln, err := d.client("avs-sparc").ContactSchx("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	d.mgr.StartHealth(HealthPolicy{
+		Interval:    2 * time.Second,
+		Threshold:   2,
+		PingTimeout: time.Second,
+	})
+	failoversBefore := trace.Get("schooner.manager.failovers")
+	realStart := time.Now()
+	virtualBefore := v.Elapsed()
+	d.net.SetHostDown("sgi-lerc", true)
+
+	// Wait for the prober's verdict by sleeping virtual half-seconds.
+	declaredDead := false
+	for i := 0; i < 240; i++ {
+		if alive, probed := d.mgr.HostHealth()["sgi-lerc"]; probed && !alive {
+			declaredDead = true
+			break
+		}
+		v.Sleep(500 * time.Millisecond)
+	}
+	if !declaredDead {
+		t.Fatal("sgi-lerc never declared dead under the virtual clock")
+	}
+
+	ln.SetCallPolicy(CallPolicy{
+		Timeout:    5 * time.Second,
+		MaxRetries: 10,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+	})
+	out, err := ln.Call("add", uts.DoubleVal(20), uts.DoubleVal(22))
+	if err != nil {
+		t.Fatalf("call did not recover through virtual-time failover: %v", err)
+	}
+	if out[0].F != 42 {
+		t.Fatalf("recovered call = %g", out[0].F)
+	}
+	if trace.Get("schooner.manager.failovers") == failoversBefore {
+		t.Error("no failover counted")
+	}
+	realElapsed := time.Since(realStart)
+	virtualElapsed := v.Elapsed() - virtualBefore
+	if virtualElapsed < 4*time.Second {
+		t.Errorf("virtual clock advanced only %v; two 2s sweeps were required", virtualElapsed)
+	}
+	if realElapsed >= virtualElapsed {
+		t.Errorf("real %v >= virtual %v: prober timing leaked onto the wall clock", realElapsed, virtualElapsed)
+	}
+}
+
+// TestVirtualPendingWait: an asynchronous call whose procedure sleeps
+// five virtual seconds completes under Pending.Wait without the caller
+// spending five real seconds.
+func TestVirtualPendingWait(t *testing.T) {
+	d, v := newVirtualDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(napProgram("/npss/nap", 5*time.Second))
+	ln, err := d.client("avs-sparc").ContactSchx("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/nap", "sgi-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import nap prog("x" val double, "y" res double)`))
+	ln.SetCallPolicy(CallPolicy{
+		Timeout:    time.Minute,
+		MaxRetries: -1,
+		Backoff:    time.Millisecond,
+		MaxBackoff: time.Millisecond,
+	})
+
+	virtualBefore := v.Elapsed()
+	realStart := time.Now()
+	p := ln.Go("nap", uts.DoubleVal(3.25))
+	out, err := p.Wait()
+	realElapsed := time.Since(realStart)
+	virtualElapsed := v.Elapsed() - virtualBefore
+
+	if err != nil {
+		t.Fatalf("async nap failed: %v", err)
+	}
+	if out[0].F != 6.5 {
+		t.Fatalf("nap(3.25) = %g, want 6.5", out[0].F)
+	}
+	if virtualElapsed < 5*time.Second {
+		t.Errorf("virtual clock advanced only %v, procedure sleeps 5s", virtualElapsed)
+	}
+	if realElapsed >= 5*time.Second {
+		t.Errorf("5s virtual nap took %v of real time", realElapsed)
+	}
+}
+
+// jitterSample draws n backoff delays from the shared jitter source.
+func jitterSample(n int) []time.Duration {
+	p := CallPolicy{Backoff: 8 * time.Millisecond, MaxBackoff: 64 * time.Millisecond}.withDefaults()
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = p.backoffFor(i % 4)
+	}
+	return out
+}
+
+// TestSwapClockSeedsRetryJitter is the regression for deterministic
+// retry timing: installing a virtual clock must re-seed the retry
+// jitter RNG (DefaultVirtualRetrySeed), so two identical-seed
+// simulation runs draw identical backoff sequences without any
+// explicit SetRetrySeed call.
+func TestSwapClockSeedsRetryJitter(t *testing.T) {
+	sample := func() []time.Duration {
+		v := vclock.NewVirtual()
+		defer v.Stop()
+		prev := SwapClock(v)
+		defer SwapClock(prev)
+		return jitterSample(8)
+	}
+	s1, s2 := sample(), sample()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("virtual-clock installs drew different jitter:\n%v\n%v", s1, s2)
+	}
+	// An explicit seed must also pin the sequence.
+	SetRetrySeed(71)
+	s3 := jitterSample(8)
+	SetRetrySeed(71)
+	s4 := jitterSample(8)
+	if !reflect.DeepEqual(s3, s4) {
+		t.Errorf("SetRetrySeed(71) drew different jitter:\n%v\n%v", s3, s4)
+	}
+}

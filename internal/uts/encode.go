@@ -154,6 +154,12 @@ func Decode(buf []byte, t *Type) (Value, []byte, error) {
 		}
 		return Value{Type: TString, S: string(buf[:n])}, buf[n:], nil
 	case Array:
+		// Every element encodes to at least one byte, so a length
+		// exceeding the remaining buffer is truncated data — checked
+		// before sizing the allocation off the declared length.
+		if t.Len() > len(buf) {
+			return Value{}, nil, fmt.Errorf("uts: truncated array: %d elements declared, %d bytes remain", t.Len(), len(buf))
+		}
 		elems := make([]Value, t.Len())
 		var err error
 		for i := range elems {

@@ -1,0 +1,41 @@
+package uts
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the specification parser. Inputs
+// that parse must survive a print/re-parse round trip: String() is the
+// canonical rendering, so re-parsing it must reproduce an equal spec.
+func FuzzParse(f *testing.F) {
+	f.Add(`export add prog("a" val double, "b" val double, "sum" res double)`)
+	f.Add(`import scale prog("xs" var array[3] of double, "k" val double)`)
+	f.Add(`export next prog("n" res integer) state("count" integer)`)
+	f.Add(`export r prog("p" val record("x" float, "y" float))`)
+	f.Add("# comment only\n")
+	f.Add(`export a prog("x" val array[2] of array[3] of integer)`)
+	// Regression: unbounded type recursion used to overflow the stack.
+	f.Add(`export a prog("x" val ` + strings.Repeat("array[1] of ", 200) + `integer)`)
+	// Regression: astronomically large dimensions used to be accepted,
+	// letting decoders size allocations off hostile spec text.
+	f.Add(`export a prog("x" val array[999999999999] of double)`)
+	f.Add(`export a prog("x" val array[1048577] of byte)`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, p := range file.Procs {
+			text := p.String()
+			re, err := ParseProc(text)
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v\nspec: %s", err, text)
+			}
+			if re.String() != text {
+				t.Fatalf("round trip changed the spec:\n in: %s\nout: %s", text, re.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Property-based tests for the section 4.1 heterogeneity story: every
+// value crossing machines passes native -> UTS -> native conversion,
+// and the conversions must be faithful where the formats allow it and
+// loud (errors, never clamping) where they do not.
+package uts_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"npss/internal/machine"
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+// allArchs resolves every registered simulated architecture.
+func allArchs(t *testing.T) []*machine.Arch {
+	t.Helper()
+	var archs []*machine.Arch
+	for _, name := range machine.Names() {
+		a, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		archs = append(archs, a)
+	}
+	return archs
+}
+
+// doubleSamples mixes hand-picked edge cases with seeded random values
+// spanning the full double exponent range.
+func doubleSamples() []float64 {
+	samples := []float64{
+		0, 1, -1, 0.5, -0.5, 1.0 / 3.0, math.Pi,
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		1e-300, 1e300, 6.02214076e23, -2.7315e2,
+	}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		frac := r.Float64()*2 - 1
+		exp := r.Intn(600) - 300
+		samples = append(samples, math.Ldexp(frac, exp))
+	}
+	return samples
+}
+
+// TestPropDoubleRoundTripAllArchs: for every architecture, a double
+// either converts with a RangeError or converts to a value that is a
+// fixed point of the conversion (idempotent) — and on IEEE machines
+// the conversion is exact.
+func TestPropDoubleRoundTripAllArchs(t *testing.T) {
+	for _, arch := range allArchs(t) {
+		for _, f := range doubleSamples() {
+			got, err := arch.NativeRoundTrip(uts.DoubleVal(f))
+			if err != nil {
+				var re *machine.RangeError
+				if !errors.As(err, &re) {
+					t.Fatalf("%s: %g: non-range error %v", arch, f, err)
+				}
+				continue
+			}
+			if arch.IsIEEE() && got.F != f {
+				t.Fatalf("%s: IEEE round trip changed %g to %g", arch, f, got.F)
+			}
+			again, err := arch.NativeRoundTrip(got)
+			if err != nil {
+				t.Fatalf("%s: %g: second conversion failed: %v", arch, got.F, err)
+			}
+			if got.F != again.F && !(math.IsNaN(got.F) && math.IsNaN(again.F)) {
+				t.Fatalf("%s: conversion of %g not idempotent: %g then %g", arch, f, got.F, again.F)
+			}
+		}
+	}
+}
+
+// TestPropSingleRoundTripAllArchs mirrors the double test for
+// single-precision floats. UTS floats are float32-valued by
+// construction, so IEEE machines must pass them through exactly.
+func TestPropSingleRoundTripAllArchs(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	var samples []float64
+	for i := 0; i < 300; i++ {
+		samples = append(samples, float64(math.Float32frombits(r.Uint32())))
+	}
+	// All samples must be float32-exact: FloatVal rounds to single
+	// precision at construction, and the exactness check below compares
+	// against the constructed value.
+	samples = append(samples, 0, 1, -1, float64(math.MaxFloat32), float64(float32(1e-30)))
+	for _, arch := range allArchs(t) {
+		for _, f := range samples {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				continue // NaN payloads are format-specific; skip
+			}
+			got, err := arch.NativeRoundTrip(uts.FloatVal(f))
+			if err != nil {
+				var re *machine.RangeError
+				if !errors.As(err, &re) {
+					t.Fatalf("%s: %g: non-range error %v", arch, f, err)
+				}
+				continue
+			}
+			if arch.IsIEEE() && got.F != f {
+				t.Fatalf("%s: IEEE single round trip changed %g to %g", arch, f, got.F)
+			}
+			again, err := arch.NativeRoundTrip(got)
+			if err != nil {
+				t.Fatalf("%s: %g: second conversion failed: %v", arch, got.F, err)
+			}
+			if got.F != again.F {
+				t.Fatalf("%s: single conversion of %g not idempotent: %g then %g", arch, f, got.F, again.F)
+			}
+		}
+	}
+}
+
+// TestPropCrayToIEEEOutOfRange builds genuine Cray words whose
+// magnitude exceeds IEEE double and checks the conversion reports a
+// RangeError rather than clamping to infinity or MaxFloat64 — the
+// paper's section 4.1 policy.
+func TestPropCrayToIEEEOutOfRange(t *testing.T) {
+	base, err := machine.Cray64.Encode(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The word layout is sign(1) exponent(15, bias 0o40000) mantissa(48),
+	// big-endian. Force exponents far above IEEE double's +1023.
+	for _, exp := range []int{2000, 8000, 0o17777} {
+		w := append([]byte(nil), base...)
+		e := 0o40000 + exp
+		w[0] = byte(e >> 8 & 0x7f)
+		w[1] = byte(e)
+		got, err := machine.Cray64.Decode(w)
+		var re *machine.RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("cray exponent %d: expected RangeError, got value %g, err %v", exp, got, err)
+		}
+		if got != 0 {
+			t.Fatalf("cray exponent %d: error path leaked value %g", exp, got)
+		}
+	}
+}
+
+// TestPropUTSCodecRoundTrip: encoding any well-formed value and
+// decoding it with the same type is the identity.
+func TestPropUTSCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	values := []uts.Value{
+		uts.MustInt(0), uts.MustInt(-1 << 31), uts.MustInt(1<<31 - 1),
+		uts.LongVal(math.MinInt64), uts.LongVal(math.MaxInt64),
+		uts.ByteVal(0), uts.ByteVal(255),
+		uts.Bool(true), uts.Bool(false),
+		uts.FloatVal(3.25), uts.DoubleVal(-math.Pi),
+		uts.Str(""), uts.Str("per aspera ad astra"), uts.Str("nul\x00byte"),
+		uts.DoubleArray(1, 2, 3), uts.FloatArray(0.5, -0.5),
+	}
+	for i := 0; i < 200; i++ {
+		values = append(values, uts.DoubleVal(math.Ldexp(r.Float64()*2-1, r.Intn(600)-300)))
+	}
+	for _, v := range values {
+		buf, err := uts.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, rest, err := uts.Decode(buf, v.Type)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %v left %d bytes", v, len(rest))
+		}
+		if !got.EqualValue(v) {
+			t.Fatalf("round trip changed %v to %v", v, got)
+		}
+	}
+}
+
+// TestPropFortranCaseSynonyms: Fortran compilers disagree about the
+// case of external names (the Cray upper-cases them), so a Fortran
+// procedure resolves under any casing; C procedures match exactly.
+func TestPropFortranCaseSynonyms(t *testing.T) {
+	spec := uts.MustParseProc(`export setshaft prog("x" val double, "y" res double)`)
+	inst, err := schooner.NewInstance(&schooner.BoundProc{
+		Spec: spec,
+		Fn: func(in []uts.Value) ([]uts.Value, error) {
+			return []uts.Value{uts.DoubleVal(in[0].F)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"setshaft", "SETSHAFT", "SetShaft", "sEtShAfT"} {
+		if inst.Find(name, schooner.LangFortran) == nil {
+			t.Fatalf("Fortran lookup of %q failed", name)
+		}
+	}
+	if inst.Find("SETSHAFT", schooner.LangC) != nil {
+		t.Fatal("C lookup should be case-sensitive")
+	}
+	if inst.Find("setshaft", schooner.LangC) == nil {
+		t.Fatal("C lookup of exact name failed")
+	}
+	// Keyword case-insensitivity in the specification language itself.
+	if _, err := uts.ParseProc(`EXPORT x PROG("a" VAL DOUBLE)`); err != nil {
+		t.Fatalf("upper-case keywords rejected: %v", err)
+	}
+}

@@ -188,9 +188,24 @@ func isIdentPart(r rune) bool {
 	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
 }
 
+// maxArrayLen caps a declared array length. The wire layer caps one
+// message's payload at 64 MiB, so a million-element dimension is
+// already beyond anything transmittable; larger declarations are more
+// likely hostile spec text than real interfaces, and rejecting them
+// here keeps decoders from sizing allocations off an attacker's
+// number.
+const maxArrayLen = 1 << 20
+
+// maxTypeDepth caps type-constructor nesting. The parser recurses on
+// "array [n] of T" and record fields; without a limit a short input
+// repeating "array[1] of" overflows the stack, which in Go is a fatal
+// error rather than a recoverable panic.
+const maxTypeDepth = 32
+
 type parser struct {
 	lex    *lexer
 	queued *token
+	depth  int
 }
 
 func (p *parser) peek() (token, error) {
@@ -337,6 +352,11 @@ func (p *parser) parseParam() (Param, error) {
 }
 
 func (p *parser) parseType() (*Type, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxTypeDepth {
+		return nil, fmt.Errorf("uts: type nesting deeper than %d levels", maxTypeDepth)
+	}
 	tok, err := p.expect(tokIdent, "type")
 	if err != nil {
 		return nil, err
@@ -365,8 +385,8 @@ func (p *parser) parseType() (*Type, error) {
 			return nil, err
 		}
 		n, err := strconv.Atoi(numTok.text)
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("uts: line %d: invalid array length %q", numTok.line, numTok.text)
+		if err != nil || n <= 0 || n > maxArrayLen {
+			return nil, fmt.Errorf("uts: line %d: invalid array length %q (must be 1..%d)", numTok.line, numTok.text, maxArrayLen)
 		}
 		if _, err := p.expect(tokRBracket, `"]"`); err != nil {
 			return nil, err

@@ -57,6 +57,14 @@ type ProcSpec struct {
 	State  []Field
 }
 
+// quoteName renders a parameter or field name in specification
+// syntax. Names are quoted verbatim, not escaped: the lexer reads raw
+// bytes between quotes with no escape processing, so %q-style escaping
+// would print a form that re-parses to a different name. Any name the
+// parser can produce is free of '"' and newline, making the verbatim
+// form unambiguous.
+func quoteName(name string) string { return `"` + name + `"` }
+
 // Signature renders the parameter list canonically, for runtime type
 // checking: two specs are call-compatible only if the importing
 // signature is a subset of the exporting one (see CheckImport).
@@ -67,7 +75,7 @@ func (s *ProcSpec) Signature() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%q %s %s", p.Name, p.Mode, p.Type)
+		fmt.Fprintf(&b, "%s %s %s", quoteName(p.Name), p.Mode, p.Type)
 	}
 	b.WriteString(")")
 	return b.String()
@@ -87,7 +95,7 @@ func (s *ProcSpec) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%q %s", f.Name, f.Type)
+			fmt.Fprintf(&b, "%s %s", quoteName(f.Name), f.Type)
 		}
 		b.WriteString(")")
 		out += b.String()

@@ -185,7 +185,9 @@ func (t *Type) write(b *strings.Builder) {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(b, "%q ", f.Name)
+			// Verbatim quoting, matching the lexer's raw (escape-free)
+			// string syntax; see quoteName in spec.go.
+			fmt.Fprintf(b, "%s ", quoteName(f.Name))
 			f.Type.write(b)
 		}
 		b.WriteString(")")

@@ -1,0 +1,401 @@
+// Package vclock abstracts the passage of time behind a Clock
+// interface with two implementations: the real wall clock, and a
+// virtual clock whose time advances deterministically, driven only by
+// the timers and sleeps registered against it.
+//
+// The virtual clock is the foundation of deterministic simulation
+// testing (package dst): when it is installed into the network
+// simulator and the Schooner runtime, no component ever sleeps on the
+// wall clock — a retry backoff of 250ms or a 3s call deadline costs
+// only the microseconds it takes the advancer to notice the system is
+// quiescent and jump virtual time forward. Because virtual time moves
+// only when every simulation goroutine is blocked waiting on it, the
+// order in which timers fire is a pure function of their deadlines,
+// not of goroutine scheduling.
+package vclock
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock tells time and schedules wakeups. The package-level Real
+// clock simply delegates to package time; a Virtual clock runs the
+// same API against simulated time.
+type Clock interface {
+	// Now reports the current time on this clock.
+	Now() time.Time
+	// Since is Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Until is t.Sub(Now()).
+	Until(t time.Time) time.Duration
+	// Sleep pauses the calling goroutine for at least d of this
+	// clock's time. Non-positive d yields without sleeping.
+	Sleep(d time.Duration)
+	// SleepUntil pauses until the clock reaches t. Registering the
+	// absolute deadline (rather than Sleep(Until(t))) is atomic on a
+	// virtual clock: the wakeup lands exactly at t even if virtual
+	// time advances between the caller's read of Now and the call.
+	SleepUntil(t time.Time)
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) *Timer
+	// NewTicker returns a ticker that fires every d; d must be > 0.
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is a one-shot timer. C carries the fire time.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending.
+// Like time.Timer.Stop it does not drain C.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Ticker fires repeatedly on C until stopped. Ticks are dropped, not
+// queued, when the receiver falls behind — the time.Ticker contract.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() { t.stop() }
+
+// Noter is optionally implemented by clocks that want activity hints:
+// components of the simulation (the network queues, the RPC layer)
+// call Note when they hand work to another goroutine, telling a
+// virtual clock's advancer that the system is not yet quiescent.
+type Noter interface{ Note() }
+
+// Note delivers an activity hint to c if it accepts them.
+func Note(c Clock) {
+	if n, ok := c.(Noter); ok {
+		n.Note()
+	}
+}
+
+// Anchorer is optionally implemented by clocks that can pin their
+// timeline: an anchor at t guarantees virtual time stops at t even
+// though no goroutine is waiting for t yet. The network simulator
+// anchors every in-flight message's arrival time at send, so a
+// virtual clock can never jump a pending delivery straight past a
+// caller's timeout just because the receiving goroutine had not been
+// scheduled yet — the delivery-versus-deadline order is decided by
+// the timestamps alone.
+type Anchorer interface{ Anchor(t time.Time) }
+
+// AnchorAt pins c's timeline at t if c supports anchoring.
+func AnchorAt(c Clock, t time.Time) {
+	if a, ok := c.(Anchorer); ok {
+		a.Anchor(t)
+	}
+}
+
+// realClock delegates to package time.
+type realClock struct{}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (realClock) Until(t time.Time) time.Duration { return time.Until(t) }
+func (realClock) Sleep(d time.Duration)           { time.Sleep(d) }
+func (realClock) SleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (realClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (realClock) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}
+
+// Epoch1993 is the default origin of virtual time: the month the
+// paper's HPDC-2 proceedings went to press. Any fixed origin works;
+// a recognizable one makes timeline dumps self-describing.
+var Epoch1993 = time.Date(1993, time.July, 1, 0, 0, 0, 0, time.UTC)
+
+// waiter is one registered wakeup on a virtual clock.
+type waiter struct {
+	id     uint64
+	when   time.Time
+	period time.Duration // > 0: ticker, re-armed on every fire
+	ch     chan time.Time
+}
+
+// Virtual is a deterministic clock. Time never flows on its own: a
+// background advancer waits until the process looks quiescent — no
+// clock operation and no Note hint for several scheduler passes —
+// and then jumps time to the earliest registered wakeup. Waiters due
+// at the same instant fire in registration order, so a given set of
+// deadlines always produces the same firing sequence.
+//
+// The advancer's quiescence probe does burn a few microseconds of
+// real time per jump, but no simulated duration is ever slept on the
+// wall clock: simulating an hour of backoff costs the same real time
+// as simulating a millisecond.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	origin  time.Time
+	nextID  uint64
+	waiters map[uint64]*waiter
+
+	activity atomic.Uint64
+	halted   bool // set by Stop, under mu: new waiters fire immediately
+	stop     chan struct{}
+	stopped  sync.Once
+	done     chan struct{}
+}
+
+// NewVirtual creates a virtual clock starting at Epoch1993 and starts
+// its advancer. Call Stop when the simulation is over.
+func NewVirtual() *Virtual {
+	v := &Virtual{
+		now:     Epoch1993,
+		origin:  Epoch1993,
+		waiters: make(map[uint64]*waiter),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go v.run()
+	return v
+}
+
+// Stop halts the advancer and releases every current and future
+// waiter immediately (their timers fire at the frozen time), so no
+// goroutine stays blocked on a stopped clock.
+func (v *Virtual) Stop() {
+	v.stopped.Do(func() {
+		close(v.stop)
+		<-v.done
+		v.mu.Lock()
+		v.halted = true
+		for id, w := range v.waiters {
+			delete(v.waiters, id)
+			select {
+			case w.ch <- v.now:
+			default:
+			}
+		}
+		v.mu.Unlock()
+	})
+}
+
+// Note records an activity hint: the advancer holds off jumping time
+// while hints keep arriving.
+func (v *Virtual) Note() { v.activity.Add(1) }
+
+// Now reports the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Elapsed reports how much virtual time has passed since the clock
+// was created.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now.Sub(v.origin)
+}
+
+// Since is Now().Sub(t).
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Until is t.Sub(Now()).
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// addWaiter registers a wakeup at absolute time when. On a stopped
+// clock the waiter fires immediately instead of registering: with the
+// advancer gone it could never fire otherwise, and stragglers from a
+// finished simulation must not block forever.
+func (v *Virtual) addWaiter(when time.Time, period time.Duration) *waiter {
+	v.mu.Lock()
+	v.nextID++
+	w := &waiter{id: v.nextID, when: when, period: period, ch: make(chan time.Time, 1)}
+	if v.halted {
+		now := v.now
+		v.mu.Unlock()
+		w.ch <- now
+		return w
+	}
+	v.waiters[w.id] = w
+	v.mu.Unlock()
+	v.activity.Add(1)
+	return w
+}
+
+// removeWaiter cancels a wakeup, reporting whether it was still
+// registered (i.e. had not fired).
+func (v *Virtual) removeWaiter(id uint64) bool {
+	v.mu.Lock()
+	_, ok := v.waiters[id]
+	delete(v.waiters, id)
+	v.mu.Unlock()
+	v.activity.Add(1)
+	return ok
+}
+
+// Sleep blocks for d of virtual time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		v.activity.Add(1)
+		runtime.Gosched()
+		return
+	}
+	v.SleepUntil(v.Now().Add(d))
+}
+
+// SleepUntil blocks until virtual time reaches t. Returns immediately
+// on a stopped clock.
+func (v *Virtual) SleepUntil(t time.Time) {
+	v.mu.Lock()
+	if v.halted || !v.now.Before(t) {
+		v.mu.Unlock()
+		v.activity.Add(1)
+		runtime.Gosched()
+		return
+	}
+	v.nextID++
+	w := &waiter{id: v.nextID, when: t, ch: make(chan time.Time, 1)}
+	v.waiters[w.id] = w
+	v.mu.Unlock()
+	v.activity.Add(1)
+	<-w.ch
+}
+
+// Anchor pins the timeline at t: the advancer will stop there on its
+// way forward, firing the anchor as a no-op event. Anchors in the
+// past are ignored.
+func (v *Virtual) Anchor(t time.Time) {
+	v.mu.Lock()
+	if v.halted || !v.now.Before(t) {
+		v.mu.Unlock()
+		return
+	}
+	v.nextID++
+	// An anchor is a waiter nobody receives from; the buffered channel
+	// absorbs the fire.
+	v.waiters[v.nextID] = &waiter{id: v.nextID, when: t, ch: make(chan time.Time, 1)}
+	v.mu.Unlock()
+	v.activity.Add(1)
+}
+
+// NewTimer returns a one-shot timer firing after d of virtual time.
+// A non-positive d fires at the current time on the next quiescence.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	w := v.addWaiter(v.Now().Add(d), 0)
+	return &Timer{C: w.ch, stop: func() bool { return v.removeWaiter(w.id) }}
+}
+
+// NewTicker returns a ticker firing every d of virtual time.
+func (v *Virtual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	w := v.addWaiter(v.Now().Add(d), d)
+	return &Ticker{C: w.ch, stop: func() { v.removeWaiter(w.id) }}
+}
+
+// quiescenceRounds is how many consecutive scheduler passes must see
+// no clock activity before the advancer jumps time. Early passes only
+// yield the processor — cheap — so runnable goroutines get to run;
+// the final pass also naps briefly so goroutines parked in the OS
+// (syscalls, channel handoffs) can surface their activity before the
+// jump.
+const quiescenceRounds = 4
+
+// run is the advancer: it jumps virtual time to the earliest pending
+// wakeup whenever the process has gone quiet.
+func (v *Virtual) run() {
+	defer close(v.done)
+	last := v.activity.Load()
+	idle := 0
+	for {
+		select {
+		case <-v.stop:
+			return
+		default:
+		}
+		runtime.Gosched()
+		if idle == quiescenceRounds-1 {
+			time.Sleep(20 * time.Microsecond)
+		}
+		cur := v.activity.Load()
+		if cur != last {
+			last, idle = cur, 0
+			continue
+		}
+		idle++
+		if idle < quiescenceRounds {
+			continue
+		}
+		idle = 0
+		v.fire()
+		last = v.activity.Load()
+	}
+}
+
+// fire advances time to the earliest pending wakeup and delivers every
+// wakeup now due, in (deadline, registration) order.
+func (v *Virtual) fire() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.waiters) == 0 {
+		return
+	}
+	var earliest time.Time
+	first := true
+	for _, w := range v.waiters {
+		if first || w.when.Before(earliest) {
+			earliest, first = w.when, false
+		}
+	}
+	if earliest.After(v.now) {
+		v.now = earliest
+	}
+	var due []*waiter
+	for _, w := range v.waiters {
+		if !w.when.After(v.now) {
+			due = append(due, w)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].when.Equal(due[j].when) {
+			return due[i].when.Before(due[j].when)
+		}
+		return due[i].id < due[j].id
+	})
+	for _, w := range due {
+		if w.period > 0 {
+			// Ticker: drop the tick if the receiver is behind, then
+			// re-arm strictly in the future so a slow consumer cannot
+			// pin time in place.
+			select {
+			case w.ch <- v.now:
+			default:
+			}
+			for !w.when.After(v.now) {
+				w.when = w.when.Add(w.period)
+			}
+			continue
+		}
+		delete(v.waiters, w.id)
+		w.ch <- v.now
+	}
+	v.activity.Add(1)
+}

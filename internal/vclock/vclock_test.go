@@ -1,0 +1,120 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVirtualSleepNoWallTime checks that sleeping hours of virtual
+// time costs essentially no real time.
+func TestVirtualSleepNoWallTime(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	start := time.Now()
+	v.Sleep(3 * time.Hour)
+	if real := time.Since(start); real > 5*time.Second {
+		t.Fatalf("3h virtual sleep took %v of real time", real)
+	}
+	if got := v.Elapsed(); got < 3*time.Hour {
+		t.Fatalf("virtual clock advanced only %v", got)
+	}
+}
+
+// TestVirtualFiringOrder checks that concurrent sleepers wake in
+// deadline order regardless of the order they went to sleep.
+func TestVirtualFiringOrder(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{50 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond}
+	ready := make(chan struct{})
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			<-ready
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	close(ready)
+	wg.Wait()
+	want := []int{1, 2, 0} // 10ms, 30ms, 50ms
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestVirtualTimerStop checks that a stopped timer never fires.
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	tm := v.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	// Another sleeper forces time past the stopped timer's deadline.
+	v.Sleep(2 * time.Hour)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+// TestVirtualTicker checks periodic firing in virtual time.
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		at := <-tk.C
+		if got := at.Sub(Epoch1993); got < time.Duration(i+1)*time.Second {
+			t.Fatalf("tick %d at %v into the run", i, got)
+		}
+	}
+}
+
+// TestVirtualStopReleasesWaiters checks that Stop unblocks a sleeping
+// goroutine rather than leaking it.
+func TestVirtualStopReleasesWaiters(t *testing.T) {
+	v := NewVirtual()
+	released := make(chan struct{})
+	go func() {
+		tm := v.NewTimer(1000 * time.Hour)
+		<-tm.C
+		close(released)
+	}()
+	// Give the goroutine a moment to register its timer, then stop:
+	// Stop must fire it.
+	time.Sleep(10 * time.Millisecond)
+	v.Stop()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop left a timer waiter blocked")
+	}
+}
+
+// TestRealClock smoke-tests the wall-clock implementation.
+func TestRealClock(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	<-tm.C
+	tk := c.NewTicker(time.Millisecond)
+	<-tk.C
+	tk.Stop()
+}
