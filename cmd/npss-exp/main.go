@@ -29,6 +29,8 @@ import (
 	"os"
 
 	"npss/internal/exper"
+	"npss/internal/logx"
+	"npss/internal/telemetry"
 	"npss/internal/trace"
 )
 
@@ -40,15 +42,36 @@ func main() {
 	calls := flag.Int("calls", 200, "operation count for the ablation timings")
 	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
+	metricsOut := flag.String("metrics", "", "write the run's aggregated metric snapshot as JSON to this file")
+	telemetryAddr := flag.String("telemetry", "", "serve live /metrics, /statusz, /flightz and pprof on this address while the experiments run")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	seed := flag.Int64("seed", 1, "scenario seed for the dst experiment")
 	ops := flag.Int("ops", 40, "operation count for the dst experiment")
 	flag.Parse()
+	if err := logx.SetLevelName(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	lg := logx.For("npss-exp", "")
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder()
 		trace.SetRecorder(rec)
 	}
+	if *telemetryAddr != "" {
+		ts, err := telemetry.Start(*telemetryAddr, telemetry.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close()
+		lg.Info("telemetry listening", "addr", ts.Addr())
+	}
+
+	// agg accumulates every experiment's metric snapshot for -metrics:
+	// the in-process cluster shares one trace set, so merging the
+	// per-experiment exports yields the cluster-wide roll-up.
+	var agg trace.MetricsSnapshot
 
 	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel}
 
@@ -113,7 +136,11 @@ func main() {
 		},
 		"chaos": func() {
 			fmt.Println("== Chaos: Table 2 workload under loss, flaps, and a machine crash ==")
-			fmt.Print(exper.FormatChaos(exper.Chaos(exper.ChaosSpec{Run: spec})))
+			r := exper.Chaos(exper.ChaosSpec{Run: spec})
+			// The chaos run records into its own scoped trace set; fold
+			// its snapshot into the -metrics aggregate explicitly.
+			agg.Merge(r.Metrics)
+			fmt.Print(exper.FormatChaos(r))
 		},
 		"dst": func() {
 			fmt.Println("== DST: deterministic cluster simulation in virtual time ==")
@@ -130,6 +157,7 @@ func main() {
 	// of the fault-tolerant runtime — then clears them so the next
 	// experiment reports only its own.
 	printCounters := func() {
+		agg.Merge(trace.Export())
 		if snap := trace.Snapshot(); snap != "" {
 			fmt.Println("-- trace counters --")
 			fmt.Print(snap)
@@ -157,6 +185,17 @@ func main() {
 		if err := writeTimeline(rec, *traceOut); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *metricsOut != "" {
+		data, err := agg.EncodeJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("npss-exp: wrote %d counters and %d histograms to %s\n",
+			len(agg.Counters), len(agg.Hists), *metricsOut)
 	}
 }
 

@@ -1,0 +1,40 @@
+// Command promlint validates a Prometheus text-exposition scrape (the
+// output of a /metrics endpoint) against the subset of format 0.0.4
+// this repository emits: every sample parses, every family is typed
+// exactly once before its samples, label sets are well-formed. CI
+// scrapes a live run's /metrics and pipes it here.
+//
+//	promlint scrape.txt
+//	curl -s http://127.0.0.1:9100/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"npss/internal/telemetry"
+)
+
+func main() {
+	var data []byte
+	var err error
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		data, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [scrape-file]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	if err := telemetry.Lint(data); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

@@ -18,20 +18,26 @@
 //	schooner-manager -listen 127.0.0.1:7500 -status
 //
 // prints its live lines, the health monitor's view of the machines,
-// and the trace counters, then exits.
+// and the trace counters, then exits. With -hosts the status query
+// also rolls the Servers' metric snapshots into a cluster-wide
+// aggregate. -telemetry :9100 serves the same data live over HTTP
+// (/metrics, /statusz, /flightz, /debug/pprof).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"time"
 
 	"npss/internal/daemon"
+	"npss/internal/flight"
+	"npss/internal/logx"
 	"npss/internal/schooner"
+	"npss/internal/telemetry"
+	"npss/internal/trace"
 	"npss/internal/wire"
 )
 
@@ -40,56 +46,123 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7500", "socket address to listen on")
 	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
 	status := flag.Bool("status", false, "query the Manager at -listen for its status report and exit")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /statusz, /flightz and pprof on this address")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+	if err := logx.SetLevelName(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	lg := logx.For("schooner-manager", *host)
 
 	if *status {
-		report, err := queryStatus(*listen)
+		report, err := clusterStatus(*listen, *hostTable)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("status query failed", "err", err)
+			os.Exit(1)
 		}
 		fmt.Print(report)
 		return
 	}
 
+	// A daemon crash must ship the flight recorder with it: the ring
+	// holds what every component did just before the panic.
+	defer flight.DumpOnPanic(os.Stderr)
+
 	hosts, err := daemon.ParseHosts(*hostTable)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("bad -hosts table", "err", err)
+		os.Exit(1)
 	}
 	tr := daemon.BuildTransport(hosts, *host, *listen, map[string]string{
 		*host + ":schx-manager": *listen,
 	})
 	mgr, err := schooner.StartManager(tr, *host)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("manager start failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("schooner-manager: serving on %s as %s:schx-manager\n", *listen, *host)
+	lg.Info("serving", "listen", *listen, "endpoint", *host+":schx-manager")
+
+	if *telemetryAddr != "" {
+		ts, err := telemetry.Start(*telemetryAddr, telemetry.Config{
+			Status: mgr.StatusReport,
+		})
+		if err != nil {
+			lg.Error("telemetry listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		lg.Info("telemetry listening", "addr", ts.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("schooner-manager: shutting down")
+	lg.Info("shutting down")
 	mgr.Stop()
 }
 
-// queryStatus dials a running Manager daemon directly and asks for its
-// plain-text status report.
-func queryStatus(addr string) (string, error) {
+// clusterStatus queries a running Manager daemon for its status report
+// and, when a host table is given, rolls the Servers' metric snapshots
+// into a cluster-wide aggregate appended to the report.
+func clusterStatus(managerAddr, hostTable string) (string, error) {
+	resp, err := queryKind(managerAddr, wire.KStatus, wire.KStatusOK)
+	if err != nil {
+		return "", err
+	}
+	report := string(resp)
+
+	// Cluster roll-up: the Manager's own snapshot merged with every
+	// reachable Server's. Servers that are down are reported, not fatal
+	// — a degraded cluster is exactly when you want the roll-up.
+	agg := trace.MetricsSnapshot{}
+	sources := []struct{ name, addr string }{{"manager", managerAddr}}
+	if hostTable != "" {
+		hosts, err := daemon.ParseHosts(hostTable)
+		if err != nil {
+			return "", err
+		}
+		for _, h := range hosts {
+			sources = append(sources, struct{ name, addr string }{h.Name, h.ServerAddr})
+		}
+	}
+	report += "-- cluster metrics --\n"
+	for _, src := range sources {
+		data, err := queryKind(src.addr, wire.KMetrics, wire.KMetricsOK)
+		if err != nil {
+			report += fmt.Sprintf("(%s at %s unreachable: %v)\n", src.name, src.addr, err)
+			continue
+		}
+		snap, err := trace.DecodeMetrics(data)
+		if err != nil {
+			return "", fmt.Errorf("schooner-manager: %s metrics: %w", src.name, err)
+		}
+		agg.Merge(snap)
+	}
+	report += agg.Format()
+	return report, nil
+}
+
+// queryKind dials a daemon directly, sends a bodyless request of the
+// given kind, and returns the reply payload.
+func queryKind(addr string, req, ok wire.Kind) ([]byte, error) {
 	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return "", fmt.Errorf("schooner-manager: cannot reach manager at %s: %w", addr, err)
+		return nil, fmt.Errorf("schooner-manager: cannot reach %s: %w", addr, err)
 	}
 	conn := wire.NewStreamConn(c, addr)
 	defer conn.Close()
-	if err := conn.Send(&wire.Message{Kind: wire.KStatus}); err != nil {
-		return "", err
+	if err := conn.Send(&wire.Message{Kind: req}); err != nil {
+		return nil, err
 	}
 	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	resp, err := conn.Recv()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if resp.Kind != wire.KStatusOK {
-		return "", fmt.Errorf("schooner-manager: status query failed: %s", resp.Err)
+	if resp.Kind != ok {
+		return nil, fmt.Errorf("schooner-manager: query failed: %s", resp.Err)
 	}
-	return string(resp.Data), nil
+	return resp.Data, nil
 }

@@ -4,19 +4,22 @@
 //
 // The server's registry holds the four adapted TESS procedure files
 // (npss-shaft, npss-duct, npss-comb, npss-nozl); -programs selects
-// additional demo sets.
+// additional demo sets. -telemetry :9101 serves live /metrics,
+// /statusz, /flightz and pprof endpoints.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 
 	"npss/internal/daemon"
+	"npss/internal/flight"
+	"npss/internal/logx"
 	"npss/internal/npssproc"
 	"npss/internal/schooner"
+	"npss/internal/telemetry"
 	"npss/internal/uts"
 )
 
@@ -24,15 +27,27 @@ func main() {
 	host := flag.String("host", "", "logical machine name this Server serves (must appear in -hosts)")
 	listen := flag.String("listen", "", "socket address to listen on (must match this host's -hosts entry)")
 	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /statusz, /flightz and pprof on this address")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+	if err := logx.SetLevelName(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	lg := logx.For("schooner-server", *host)
 	if *host == "" || *listen == "" {
 		fmt.Fprintln(os.Stderr, "schooner-server: -host and -listen are required")
 		os.Exit(2)
 	}
 
+	// A daemon crash must ship the flight recorder with it: the ring
+	// holds what every component did just before the panic.
+	defer flight.DumpOnPanic(os.Stderr)
+
 	hosts, err := daemon.ParseHosts(*hostTable)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("bad -hosts table", "err", err)
+		os.Exit(1)
 	}
 	tr := daemon.BuildTransport(hosts, "", "", map[string]string{
 		*host + ":" + schooner.ServerPort: *listen,
@@ -40,7 +55,8 @@ func main() {
 
 	reg := schooner.NewRegistry()
 	if err := npssproc.RegisterAll(reg); err != nil {
-		log.Fatal(err)
+		lg.Error("program registration failed", "err", err)
+		os.Exit(1)
 	}
 	// A demo echo procedure for connectivity checks.
 	reg.MustRegister(&schooner.Program{
@@ -59,13 +75,28 @@ func main() {
 
 	srv, err := schooner.StartServer(tr, *host, reg)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("server start failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("schooner-server: %s serving on %s (programs: %v)\n", *host, *listen, reg.Paths())
+	lg.Info("serving", "listen", *listen, "programs", fmt.Sprint(reg.Paths()))
+
+	if *telemetryAddr != "" {
+		ts, err := telemetry.Start(*telemetryAddr, telemetry.Config{
+			Status: func() string {
+				return fmt.Sprintf("schooner server on %s (programs: %v)\n", *host, reg.Paths())
+			},
+		})
+		if err != nil {
+			lg.Error("telemetry listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		lg.Info("telemetry listening", "addr", ts.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("schooner-server: shutting down")
+	lg.Info("shutting down")
 	srv.Stop()
 }

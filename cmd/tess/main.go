@@ -19,6 +19,7 @@ import (
 
 	"npss/internal/cmap"
 	"npss/internal/engine"
+	"npss/internal/logx"
 	"npss/internal/solver"
 	"npss/internal/trace"
 )
@@ -39,7 +40,12 @@ func main() {
 	every := flag.Float64("every", 0.05, "print interval during the transient, s")
 	writeMaps := flag.String("write-maps", "", "write the default performance map files into this directory and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+	if err := logx.SetLevelName(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -141,7 +147,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "tess: wrote %d spans to %s\n", len(rec.Spans()), *traceOut)
+		logx.For("tess", "").Info("wrote timeline", "spans", len(rec.Spans()), "file", *traceOut)
 	}
 }
 

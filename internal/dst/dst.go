@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/flight"
 	"npss/internal/machine"
 	"npss/internal/netsim"
 	"npss/internal/schooner"
@@ -158,6 +159,8 @@ func (c *cluster) clean() bool { return len(c.downs) == 0 && len(c.parts) == 0 }
 func (c *cluster) violate(op int, name, detail string) {
 	if c.violation == nil {
 		c.violation = &Violation{Op: op, Name: name, Detail: detail}
+		flight.Record(flight.Event{Kind: flight.KindViolation, Component: "dst",
+			Name: name, Detail: detail})
 	}
 }
 

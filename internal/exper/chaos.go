@@ -7,6 +7,7 @@ import (
 
 	"npss/internal/core"
 	"npss/internal/engine"
+	"npss/internal/flight"
 	"npss/internal/netsim"
 	"npss/internal/schooner"
 	"npss/internal/trace"
@@ -118,6 +119,11 @@ type ChaosResult struct {
 	CrashStep int
 	// Counters holds the per-run deltas of the chaosCounters.
 	Counters map[string]int64
+	// Metrics is the full metric snapshot of the faulty run (and the
+	// clean baseline), mergeable into a cluster-wide roll-up. The chaos
+	// run scopes its trace sets, so this is the only way its metrics
+	// escape the experiment.
+	Metrics trace.MetricsSnapshot
 }
 
 // Chaos runs the paper's Table 2 combined test — the TESS F100
@@ -138,7 +144,8 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	// accumulated earlier. The original global set is restored (after
 	// the testbed's deferred shutdown, whose last heartbeats land in
 	// the scoped set) on return.
-	prev := trace.Swap(trace.NewSet())
+	baseSet := trace.NewSet()
+	prev := trace.Swap(baseSet)
 	defer trace.Swap(prev)
 	placements := Table2Placements()
 	row := &ModuleRun{AVSMachine: SparcUA, Placements: placements}
@@ -221,6 +228,8 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	for _, k := range chaosCounters {
 		res.Counters[k] = chaosSet.Get(k)
 	}
+	res.Metrics = baseSet.Export()
+	res.Metrics.Merge(chaosSet.Export())
 	if err != nil {
 		row.Err = fmt.Errorf("chaos run: %w", err)
 		return res
@@ -248,6 +257,10 @@ func FormatChaos(r *ChaosResult) string {
 	fmt.Fprintf(&b, "Table 2 workload under chaos: crash of %s at transient step %d\n", r.CrashHost, r.CrashStep)
 	if r.Row.Err != nil {
 		fmt.Fprintf(&b, "ERROR: %v\n", r.Row.Err)
+		// A chaos run that failed to converge is a harness violation:
+		// dump the flight recorder so the failure ships with the last
+		// things every component did.
+		b.WriteString(flight.DumpString())
 	} else {
 		fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e rpcs=%d wall=%s\n",
 			r.Row.Converged, r.Row.SteadyIters, r.Row.MaxRelErr, r.Row.RPCs, r.Row.Wall.Round(time.Millisecond))

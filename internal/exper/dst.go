@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"npss/internal/dst"
+	"npss/internal/flight"
 )
 
 // DSTReport runs one deterministic-simulation scenario — a whole
@@ -38,6 +39,9 @@ func DSTReport(seed int64, ops int) (string, bool) {
 	}
 
 	fmt.Fprintf(&b, "INVARIANT VIOLATED: %s\n", res.Violation)
+	// The flight recorder's last events are the post-mortem's starting
+	// point; dump before shrinking replays bury the original history.
+	b.WriteString(flight.DumpString())
 	shrunk, serr := dst.Shrink(cfg, res.Ops, res.Violation.Name)
 	if serr != nil {
 		fmt.Fprintf(&b, "shrink failed (%v); full trace:\n%s", serr, dst.FormatTrace(seed, res.Ops))

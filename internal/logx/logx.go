@@ -1,0 +1,103 @@
+// Package logx is the shared structured-logging spine: one process-wide
+// slog handler with a runtime-adjustable level, plus helpers that stamp
+// every record with the component and logical host that emitted it and
+// — when a span is active — the trace/span IDs, so a log line, a flight
+// recorder event, and a span timeline entry about the same operation
+// all correlate by trace ID.
+//
+// Components hold loggers made by For("component", host); request-path
+// records append Span(ctx)... so the IDs render in the same hex form
+// the Chrome trace export and the flight recorder use. The level
+// defaults to Info; -log-level flags call SetLevelName.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"npss/internal/trace"
+)
+
+// level is the process-wide minimum level, shared by every logger the
+// package hands out; SetLevel changes it at runtime.
+var level slog.LevelVar
+
+// root is the process-wide base logger. Swappable so tests (and the
+// daemons, for redirection) can capture output.
+var root atomic.Pointer[slog.Logger]
+
+func init() {
+	root.Store(slog.New(newHandler(os.Stderr)))
+}
+
+func newHandler(w io.Writer) slog.Handler {
+	return slog.NewTextHandler(w, &slog.HandlerOptions{Level: &level})
+}
+
+// SetOutput redirects all loggers to w (stderr by default).
+func SetOutput(w io.Writer) {
+	root.Store(slog.New(newHandler(w)))
+}
+
+// SetLevel adjusts the process-wide minimum level at runtime.
+func SetLevel(l slog.Level) { level.Set(l) }
+
+// Level reports the current minimum level.
+func Level() slog.Level { return level.Level() }
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("logx: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// SetLevelName applies a -log-level flag value; the error names the
+// accepted spellings.
+func SetLevelName(s string) error {
+	l, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	SetLevel(l)
+	return nil
+}
+
+// For returns a logger stamped with the emitting component ("manager",
+// "client", "server", "netsim", ...) and the logical host it runs on.
+// An empty host is omitted.
+func For(component, host string) *slog.Logger {
+	lg := root.Load().With("component", component)
+	if host != "" {
+		lg = lg.With("host", host)
+	}
+	return lg
+}
+
+// Span renders a span context as trace/span attributes in the same
+// zero-padded hex the trace timeline and the flight recorder print,
+// so one grep correlates all three. An invalid (untraced) context
+// yields no attributes; splat the result into a logging call:
+//
+//	lg.Debug("rebind", append([]any{"proc", name}, logx.Span(ctx)...)...)
+func Span(ctx trace.SpanContext) []any {
+	if !ctx.Valid() {
+		return nil
+	}
+	return []any{
+		"trace", fmt.Sprintf("%016x", ctx.Trace),
+		"span", fmt.Sprintf("%016x", ctx.Span),
+	}
+}

@@ -1,0 +1,105 @@
+package logx
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"npss/internal/trace"
+)
+
+// capture redirects the shared handler into a buffer for the test and
+// restores stderr output (and the Info default level) afterwards.
+func capture(t *testing.T) *strings.Builder {
+	t.Helper()
+	var b syncBuilder
+	SetOutput(&b)
+	t.Cleanup(func() {
+		SetOutput(testDiscard{})
+		SetLevel(slog.LevelInfo)
+	})
+	return &b.b
+}
+
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+type testDiscard struct{}
+
+func (testDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestForStampsComponentAndHost(t *testing.T) {
+	b := capture(t)
+	For("manager", "sparc1").Info("line registered", "line", 7)
+	out := b.String()
+	for _, want := range []string{"component=manager", "host=sparc1", "line=7", "line registered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestForOmitsEmptyHost(t *testing.T) {
+	b := capture(t)
+	For("exp", "").Info("hello")
+	if strings.Contains(b.String(), "host=") {
+		t.Errorf("empty host should be omitted: %s", b.String())
+	}
+}
+
+func TestSpanAttrsMatchFlightHexFormat(t *testing.T) {
+	b := capture(t)
+	ctx := trace.SpanContext{Trace: 0xdeadbeef, Span: 0x1234}
+	For("client", "h").Info("call", Span(ctx)...)
+	out := b.String()
+	if !strings.Contains(out, "trace=00000000deadbeef") || !strings.Contains(out, "span=0000000000001234") {
+		t.Errorf("span attrs not in zero-padded hex: %s", out)
+	}
+	if got := Span(trace.SpanContext{}); got != nil {
+		t.Errorf("Span(zero) = %v, want nil", got)
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	b := capture(t)
+	lg := For("x", "")
+	lg.Debug("hidden")
+	if strings.Contains(b.String(), "hidden") {
+		t.Errorf("debug logged at default info level")
+	}
+	if err := SetLevelName("debug"); err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	if !strings.Contains(b.String(), "visible") {
+		t.Errorf("debug not logged after SetLevelName(debug)")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Errorf("ParseLevel(loud) should fail")
+	}
+	if err := SetLevelName("bogus"); err == nil {
+		t.Errorf("SetLevelName(bogus) should fail")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/flight"
 	"npss/internal/machine"
 	"npss/internal/trace"
 	"npss/internal/vclock"
@@ -261,6 +262,12 @@ func (n *Network) SetHostDown(name string, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.downHosts[name] = down
+	detail := "host-up"
+	if down {
+		detail = "host-down"
+	}
+	flight.Record(flight.Event{Kind: flight.KindFaultInject, Component: "netsim",
+		Name: name, Detail: detail})
 }
 
 // SetLinkDown marks the path between two hosts up or down.
@@ -378,6 +385,8 @@ func (n *Network) accountDrop(link LinkSpec, bytes int) {
 	st.Bytes += int64(bytes)
 	st.Dropped++
 	trace.Count("netsim.drops")
+	flight.Record(flight.Event{Kind: flight.KindFaultInject, Component: "netsim",
+		Name: link.Name, Detail: "drop"})
 }
 
 // TotalDropped sums fault-injected message losses over all links.

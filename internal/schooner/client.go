@@ -7,6 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/flight"
+	"npss/internal/logx"
 	"npss/internal/machine"
 	"npss/internal/trace"
 	"npss/internal/uts"
@@ -394,6 +396,13 @@ func (l *Line) lookup(name string, imp *uts.ProcSpec, sp *trace.Span) (*binding,
 	if err != nil {
 		return nil, err
 	}
+	ctx := ls.Context()
+	if ctx.Trace == 0 {
+		ctx = sp.Context()
+	}
+	flight.Record(flight.Event{Kind: flight.KindBind, Component: "client",
+		Host: l.client.Host, Line: l.id, Trace: ctx.Trace, Span: ctx.Span,
+		Name: name, Detail: resp.Str})
 	nb := &binding{addr: resp.Str, exportName: resp.Name}
 	l.mu.Lock()
 	if cur, ok := l.bindings[name]; ok {
@@ -414,6 +423,8 @@ func (l *Line) invalidate(name string, b *binding) {
 	}
 	l.mu.Unlock()
 	b.markStale()
+	flight.Record(flight.Event{Kind: flight.KindRebind, Component: "client",
+		Host: l.client.Host, Line: l.id, Name: name, Detail: b.addr})
 }
 
 // Call invokes the named remote procedure with the given arguments
@@ -463,6 +474,12 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	}
 	if err != nil {
 		trace.Count("schooner.client.call_failures")
+		ctx := sp.Context()
+		flight.Record(flight.Event{Kind: flight.KindCallFail, Component: "client",
+			Host: l.client.Host, Line: l.id, Trace: ctx.Trace, Span: ctx.Span,
+			Name: name, Detail: err.Error()})
+		logx.For("client", l.client.Host).Warn("call failed",
+			append([]any{"proc", name, "line", l.id, "err", err}, logx.Span(ctx)...)...)
 		return nil, err
 	}
 	return res, nil
@@ -543,6 +560,12 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			trace.Count("schooner.client.retries")
+			ctx := sp.Context()
+			flight.Record(flight.Event{Kind: flight.KindCallRetry, Component: "client",
+				Host: l.client.Host, Line: l.id, Trace: ctx.Trace, Span: ctx.Span,
+				Name: name, Detail: lastErr.Error()})
+			logx.For("client", l.client.Host).Debug("retrying call",
+				append([]any{"proc", name, "attempt", attempt, "err", lastErr}, logx.Span(ctx)...)...)
 			if sp != nil {
 				sp.Annotate("retry."+strconv.Itoa(attempt), lastErr.Error())
 				trace.Count(trace.LKey("schooner.client.retries", trace.Label{Key: "proc", Value: name}))
@@ -607,6 +630,13 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 			att.Annotate("addr", b.addr)
 			attStart = clk().Now()
 		}
+		// The flight recorder sees every attempt even when tracing is
+		// off: one ring append, no allocation (all fields are strings
+		// the call already holds).
+		ctx := sp.Context()
+		flight.Record(flight.Event{Kind: flight.KindCallAttempt, Component: "client",
+			Host: l.client.Host, Line: l.id, Trace: ctx.Trace, Span: ctx.Span,
+			Name: name, Detail: b.addr})
 		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout, att)
 		if att != nil {
 			if err != nil {

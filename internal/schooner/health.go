@@ -4,6 +4,8 @@ import (
 	"sort"
 	"time"
 
+	"npss/internal/flight"
+	"npss/internal/logx"
 	"npss/internal/trace"
 	"npss/internal/wire"
 )
@@ -132,6 +134,9 @@ func (m *Manager) healthSweep(p HealthPolicy) {
 		if ok {
 			if st.dead {
 				trace.Count("schooner.manager.hostup")
+				flight.Record(flight.Event{Kind: flight.KindHealthUp, Component: "manager",
+					Host: m.host, Name: host})
+				logx.For("manager", m.host).Info("host back up", "machine", host)
 			}
 			st.fails, st.dead = 0, false
 		} else {
@@ -144,6 +149,9 @@ func (m *Manager) healthSweep(p HealthPolicy) {
 		m.mu.Unlock()
 		if died {
 			trace.Count("schooner.manager.hostdown")
+			flight.Record(flight.Event{Kind: flight.KindHealthDown, Component: "manager",
+				Host: m.host, Name: host})
+			logx.For("manager", m.host).Warn("host declared down", "machine", host, "missedProbes", p.Threshold)
 			m.failoverHost(host)
 		}
 	}
@@ -290,6 +298,13 @@ func (m *Manager) failoverHost(deadHost string) {
 			// unreachable — the machine is dead).
 			m.shutdownProcess(v.proc)
 			trace.Count("schooner.manager.failovers")
+			ctx := sp.Context()
+			flight.Record(flight.Event{Kind: flight.KindFailover, Component: "manager",
+				Host: m.host, Line: v.ln.id, Trace: ctx.Trace, Span: ctx.Span,
+				Name: v.proc.path, Detail: target})
+			logx.For("manager", m.host).Info("failover",
+				append([]any{"proc", v.proc.path, "from", deadHost, "to", target, "line", v.ln.id},
+					logx.Span(ctx)...)...)
 			if sp != nil {
 				sp.Annotate(v.proc.path, deadHost+" -> "+target)
 				trace.Count(trace.LKey("schooner.manager.failovers", trace.Label{Key: "host", Value: deadHost}))

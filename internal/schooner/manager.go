@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/flight"
 	"npss/internal/trace"
 	"npss/internal/uts"
 	"npss/internal/wire"
@@ -238,6 +239,9 @@ func (m *Manager) serve(conn wire.Conn) {
 				break
 			}
 			registered = id
+			ctx := sp.Context()
+			flight.Record(flight.Event{Kind: flight.KindLineRegister, Component: "manager",
+				Host: m.host, Line: id, Trace: ctx.Trace, Span: ctx.Span, Name: req.Name})
 			resp = &wire.Message{Kind: wire.KLineOK, Line: id}
 		case wire.KStartProc:
 			resp = m.handleStartProc(registered, req, sp)
@@ -247,6 +251,10 @@ func (m *Manager) serve(conn wire.Conn) {
 			resp = m.handleMove(registered, req, sp)
 		case wire.KStatus:
 			resp = &wire.Message{Kind: wire.KStatusOK, Data: []byte(m.StatusReport())}
+		case wire.KMetrics:
+			resp = metricsReply()
+		case wire.KFlightDump:
+			resp = &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 		case wire.KQuitLine:
 			if registered == 0 {
 				resp = errMsg("schooner: no line registered on this connection")
@@ -342,6 +350,9 @@ func (m *Manager) handleStartProc(registered uint32, req *wire.Message, sp *trac
 		return errMsg("%v", err)
 	}
 	trace.Count("schooner.manager.starts")
+	ctx := sp.Context()
+	flight.Record(flight.Event{Kind: flight.KindSpawn, Component: "manager",
+		Host: m.host, Line: ln.id, Trace: ctx.Trace, Span: ctx.Span, Name: path, Detail: host})
 	return &wire.Message{Kind: wire.KStartOK, Str: proc.addr}
 }
 
@@ -572,6 +583,9 @@ func (m *Manager) handleMove(registered uint32, req *wire.Message, sp *trace.Spa
 	ln.processes[fresh.addr] = fresh
 	m.mu.Unlock()
 	trace.Count("schooner.manager.moves")
+	ctx := sp.Context()
+	flight.Record(flight.Event{Kind: flight.KindMigration, Component: "manager",
+		Host: m.host, Line: ln.id, Trace: ctx.Trace, Span: ctx.Span, Name: req.Name, Detail: newHost})
 	return &wire.Message{Kind: wire.KMoveOK, Str: fresh.addr}
 }
 
@@ -664,6 +678,8 @@ func (m *Manager) quitLine(id uint32) {
 		m.shutdownProcess(p)
 	}
 	trace.Count("schooner.manager.quits")
+	flight.Record(flight.Event{Kind: flight.KindLineQuit, Component: "manager",
+		Host: m.host, Line: id, Name: ln.module})
 }
 
 // shutdownProcess sends a best-effort shutdown to a procedure process.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/flight"
 	"npss/internal/machine"
 	"npss/internal/trace"
 	"npss/internal/uts"
@@ -120,6 +121,10 @@ func (p *process) serve(conn wire.Conn) {
 			return
 		case wire.KPing:
 			p.reply(conn, m, &wire.Message{Kind: wire.KPong, Seq: m.Seq})
+		case wire.KMetrics:
+			p.reply(conn, m, metricsReply())
+		case wire.KFlightDump:
+			p.reply(conn, m, &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())})
 		default:
 			p.reply(conn, m, &wire.Message{Kind: wire.KError, Seq: m.Seq,
 				Err: fmt.Sprintf("schooner: procedure process cannot handle %v", m.Kind)})
@@ -167,6 +172,8 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 			"dispatch "+m.Name, p.host)
 		defer dispatch.End()
 	}
+	flight.Record(flight.Event{Kind: flight.KindDispatch, Component: "process",
+		Host: p.host, Line: m.Line, Trace: m.Trace, Span: m.Span, Name: m.Name})
 	bp := p.instance.Find(m.Name, p.program.Language)
 	if bp == nil {
 		p.reply(conn, m, &wire.Message{Kind: wire.KError,

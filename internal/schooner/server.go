@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"npss/internal/flight"
 	"npss/internal/trace"
 	"npss/internal/uts"
 	"npss/internal/wire"
@@ -102,6 +103,13 @@ func (s *Server) serve(conn wire.Conn) {
 		switch m.Kind {
 		case wire.KSpawn:
 			resp = s.handleSpawn(m)
+		case wire.KStatus:
+			resp = &wire.Message{Kind: wire.KStatusOK,
+				Data: []byte(fmt.Sprintf("schooner server on %s: %d processes\n", s.host, s.ProcessCount()))}
+		case wire.KMetrics:
+			resp = metricsReply()
+		case wire.KFlightDump:
+			resp = &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 		case wire.KShutdown:
 			resp = &wire.Message{Kind: wire.KShutdownOK}
 			resp.Seq = m.Seq
@@ -147,6 +155,8 @@ func (s *Server) handleSpawn(m *wire.Message) *wire.Message {
 	s.mu.Lock()
 	s.processes[p.addr()] = p
 	s.mu.Unlock()
+	flight.Record(flight.Event{Kind: flight.KindSpawn, Component: "server",
+		Host: s.host, Trace: m.Trace, Span: m.Span, Name: m.Name})
 	// Report the new process address together with its export
 	// specification file (adjusted for the host compiler's case
 	// convention) so the Manager can populate its mapping tables.

@@ -73,3 +73,63 @@ func QueryStatus(t Transport, fromHost, managerHost string) (string, error) {
 	}
 	return string(resp.Data), nil
 }
+
+// metricsReply builds the KMetricsOK answer: the process's current
+// global metric set, JSON-encoded for mergeable transport.
+func metricsReply() *wire.Message {
+	data, err := trace.Export().EncodeJSON()
+	if err != nil {
+		return errMsg("schooner: encoding metrics: %v", err)
+	}
+	return &wire.Message{Kind: wire.KMetricsOK, Data: data}
+}
+
+// QueryMetrics asks the component listening on addr (a Manager's
+// "host:port" or bare Manager host) for its live metric snapshot.
+// The snapshot is mergeable: callers roll several components'
+// snapshots into a cluster-wide view with MetricsSnapshot.Merge.
+func QueryMetrics(t Transport, fromHost, addr string) (trace.MetricsSnapshot, error) {
+	if !strings.Contains(addr, ":") {
+		addr += ":" + ManagerPort
+	}
+	conn, err := t.Dial(fromHost, addr)
+	if err != nil {
+		return trace.MetricsSnapshot{}, fmt.Errorf("schooner: cannot reach %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KMetrics}); err != nil {
+		return trace.MetricsSnapshot{}, err
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	if err != nil {
+		return trace.MetricsSnapshot{}, err
+	}
+	if resp.Kind != wire.KMetricsOK {
+		return trace.MetricsSnapshot{}, fmt.Errorf("schooner: metrics query failed: %s", resp.Err)
+	}
+	return trace.DecodeMetrics(resp.Data)
+}
+
+// QueryFlight asks the component listening on addr (a Manager's
+// "host:port" or bare Manager host) for its flight-recorder dump.
+func QueryFlight(t Transport, fromHost, addr string) (string, error) {
+	if !strings.Contains(addr, ":") {
+		addr += ":" + ManagerPort
+	}
+	conn, err := t.Dial(fromHost, addr)
+	if err != nil {
+		return "", fmt.Errorf("schooner: cannot reach %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KFlightDump}); err != nil {
+		return "", err
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	if err != nil {
+		return "", err
+	}
+	if resp.Kind != wire.KFlightDumpOK {
+		return "", fmt.Errorf("schooner: flight query failed: %s", resp.Err)
+	}
+	return string(resp.Data), nil
+}

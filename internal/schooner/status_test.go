@@ -1,0 +1,187 @@
+package schooner
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"npss/internal/flight"
+	"npss/internal/trace"
+	"npss/internal/uts"
+)
+
+// TestStatusUnderConcurrentChurn hammers the introspection endpoints
+// while lines spawn, call, migrate, and quit concurrently: StatusReport
+// and QueryStatus must stay consistent (and data-race free under
+// -race) no matter when they sample the Manager's tables.
+func TestStatusUnderConcurrentChurn(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	prev := trace.Swap(trace.NewSet())
+	defer trace.Swap(prev)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const churners = 3
+	for w := 0; w < churners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hosts := []string{"sgi-lerc", "rs6000"}
+			for i := 0; !stop.Load(); i++ {
+				ln, err := d.client("sgi-lerc").ContactSchx("churn")
+				if err != nil {
+					t.Errorf("churner %d contact: %v", w, err)
+					return
+				}
+				if err := ln.StartRemote("/npss/adder", hosts[i%2]); err != nil {
+					t.Errorf("churner %d start: %v", w, err)
+					ln.IQuit()
+					return
+				}
+				ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+				if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(2)); err != nil {
+					t.Errorf("churner %d call: %v", w, err)
+					ln.IQuit()
+					return
+				}
+				// Migrate the process mid-life on some iterations.
+				if i%3 == 0 {
+					if err := ln.Move("add", hosts[(i+1)%2], false); err != nil {
+						t.Errorf("churner %d move: %v", w, err)
+						ln.IQuit()
+						return
+					}
+				}
+				ln.IQuit()
+			}
+		}(w)
+	}
+
+	for i := 0; i < 40; i++ {
+		report := d.mgr.StatusReport()
+		if !strings.Contains(report, "schooner manager on avs-sparc") {
+			t.Fatalf("in-process report header missing:\n%s", report)
+		}
+		report, err := QueryStatus(d.tr, "rs6000", "avs-sparc")
+		if err != nil {
+			t.Fatalf("QueryStatus during churn: %v", err)
+		}
+		if !strings.Contains(report, "-- lines --") {
+			t.Fatalf("remote report sections missing:\n%s", report)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestStatusQueriesAgainstDeadManager pins the error paths: every
+// introspection query against an unreachable Manager host reports the
+// failure instead of hanging or panicking.
+func TestStatusQueriesAgainstDeadManager(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.net.SetHostDown("avs-sparc", true)
+	defer d.net.SetHostDown("avs-sparc", false)
+
+	if _, err := QueryStatus(d.tr, "sgi-lerc", "avs-sparc"); err == nil {
+		t.Error("QueryStatus against dead manager succeeded")
+	}
+	if _, err := QueryMetrics(d.tr, "sgi-lerc", "avs-sparc"); err == nil {
+		t.Error("QueryMetrics against dead manager succeeded")
+	}
+	if _, err := QueryFlight(d.tr, "sgi-lerc", "avs-sparc"); err == nil {
+		t.Error("QueryFlight against dead manager succeeded")
+	}
+	// Unknown hosts fail too (no route at all).
+	if _, err := QueryStatus(d.tr, "sgi-lerc", "no-such-host"); err == nil {
+		t.Error("QueryStatus against unknown host succeeded")
+	}
+}
+
+// TestQueryMetricsRoundTrip drives calls through a deployment, fetches
+// the Manager's and a Server's metric snapshots over the wire, and
+// merges them into the cluster roll-up the -status query prints.
+func TestQueryMetricsRoundTrip(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	prev := trace.Swap(trace.NewSet())
+	defer trace.Swap(prev)
+
+	ln, err := d.client("sgi-lerc").ContactSchx("metrics-module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "rs6000"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mgrSnap, err := QueryMetrics(d.tr, "sgi-lerc", "avs-sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgrSnap.Counters["schooner.client.calls"] < calls {
+		t.Errorf("manager snapshot calls = %d, want >= %d", mgrSnap.Counters["schooner.client.calls"], calls)
+	}
+	h, ok := mgrSnap.Hists["schooner.client.call"]
+	if !ok || h.Count != calls {
+		t.Errorf("manager snapshot latency histogram = %+v, want count %d", h, calls)
+	}
+
+	// The Server answers KMetrics on its own port; in-process it shares
+	// the global set, so merging models the cluster-wide roll-up.
+	srvSnap, err := QueryMetrics(d.tr, "sgi-lerc", "rs6000:"+ServerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := trace.MetricsSnapshot{}
+	merged.Merge(mgrSnap)
+	merged.Merge(srvSnap)
+	want := mgrSnap.Counters["schooner.proc.calls"] + srvSnap.Counters["schooner.proc.calls"]
+	if got := merged.Counters["schooner.proc.calls"]; got != want {
+		t.Errorf("merged proc calls = %d, want %d", got, want)
+	}
+	if mh := merged.Hists["schooner.client.call"]; mh.Count != 2*calls {
+		t.Errorf("merged histogram count = %d, want %d", mh.Count, 2*calls)
+	}
+}
+
+// TestQueryFlightRoundTrip fetches the flight recorder over the wire
+// and checks the dump carries the call events the run just recorded.
+func TestQueryFlightRoundTrip(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	oldRec := flight.Swap(flight.NewRecorder(256))
+	defer flight.Swap(oldRec)
+
+	ln, err := d.client("sgi-lerc").ContactSchx("flight-module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "rs6000"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	if _, err := ln.Call("add", uts.DoubleVal(2), uts.DoubleVal(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	dump, err := QueryFlight(d.tr, "sgi-lerc", "avs-sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight recorder:", "call-attempt", "line-register", "spawn"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("flight dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition scrape: every sample
+// line must parse (name, optional label set, float value), every
+// sample's family must have exactly one preceding # TYPE line with a
+// known type, and no family may be declared twice. It is the check CI
+// runs against a live /metrics scrape, strict enough to catch a
+// malformed writer while accepting any conforming exposition.
+func Lint(data []byte) error {
+	var (
+		typed   = map[string]string{}
+		sampled = map[string]bool{}
+		samples = 0
+	)
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := i + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !nameRe.MatchString(name) {
+					return fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				typed[name] = typ
+			}
+			continue // HELP and other comments pass
+		}
+		name, rest, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(name, typed)
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		sampled[fam] = true
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, rest)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// parseSample splits one sample line into its metric name and value,
+// validating the optional label set in between.
+func parseSample(line string) (name, value string, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !nameRe.MatchString(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := lintLabels(rest[1:end]); err != nil {
+			return "", "", err
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	// Timestamps ("value ts") are legal; lint only the value.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		value = value[:sp]
+	}
+	return name, value, nil
+}
+
+// lintLabels validates a rendered label body: k="v" pairs with
+// escaped quotes, comma-separated.
+func lintLabels(body string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", body)
+		}
+		key := body[:eq]
+		if !labelRe.MatchString(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		body = body[1:]
+		// Scan the quoted value honoring backslash escapes.
+		closed := false
+		for j := 0; j < len(body); j++ {
+			if body[j] == '\\' {
+				j++
+				continue
+			}
+			if body[j] == '"' {
+				body = body[j+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("unterminated value for label %q", key)
+		}
+		if len(body) > 0 {
+			if body[0] != ',' {
+				return fmt.Errorf("unexpected %q after label %q", body[:1], key)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, stripping
+// the summary/histogram suffixes when the base family is declared.
+func familyOf(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t, declared := typed[base]; declared && (t == "summary" || t == "histogram") {
+				return base
+			}
+		}
+	}
+	return name
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the pull side of the observability plane: an
+// optional HTTP listener a daemon or experiment binary opens with
+// -telemetry, serving
+//
+//	/metrics  the live trace.Set in Prometheus text exposition format
+//	/statusz  the Manager's plain-text status report
+//	/flightz  the flight recorder's recent events
+//	/debug/pprof/...  the standard Go profiler endpoints
+//
+// Nothing here runs unless the listener is opened, so the disabled
+// path costs exactly nothing.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"npss/internal/flight"
+	"npss/internal/trace"
+)
+
+// Config selects what the endpoints serve. Every field is optional:
+// nil Status serves a one-line placeholder, nil Metrics serves the
+// process's global trace set, nil FlightDump serves the package-level
+// flight recorder.
+type Config struct {
+	Status     func() string
+	Metrics    func() trace.MetricsSnapshot
+	FlightDump func() string
+}
+
+// Server is a running telemetry listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start opens the telemetry listener on addr (":0" picks a free
+// port). The HTTP server runs until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	if cfg.Status == nil {
+		cfg.Status = func() string { return "telemetry: no status source configured\n" }
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = trace.Export
+	}
+	if cfg.FlightDump == nil {
+		cfg.FlightDump = flight.DumpString
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, cfg.Metrics())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, cfg.Status())
+	})
+	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, cfg.FlightDump())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and the HTTP server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// promSample is one flattened exposition line before grouping.
+type promSample struct {
+	name   string // sanitized metric name (may carry _sum/_count suffix)
+	labels string // rendered {k="v",...} or ""
+	value  string
+}
+
+// WriteProm renders a metric snapshot in the Prometheus text
+// exposition format, version 0.0.4. Counters become counter families;
+// histograms become summaries (quantile series plus _sum and _count).
+// Metric keys in the runtime's schooner.client.call{proc=add} style
+// split into a sanitized family name and labels. Output is sorted and
+// deterministic.
+func WriteProm(w io.Writer, m trace.MetricsSnapshot) error {
+	type family struct {
+		kind    string
+		samples []promSample
+	}
+	families := make(map[string]*family)
+	add := func(famName string, s promSample, kind string) {
+		f, ok := families[famName]
+		if !ok {
+			f = &family{kind: kind}
+			families[famName] = f
+		}
+		f.samples = append(f.samples, s)
+	}
+
+	for key, v := range m.Counters {
+		name, labels := splitKey(key)
+		add(name, promSample{name: name, labels: labels,
+			value: fmt.Sprintf("%d", v)}, "counter")
+	}
+	quantiles := []struct {
+		q float64
+		s string
+	}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+	for key, h := range m.Hists {
+		name, labels := splitKey(key)
+		for _, q := range quantiles {
+			ql := mergeLabels(labels, `quantile="`+q.s+`"`)
+			add(name, promSample{name: name, labels: ql,
+				value: formatSeconds(h.Quantile(q.q))}, "summary")
+		}
+		add(name, promSample{name: name + "_sum", labels: labels,
+			value: formatSeconds(time.Duration(h.Sum))}, "summary")
+		add(name, promSample{name: name + "_count", labels: labels,
+			value: fmt.Sprintf("%d", h.Count)}, "summary")
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		sort.Slice(f.samples, func(i, j int) bool {
+			a, b := f.samples[i], f.samples[j]
+			if a.name != b.name {
+				return a.name < b.name
+			}
+			return a.labels < b.labels
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitKey separates a runtime metric key into a sanitized Prometheus
+// family name and a rendered label set:
+//
+//	schooner.client.call{proc=add,host=cray} ->
+//	  schooner_client_call, {proc="add",host="cray"}
+func splitKey(key string) (name, labels string) {
+	base := key
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		base = key[:i]
+		inner := key[i+1 : len(key)-1]
+		var parts []string
+		for _, kv := range strings.Split(inner, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				k, v = kv, ""
+			}
+			parts = append(parts, sanitizeName(k)+`="`+escapeLabel(v)+`"`)
+		}
+		labels = "{" + strings.Join(parts, ",") + "}"
+	}
+	return sanitizeName(base), labels
+}
+
+// mergeLabels inserts an extra label into a rendered label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// sanitizeName maps an arbitrary key to the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatSeconds renders a duration as seconds, the Prometheus base
+// unit.
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"npss/internal/flight"
+	"npss/internal/trace"
+)
+
+func sampleSnapshot() trace.MetricsSnapshot {
+	s := trace.NewSet()
+	s.Add("schooner.client.calls", 42)
+	s.Add("schooner.client.calls{proc=add}", 7)
+	s.Add("netsim.drops", 3)
+	s.Observe("schooner.client.call", 150*time.Microsecond)
+	s.Observe("schooner.client.call", 300*time.Microsecond)
+	s.Observe("schooner.client.call{proc=add}", 200*time.Microsecond)
+	return s.Export()
+}
+
+func TestWritePromAndLint(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE netsim_drops counter",
+		"netsim_drops 3",
+		"# TYPE schooner_client_calls counter",
+		"schooner_client_calls 42",
+		`schooner_client_calls{proc="add"} 7`,
+		"# TYPE schooner_client_call summary",
+		`schooner_client_call{quantile="0.95"}`,
+		"schooner_client_call_sum", "schooner_client_call_count 2",
+		`schooner_client_call_count{proc="add"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("lint rejects our own writer: %v\n%s", err, out)
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	WriteProm(&b2, sampleSnapshot())
+	if b2.String() != out {
+		t.Errorf("WriteProm not deterministic")
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "foo 1\n",
+		"bad value":      "# TYPE foo counter\nfoo abc\n",
+		"bad name":       "# TYPE 9foo counter\n9foo 1\n",
+		"dup TYPE":       "# TYPE foo counter\nfoo 1\n# TYPE foo counter\nfoo 2\n",
+		"unclosed label": "# TYPE foo counter\nfoo{a=\"b 1\n",
+		"no samples":     "# TYPE foo counter\n",
+		"TYPE after use": "# TYPE foo counter\nfoo 1\nbar 2\n# TYPE bar counter\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, in)
+		}
+	}
+}
+
+func TestLintAcceptsTimestampsAndHelp(t *testing.T) {
+	in := "# HELP foo a counter\n# TYPE foo counter\nfoo{a=\"b\\\"c\"} 1 1700000000\n"
+	if err := Lint([]byte(in)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	oldFlight := flight.Swap(flight.NewRecorder(16))
+	defer flight.Swap(oldFlight)
+	flight.Record(flight.Event{Kind: flight.KindNote, Component: "test", Name: "hello-flight"})
+
+	srv, err := Start("127.0.0.1:0", Config{
+		Status:  func() string { return "status-body-here" },
+		Metrics: sampleSnapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if got := get("/metrics"); !strings.Contains(got, "schooner_client_calls 42") {
+		t.Errorf("/metrics missing counter:\n%s", got)
+	} else if err := Lint([]byte(got)); err != nil {
+		t.Errorf("/metrics fails lint: %v", err)
+	}
+	if got := get("/statusz"); got != "status-body-here" {
+		t.Errorf("/statusz = %q", got)
+	}
+	if got := get("/flightz"); !strings.Contains(got, "hello-flight") {
+		t.Errorf("/flightz missing event:\n%s", got)
+	}
+	if got := get("/debug/pprof/cmdline"); got == "" {
+		t.Errorf("pprof cmdline empty")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -249,6 +250,7 @@ type chromeTrace struct {
 // microseconds since the recorder was created.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	spans := r.Spans()
+	dropped := r.Dropped()
 
 	hostSet := make(map[string]bool)
 	for _, s := range spans {
@@ -294,6 +296,15 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Dur: float64(s.Dur) / float64(time.Microsecond),
 			Pid: pidOf[s.Host], Tid: tid,
 			Args: args,
+		})
+	}
+
+	// A truncated timeline announces itself: a metadata event carries
+	// the number of spans the recorder discarded at its cap.
+	if dropped > 0 {
+		events = append(events, chromeEvent{
+			Name: "dropped_spans", Ph: "M", Pid: 0,
+			Args: map[string]string{"count": strconv.FormatInt(dropped, 10)},
 		})
 	}
 

@@ -142,8 +142,19 @@ func GlobalHistogram(name string) *Histogram { return cur().Histogram(name) }
 // Reset clears the global set.
 func Reset() { cur().Reset() }
 
-// Snapshot reports the global counters and histograms.
-func Snapshot() string { return cur().Snapshot() }
+// Snapshot reports the global counters and histograms. When a span
+// recorder is active and has hit its cap, a trailing
+// "trace.spans.dropped" line surfaces the truncation so a short
+// timeline is visibly short.
+func Snapshot() string {
+	s := cur().Snapshot()
+	if r := ActiveRecorder(); r != nil {
+		if d := r.Dropped(); d > 0 {
+			s += fmt.Sprintf("trace.spans.dropped=%d\n", d)
+		}
+	}
+	return s
+}
 
 // Histogram is a log-2-bucketed latency histogram from 1µs to ~17min.
 type Histogram struct {
@@ -270,8 +281,16 @@ func (h *Histogram) clamp(d time.Duration) time.Duration {
 	return d
 }
 
-// String renders a one-line summary.
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// String renders a one-line summary. Count and sum sit alongside the
+// quantiles so identical-seed runs diff cleanly in CI.
 func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d min=%v mean=%v p95=%v max=%v",
-		h.Count(), h.Min(), h.Mean(), h.Quantile(0.95), h.Max())
+	return fmt.Sprintf("n=%d min=%v mean=%v sum=%v p95=%v max=%v",
+		h.Count(), h.Min(), h.Mean(), h.Sum(), h.Quantile(0.95), h.Max())
 }

@@ -93,6 +93,16 @@ const (
 	// answers with the report in Data.
 	KStatus
 	KStatusOK
+	// KMetrics asks a component (Manager or Server) for its live
+	// metric set; KMetricsOK answers with a JSON-encoded
+	// trace.MetricsSnapshot in Data, mergeable into a cluster-wide
+	// roll-up.
+	KMetrics
+	KMetricsOK
+	// KFlightDump asks a component for its flight-recorder contents;
+	// KFlightDumpOK answers with the plain-text dump in Data.
+	KFlightDump
+	KFlightDumpOK
 )
 
 var kindNames = map[Kind]string{
@@ -108,6 +118,8 @@ var kindNames = map[Kind]string{
 	KStatePut: "StatePut", KStatePutOK: "StatePutOK",
 	KError: "Error", KPing: "Ping", KPong: "Pong",
 	KStatus: "Status", KStatusOK: "StatusOK",
+	KMetrics: "Metrics", KMetricsOK: "MetricsOK",
+	KFlightDump: "FlightDump", KFlightDumpOK: "FlightDumpOK",
 }
 
 // String names the message kind for diagnostics.
@@ -188,7 +200,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("wire: message truncated at header (%d bytes)", len(buf))
 	}
 	m := &Message{Kind: Kind(buf[0])}
-	if m.Kind == KInvalid || m.Kind > KStatusOK {
+	if m.Kind == KInvalid || m.Kind > KFlightDumpOK {
 		return nil, fmt.Errorf("wire: unknown message kind %d", buf[0])
 	}
 	m.Seq = binary.BigEndian.Uint32(buf[1:])
