@@ -13,6 +13,14 @@
 // The Manager is persistent: it serves any number of lines and
 // simulation runs until interrupted.
 //
+// With -wal the Manager journals every name-database mutation into an
+// append-only log under the given directory. After a crash, restarting
+// with the same -wal plus -recover rebuilds the database from the
+// journal and re-adopts the procedure processes that survived the
+// outage. -checkpoint-interval additionally pulls stateful procedures'
+// state into the journal on that cadence, so failover can restore them
+// rather than losing their state.
+//
 // A running Manager can be introspected without stopping it:
 //
 //	schooner-manager -listen 127.0.0.1:7500 -status
@@ -38,6 +46,7 @@ import (
 	"npss/internal/schooner"
 	"npss/internal/telemetry"
 	"npss/internal/trace"
+	"npss/internal/wal"
 	"npss/internal/wire"
 )
 
@@ -48,6 +57,9 @@ func main() {
 	status := flag.Bool("status", false, "query the Manager at -listen for its status report and exit")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /statusz, /flightz and pprof on this address")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	walDir := flag.String("wal", "", "directory for the control-plane write-ahead journal (empty = no durability)")
+	doRecover := flag.Bool("recover", false, "rebuild the name database from the -wal journal and re-adopt surviving processes before serving")
+	ckInterval := flag.Duration("checkpoint-interval", 0, "cadence for pulling stateful-procedure checkpoints into the journal (0 = off)")
 	flag.Parse()
 	if err := logx.SetLevelName(*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,12 +89,32 @@ func main() {
 	tr := daemon.BuildTransport(hosts, *host, *listen, map[string]string{
 		*host + ":schx-manager": *listen,
 	})
-	mgr, err := schooner.StartManager(tr, *host)
+	var cfg schooner.ManagerConfig
+	if *walDir != "" {
+		backend, err := wal.NewFileBackend(*walDir)
+		if err != nil {
+			lg.Error("cannot open -wal directory", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		jlog, err := wal.Open(backend, wal.Options{})
+		if err != nil {
+			lg.Error("cannot open journal", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		cfg.Journal = jlog
+		cfg.Recover = *doRecover
+		cfg.CheckpointInterval = *ckInterval
+	} else if *doRecover {
+		lg.Error("-recover requires -wal")
+		os.Exit(1)
+	}
+	mgr, err := schooner.StartManagerConfig(tr, *host, cfg)
 	if err != nil {
 		lg.Error("manager start failed", "err", err)
 		os.Exit(1)
 	}
-	lg.Info("serving", "listen", *listen, "endpoint", *host+":schx-manager")
+	lg.Info("serving", "listen", *listen, "endpoint", *host+":schx-manager",
+		"wal", *walDir, "recovered", *doRecover)
 
 	if *telemetryAddr != "" {
 		ts, err := telemetry.Start(*telemetryAddr, telemetry.Config{

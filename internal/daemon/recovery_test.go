@@ -1,0 +1,189 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"npss/internal/schooner"
+	"npss/internal/uts"
+)
+
+// waitListen blocks until something accepts on addr or the deadline
+// passes.
+func waitListen(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon on %s did not come up", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestManagerKill9Recovery is the crash-recovery end-to-end test: a
+// real schooner-manager daemon journaling to a -wal directory is
+// SIGKILLed mid-deployment and restarted with -recover. The restarted
+// Manager must rebuild its name database from the journal, re-adopt the
+// procedure processes that survived the kill, and serve the same client
+// line — both its cached call path and fresh administration.
+func TestManagerKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	dir := t.TempDir()
+	mgrBin := filepath.Join(dir, "schooner-manager")
+	srvBin := filepath.Join(dir, "schooner-server")
+	for bin, pkg := range map[string]string{
+		mgrBin: "npss/cmd/schooner-manager",
+		srvBin: "npss/cmd/schooner-server",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	mgrAddr := freePort(t)
+	srvAddr := freePort(t)
+	walDir := filepath.Join(dir, "wal")
+	hostTable := fmt.Sprintf("cray-lerc=cray-ymp@%s", srvAddr)
+
+	srv := exec.Command(srvBin, "-host", "cray-lerc", "-listen", srvAddr, "-hosts", hostTable)
+	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	telAddr := freePort(t)
+	startMgr := func(recover bool) *exec.Cmd {
+		args := []string{"-host", "avs", "-listen", mgrAddr, "-hosts", hostTable, "-wal", walDir}
+		if recover {
+			args = append(args, "-recover", "-telemetry", telAddr)
+		}
+		cmd := exec.Command(mgrBin, args...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	mgrCmd := startMgr(false)
+	defer func() {
+		if mgrCmd != nil {
+			mgrCmd.Process.Kill()
+			mgrCmd.Wait()
+		}
+	}()
+	waitListen(t, srvAddr)
+	waitListen(t, mgrAddr)
+
+	hosts, err := ParseHosts(hostTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildTransport(hosts, "avs", mgrAddr, nil)
+	client := &schooner.Client{Transport: tr, Host: "avs", ManagerHost: "avs"}
+	ln, err := client.ContactSchx("kill9-recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.StartRemote("/npss/echo", "cray-lerc"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import echo prog("x" val double, "y" res double)`))
+	out, err := ln.Call("echo", uts.DoubleVal(6.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F != 6.25 {
+		t.Fatalf("echo before crash = %g", out[0].F)
+	}
+
+	// kill -9: no shutdown hooks, no clean close. The journal on disk is
+	// all the restart has.
+	mgrCmd.Process.Kill()
+	mgrCmd.Wait()
+	mgrCmd = startMgr(true)
+	waitListen(t, mgrAddr)
+
+	// The cached call path never needed the Manager: the procedure
+	// process survived the kill and still answers.
+	out, err = ln.Call("echo", uts.DoubleVal(2.5))
+	if err != nil {
+		t.Fatalf("cached call after manager kill: %v", err)
+	}
+	if out[0].F != 2.5 {
+		t.Fatalf("echo across manager crash = %g", out[0].F)
+	}
+
+	// Administration requires the recovered Manager to know this line
+	// from its journal; the client reattaches transparently.
+	if err := ln.StartRemote("/npss/npss-shaft", "cray-lerc"); err != nil {
+		t.Fatalf("StartRemote after recovery: %v", err)
+	}
+	ln.Import(uts.MustParseProc(`import setshaft prog(
+		"ecom" val array[4] of double, "incom" val integer,
+		"etur" val array[4] of double, "intur" val integer,
+		"ecorr" res double)`))
+	res, err := ln.Call("setshaft", uts.DoubleArray(0, 0, 0, 0), uts.MustInt(1),
+		uts.DoubleArray(0, 0, 0, 0), uts.MustInt(1))
+	if err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+	if res[0].F != 1.0 {
+		t.Fatalf("setshaft after recovery = %g", res[0].F)
+	}
+
+	// Fresh lines register against the recovered Manager too.
+	ln2, err := client.ContactSchx("post-recovery")
+	if err != nil {
+		t.Fatalf("new line after recovery: %v", err)
+	}
+	if err := ln2.IQuit(); err != nil {
+		t.Fatalf("quit new line: %v", err)
+	}
+	if err := ln.IQuit(); err != nil {
+		t.Fatalf("quit recovered line: %v", err)
+	}
+
+	// The recovered daemon's live exposition carries the durability
+	// counters. Saved for CI's promlint pass when an output path is set.
+	resp, err := http.Get("http://" + telAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping recovered manager: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"schooner_manager_recoveries", "schooner_manager_readopted", "schooner_manager_journal_records"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("recovered manager's /metrics missing %s:\n%s", want, body)
+		}
+	}
+	if out := os.Getenv("DURABILITY_METRICS_OUT"); out != "" {
+		if err := os.WriteFile(out, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"npss/internal/trace"
 	"npss/internal/uts"
 	"npss/internal/vclock"
+	"npss/internal/wal"
 )
 
 // Config selects a scenario.
@@ -29,6 +30,11 @@ type Config struct {
 	// itself: "double-commit" makes the counter procedure commit twice
 	// on every fifth call ID.
 	Inject string
+	// Standby runs a warm-standby Manager on its own machine ("mgr2"),
+	// tailing the leader's journal. With a standby, a crashed leader is
+	// never restarted in place: the scenario converges through standby
+	// takeover and client reattachment instead.
+	Standby bool
 }
 
 // Violation is one invariant failure, tied to the op after which it
@@ -79,6 +85,13 @@ var signatureKeys = []string{
 	"schooner.client.stale",
 	"schooner.client.timeouts",
 	"schooner.client.rebinds",
+	"schooner.client.reattaches",
+	"schooner.manager.checkpoints",
+	"schooner.manager.failover_restored_stateful",
+	"schooner.manager.failover_skipped_stateful",
+	"schooner.manager.readopted",
+	"schooner.manager.recoveries",
+	"schooner.manager.standby_takeovers",
 }
 
 // verifyIDBase is the call-ID space for the driver's own invariant
@@ -145,6 +158,20 @@ type cluster struct {
 	downs map[string]bool
 	parts map[string]bool // "a|b" keys
 
+	// Control-plane durability state. backend holds the Manager's
+	// journal across simulated crashes; preCrash is the name-database
+	// key-set snapshot taken at the last OpManagerCrash; restoredTotal
+	// accumulates every incarnation's checkpoint-restore ledger for the
+	// no-double-restore invariant; accFloor is the accumulator value any
+	// later checkpoint restore must reach, raised only at acked
+	// checkpoints.
+	backend       *wal.MemBackend
+	standby       *schooner.Standby
+	mgrDown       bool
+	preCrash      map[uint32][]string
+	restoredTotal map[string]int
+	accFloor      float64
+
 	outcomes  []string
 	violation *Violation
 	verifySeq int64
@@ -152,7 +179,9 @@ type cluster struct {
 
 // clean reports whether no fault is currently injected — the state in
 // which availability invariants must hold.
-func (c *cluster) clean() bool { return len(c.downs) == 0 && len(c.parts) == 0 }
+func (c *cluster) clean() bool {
+	return len(c.downs) == 0 && len(c.parts) == 0 && !c.mgrDown
+}
 
 // violate records the first invariant failure; later ones are ignored
 // (the run stops at the first anyway).
@@ -235,6 +264,35 @@ func (c *cluster) workProgram() *schooner.Program {
 	}
 }
 
+// accProgram exports the shared stateful accumulator: each call adds x
+// to a running total and returns it. The state clause makes it the
+// checkpoint/restore machinery's subject — after a crash of its host,
+// the total must come back no older than the last acked checkpoint.
+func (c *cluster) accProgram() *schooner.Program {
+	return &schooner.Program{
+		Path:     "dst-acc",
+		Language: schooner.LangC,
+		Build: func() (*schooner.Instance, error) {
+			var total float64
+			acc := &schooner.BoundProc{
+				Spec: uts.MustParseProc(`export acc prog("x" val double, "total" res double) state("sum" double)`),
+				Fn: func(in []uts.Value) ([]uts.Value, error) {
+					total += in[0].F
+					return []uts.Value{uts.DoubleVal(total)}, nil
+				},
+				GetState: func() ([]uts.Value, error) {
+					return []uts.Value{uts.DoubleVal(total)}, nil
+				},
+				SetState: func(vals []uts.Value) error {
+					total = vals[0].F
+					return nil
+				},
+			}
+			return schooner.NewInstance(acc)
+		},
+	}
+}
+
 // archCycle assigns the paper's testbed architectures round-robin to
 // worker hosts, so every run crosses byte orders and float formats.
 var archCycle = []*machine.Arch{
@@ -247,6 +305,7 @@ var (
 	bumpImport = uts.MustParseProc(`import bump prog("id" val long, "attempt" val long, "x" val double, "y" res double)`)
 	napImport  = uts.MustParseProc(`import nap prog("id" val long, "x" val double, "y" res double)`)
 	workImport = uts.MustParseProc(`import work prog("id" val long, "x" val double, "y" res double)`)
+	accImport  = uts.MustParseProc(`import acc prog("x" val double, "total" res double)`)
 )
 
 // bumpPolicy is the call policy for scenario lines: one attempt only
@@ -301,13 +360,15 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 	realStart := time.Now()
 
 	c := &cluster{
-		cfg:     cfg,
-		v:       vclock.NewVirtual(),
-		hosts:   workerHosts(cfg.Hosts),
-		led:     newLedger(),
-		servers: make(map[string]*schooner.Server),
-		downs:   make(map[string]bool),
-		parts:   make(map[string]bool),
+		cfg:           cfg,
+		v:             vclock.NewVirtual(),
+		hosts:         workerHosts(cfg.Hosts),
+		led:           newLedger(),
+		servers:       make(map[string]*schooner.Server),
+		downs:         make(map[string]bool),
+		parts:         make(map[string]bool),
+		backend:       wal.NewMemBackend(),
+		restoredTotal: make(map[string]int),
 	}
 
 	// Scope metrics to this run and install the virtual clock into the
@@ -321,6 +382,11 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 	c.net.SetClock(c.v)
 	c.net.SetTimeScale(1.0)
 	c.net.MustAddHost("mgr", machine.SPARC)
+	ctrlHosts := []string{"mgr"}
+	if cfg.Standby {
+		c.net.MustAddHost("mgr2", machine.SPARC)
+		ctrlHosts = append(ctrlHosts, "mgr2")
+	}
 	for i, h := range c.hosts {
 		c.net.MustAddHost(h, archCycle[i%len(archCycle)])
 	}
@@ -328,14 +394,22 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 	reg := schooner.NewRegistry()
 	reg.MustRegister(c.counterProgram())
 	reg.MustRegister(c.workProgram())
+	reg.MustRegister(c.accProgram())
 
-	var err error
-	c.mgr, err = schooner.StartManager(c.tr, "mgr")
+	// The Manager journals every name-database mutation into an
+	// in-memory WAL; the backend outlives Manager crashes, so
+	// OpManagerRecover replays exactly what an acked client saw.
+	jlog, err := wal.Open(c.backend, wal.Options{})
 	if err != nil {
 		teardown(c, prevClock, prevSet)
 		return nil, err
 	}
-	for _, h := range append([]string{"mgr"}, c.hosts...) {
+	c.mgr, err = schooner.StartManagerConfig(c.tr, "mgr", schooner.ManagerConfig{Journal: jlog})
+	if err != nil {
+		teardown(c, prevClock, prevSet)
+		return nil, err
+	}
+	for _, h := range append(ctrlHosts, c.hosts...) {
 		srv, serr := schooner.StartServer(c.tr, h, reg)
 		if serr != nil {
 			teardown(c, prevClock, prevSet)
@@ -344,16 +418,40 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 		c.servers[h] = srv
 	}
 	c.mgr.StartHealth(healthPolicy)
+	if cfg.Standby {
+		slog, serr := wal.Open(wal.NewMemBackend(), wal.Options{})
+		if serr != nil {
+			teardown(c, prevClock, prevSet)
+			return nil, serr
+		}
+		c.standby = schooner.StartStandby(c.tr, "mgr2", "mgr", slog, schooner.StandbyPolicy{
+			HeartbeatInterval: 25 * time.Millisecond,
+			Threshold:         3,
+			PingTimeout:       40 * time.Millisecond,
+			Health:            healthPolicy,
+		})
+	}
 
 	// The shared work line exists for the whole run, its procedure
-	// initially on h1.
-	client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr", Policy: workPolicy}
+	// initially on h1; the stateful accumulator starts on h2.
+	client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr",
+		Managers: c.standbyHosts(), Policy: workPolicy}
 	c.workLine, err = client.ContactSchx("dst-work-driver")
 	if err == nil {
 		err = c.workLine.Import(workImport)
 	}
 	if err == nil {
+		err = c.workLine.Import(accImport)
+	}
+	if err == nil {
 		err = c.workLine.StartShared("dst-work", c.hosts[0])
+	}
+	if err == nil {
+		accHost := c.hosts[0]
+		if len(c.hosts) > 1 {
+			accHost = c.hosts[1]
+		}
+		err = c.workLine.StartShared("dst-acc", accHost)
 	}
 	if err != nil {
 		teardown(c, prevClock, prevSet)
@@ -394,6 +492,13 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 // stopping it releases any straggling virtual sleepers — and finally
 // the global clock and metric set are restored.
 func teardown(c *cluster, prevClock vclock.Clock, prevSet *trace.Set) {
+	if c.standby != nil {
+		c.standby.Stop()
+		if pm := c.standby.Manager(); pm != nil && pm != c.mgr {
+			pm.StopHealth()
+			pm.Stop()
+		}
+	}
 	if c.mgr != nil {
 		c.mgr.StopHealth()
 		c.mgr.Stop()
@@ -429,12 +534,14 @@ func partKey(a, b string) string {
 // precondition no longer holds (their setup op was shrunk away) are
 // skipped, never failed — shrinking must not manufacture violations.
 func (c *cluster) apply(idx int, op Op) string {
+	c.adoptPromoted()
 	switch op.Kind {
 	case OpSpawnLine:
-		if c.lines[op.Line] != nil {
+		if c.mgrDown || c.lines[op.Line] != nil {
 			return c.skip()
 		}
-		client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr", Policy: bumpPolicy}
+		client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr",
+			Managers: c.standbyHosts(), Policy: bumpPolicy}
 		ln, err := client.ContactSchx(fmt.Sprintf("dst-line-%d", op.Line))
 		if err != nil {
 			return "fail: " + err.Error()
@@ -450,7 +557,7 @@ func (c *cluster) apply(idx int, op Op) string {
 
 	case OpQuitLine:
 		ln := c.lines[op.Line]
-		if ln == nil {
+		if c.mgrDown || ln == nil {
 			return c.skip()
 		}
 		c.lines[op.Line] = nil
@@ -468,7 +575,7 @@ func (c *cluster) apply(idx int, op Op) string {
 
 	case OpStartProc:
 		ln := c.lines[op.Line]
-		if ln == nil {
+		if c.mgrDown || ln == nil {
 			return c.skip()
 		}
 		if err := ln.StartRemote("dst-counter", op.Host); err != nil {
@@ -544,7 +651,7 @@ func (c *cluster) apply(idx int, op Op) string {
 
 	case OpMove:
 		ln := c.lines[op.Line]
-		if ln == nil {
+		if c.mgrDown || ln == nil {
 			return c.skip()
 		}
 		if err := ln.Move("bump", op.Host, false); err != nil {
@@ -563,6 +670,9 @@ func (c *cluster) apply(idx int, op Op) string {
 		return "ok"
 
 	case OpMoveShared:
+		if c.mgrDown {
+			return c.skip()
+		}
 		if err := c.workLine.MoveShared("work", op.Host, false); err != nil {
 			return "fail: " + err.Error()
 		}
@@ -604,6 +714,79 @@ func (c *cluster) apply(idx int, op Op) string {
 
 	case OpSettle:
 		c.v.Sleep(time.Duration(op.N) * 10 * time.Millisecond)
+		return "ok"
+
+	case OpAcc:
+		got, ok := c.accCall(op.ID)
+		if !ok {
+			trace.Count("dst.calls.fail")
+			return "fail"
+		}
+		// The total includes at least the x just added (all adds are
+		// non-negative). The floor invariant proper is checked against
+		// the name database's copy at checkpoint, recovery, and
+		// convergence time — a lingering twin on a restored host may
+		// legitimately answer scenario traffic with its own total.
+		if got < xFor(op.ID)-1e-9 {
+			c.violate(idx, "wrong-answer", fmt.Sprintf("acc id=%d: total %v below its own increment %v", op.ID, got, xFor(op.ID)))
+			return "wrong"
+		}
+		trace.Count("dst.calls.ok")
+		return "ok"
+
+	case OpCheckpointNow:
+		if c.mgrDown {
+			return c.skip()
+		}
+		snaps, fails := c.mgr.CheckpointNow()
+		if fails > 0 || snaps == 0 {
+			return fmt.Sprintf("snapshots=%d failures=%d", snaps, fails)
+		}
+		// Every stateful procedure snapshotted and every journal append
+		// was acked, so the floor may rise. The settle first lets any
+		// failover already in flight — holding a pre-checkpoint snapshot
+		// read before this sweep acked — finish swapping, after which
+		// the probed value is exactly what the newest acked checkpoint
+		// would restore.
+		c.v.Sleep(time.Second)
+		c.workLine.FlushCache()
+		if got, ok := c.accProbe(); ok {
+			if got < c.accFloor-1e-9 {
+				c.violate(idx, "stale-restore", fmt.Sprintf("acc total %v below checkpoint floor %v after checkpoint sweep", got, c.accFloor))
+				return "rollback"
+			}
+			c.accFloor = got
+		}
+		return fmt.Sprintf("snapshots=%d", snaps)
+
+	case OpManagerCrash:
+		if c.mgrDown {
+			return c.skip()
+		}
+		if c.standby != nil && c.standby.TookOver() {
+			return c.skip() // one leader kill per standby run
+		}
+		c.preCrash = c.nameKeySets()
+		c.mergeRestores(idx)
+		c.mgr.Crash()
+		c.mgrDown = true
+		return "ok"
+
+	case OpManagerRecover:
+		if !c.mgrDown {
+			return c.skip()
+		}
+		if c.standby != nil {
+			return c.skip() // the standby owns recovery via takeover
+		}
+		if err := c.recoverManager(); err != nil {
+			return "fail: " + err.Error()
+		}
+		c.checkRecovered(idx)
+		c.workLine.FlushCache()
+		if got, ok := c.accProbe(); ok && got < c.accFloor-1e-9 {
+			c.violate(idx, "stale-restore", fmt.Sprintf("acc total %v below checkpoint floor %v after manager recovery", got, c.accFloor))
+		}
 		return "ok"
 	}
 	return c.skip()
@@ -678,6 +861,145 @@ func (c *cluster) verifiedWorkCall() (float64, bool) {
 	return 0, false
 }
 
+// standbyHosts lists the standby Manager machines clients may reattach
+// to, or nil without a standby.
+func (c *cluster) standbyHosts() []string {
+	if c.cfg.Standby {
+		return []string{"mgr2"}
+	}
+	return nil
+}
+
+// accCall performs one accumulator call (the work line's retry policy
+// applies) and returns the reported total.
+func (c *cluster) accCall(id int64) (float64, bool) {
+	res, err := c.workLine.Call("acc", uts.DoubleVal(xFor(id)))
+	if err != nil {
+		return 0, false
+	}
+	return res[0].F, true
+}
+
+// accProbe reads the accumulator without changing it (x = 0), with
+// driver-level retries. Callers flush the work line's cache first so
+// the probe consults the name database's copy, not a cached — possibly
+// superseded — address.
+func (c *cluster) accProbe() (float64, bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		res, err := c.workLine.Call("acc", uts.DoubleVal(0))
+		if err == nil {
+			return res[0].F, true
+		}
+		c.v.Sleep(5 * time.Millisecond)
+	}
+	return 0, false
+}
+
+// nameKeySets snapshots the name database's key sets: which names are
+// bound, per line, ignoring where they point (failover legitimately
+// repoints names while the Manager is down recovering).
+func (c *cluster) nameKeySets() map[uint32][]string {
+	sets := make(map[uint32][]string)
+	add := func(id uint32) {
+		names := c.mgr.NameBindings(id)
+		keys := make([]string, 0, len(names))
+		for k := range names {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sets[id] = keys
+	}
+	add(0)
+	add(c.workLine.ID())
+	for _, ln := range c.lines {
+		if ln != nil {
+			add(ln.ID())
+		}
+	}
+	return sets
+}
+
+// checkRecovered asserts the journal round trip lost nothing: the
+// recovered Manager's name database binds exactly the names the
+// pre-crash snapshot had.
+func (c *cluster) checkRecovered(idx int) {
+	after := c.nameKeySets()
+	for id, want := range c.preCrash {
+		if !equalStrings(after[id], want) {
+			c.violate(idx, "recovery-db", fmt.Sprintf("line %d binds %v after recovery, %v before crash", id, after[id], want))
+			return
+		}
+	}
+	for id, got := range after {
+		if _, ok := c.preCrash[id]; !ok && len(got) > 0 {
+			c.violate(idx, "recovery-db", fmt.Sprintf("line %d binds %v after recovery, nothing before crash", id, got))
+			return
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRestores folds the current Manager incarnation's restore ledger
+// into the run-wide tally. Called once per incarnation — at its crash,
+// or at convergence for the final one — so counts never double. Any
+// process restored from checkpoint more than once across the whole run
+// means a failover re-ran against an already-superseded victim.
+func (c *cluster) mergeRestores(idx int) {
+	addrs := make([]string, 0)
+	ledger := c.mgr.RestoreLedger()
+	for addr := range ledger {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		c.restoredTotal[addr] += ledger[addr]
+		if c.restoredTotal[addr] > 1 {
+			c.violate(idx, "double-restore", fmt.Sprintf("process %s restored from checkpoint %d times", addr, c.restoredTotal[addr]))
+			return
+		}
+	}
+}
+
+// adoptPromoted swaps the cluster's Manager handle to the standby's
+// promoted incarnation once takeover has happened.
+func (c *cluster) adoptPromoted() {
+	if !c.mgrDown || c.standby == nil || !c.standby.TookOver() {
+		return
+	}
+	if mgr := c.standby.Manager(); mgr != nil {
+		c.mgr = mgr
+		c.mgrDown = false
+	}
+}
+
+// recoverManager restarts the Manager on its original machine from the
+// journal backend, the DST equivalent of `schooner-manager -recover`.
+func (c *cluster) recoverManager() error {
+	lg, err := wal.Open(c.backend, wal.Options{})
+	if err != nil {
+		return err
+	}
+	mgr, err := schooner.StartManagerConfig(c.tr, "mgr", schooner.ManagerConfig{Journal: lg, Recover: true})
+	if err != nil {
+		return err
+	}
+	mgr.StartHealth(healthPolicy)
+	c.mgr = mgr
+	c.mgrDown = false
+	return nil
+}
+
 // checkLedger runs the double-commit invariant.
 func (c *cluster) checkLedger(idx int) {
 	if k, n, found := c.led.doubleCommit(); found {
@@ -702,22 +1024,63 @@ func (c *cluster) converge(idx int) {
 		}
 	}
 	c.parts = map[string]bool{}
+
+	// The control plane converges first: a crashed leader either hands
+	// off to the standby (takeover needs virtual time to pass for the
+	// missed heartbeats) or restarts from its journal.
+	if c.mgrDown {
+		if c.standby != nil {
+			for i := 0; i < 200 && !c.standby.TookOver(); i++ {
+				c.v.Sleep(10 * time.Millisecond)
+			}
+			c.adoptPromoted()
+			if c.mgrDown {
+				c.violate(idx, "no-takeover", "standby never promoted itself after leader crash")
+				return
+			}
+		} else if err := c.recoverManager(); err != nil {
+			c.violate(idx, "no-convergence", "manager recovery failed: "+err.Error())
+			return
+		}
+	}
+	c.mergeRestores(idx)
+	if c.violation != nil {
+		return
+	}
+
 	c.v.Sleep(500 * time.Millisecond) // let health probes mark everything up
 	c.workLine.FlushCache()
 
 	c.verifySeq++
 	id := verifyIDBase + c.verifySeq
 	want := workExpect(xFor(id))
+	converged := false
 	for attempt := 0; attempt < 6; attempt++ {
 		res, err := c.workLine.Call("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
 		if err == nil {
-			if near(res[0].F, want) {
+			if !near(res[0].F, want) {
+				c.violate(idx, "no-convergence", fmt.Sprintf("after faults quiesced, work returned %v, local answer %v", res[0].F, want))
 				return
 			}
-			c.violate(idx, "no-convergence", fmt.Sprintf("after faults quiesced, work returned %v, local answer %v", res[0].F, want))
-			return
+			converged = true
+			break
 		}
 		c.v.Sleep(20 * time.Millisecond)
 	}
-	c.violate(idx, "no-convergence", "work procedure unreachable after all faults quiesced")
+	if !converged {
+		c.violate(idx, "no-convergence", "work procedure unreachable after all faults quiesced")
+		return
+	}
+
+	// The stateful accumulator must also be reachable, and its total
+	// must be no older than the last acked checkpoint — the property a
+	// checkpoint restore guarantees.
+	got, ok := c.accProbe()
+	if !ok {
+		c.violate(idx, "no-convergence", "acc procedure unreachable after all faults quiesced")
+		return
+	}
+	if got < c.accFloor-1e-9 {
+		c.violate(idx, "stale-restore", fmt.Sprintf("acc total %v below checkpoint floor %v after convergence", got, c.accFloor))
+	}
 }

@@ -9,6 +9,10 @@ const maxLines = 4
 // ledgers never collide.
 const workIDBase = 1 << 20
 
+// accIDBase offsets accumulator-call IDs away from both. A multiple of
+// 1024, so xFor cycles through the same half-integer inputs.
+const accIDBase = 1 << 25
+
 // genModel is the generator's view of the cluster. It exists only to
 // keep the schedule sensible (no move to a down host, at most one
 // crash at a time); the driver re-checks everything at run time, so a
@@ -21,10 +25,11 @@ type genModel struct {
 	down      string    // at most one crashed host ("" = none)
 	partition [2]string // at most one severed pair
 	dirty     bool      // bindings may be stale (move-shared/crash/restore)
+	mgrDown   bool      // Manager crashed and not yet recovered
 }
 
 func (m *genModel) clean() bool {
-	return m.down == "" && m.partition[0] == ""
+	return m.down == "" && m.partition[0] == "" && !m.mgrDown
 }
 
 // upHosts lists hosts not currently crashed, in generation order.
@@ -84,23 +89,36 @@ func Generate(seed int64, count int, hosts []string) []Op {
 	m := &genModel{hosts: hosts}
 	var nextID int64 = 1
 	var nextWorkID int64 = workIDBase
+	var nextAccID int64 = accIDBase
 	ops := make([]Op, 0, count)
 
 	for len(ops) < count {
 		var menu []candidate
-		if len(m.closedSlots()) > 0 {
-			menu = append(menu, candidate{OpSpawnLine, 2})
-		}
-		if len(m.openLines()) > 0 {
-			menu = append(menu, candidate{OpQuitLine, 1})
-		}
-		if hasUnstarted(m) {
-			menu = append(menu, candidate{OpStartProc, 3})
+		// Administrative ops need a live Manager; call traffic degrades
+		// gracefully (cached bindings keep working) so it stays on the
+		// menu while the Manager is down.
+		if !m.mgrDown {
+			if len(m.closedSlots()) > 0 {
+				menu = append(menu, candidate{OpSpawnLine, 2})
+			}
+			if len(m.openLines()) > 0 {
+				menu = append(menu, candidate{OpQuitLine, 1})
+			}
+			if hasUnstarted(m) {
+				menu = append(menu, candidate{OpStartProc, 3})
+			}
+			if len(m.startedLines()) > 0 {
+				menu = append(menu, candidate{OpMove, 2})
+			}
+			menu = append(menu, candidate{OpMoveShared, 1},
+				candidate{OpCheckpointNow, 2}, candidate{OpManagerCrash, 1})
+		} else {
+			menu = append(menu, candidate{OpManagerRecover, 3})
 		}
 		if len(m.startedLines()) > 0 {
-			menu = append(menu, candidate{OpCall, 6}, candidate{OpSlow, 2}, candidate{OpMove, 2})
+			menu = append(menu, candidate{OpCall, 6}, candidate{OpSlow, 2})
 		}
-		menu = append(menu, candidate{OpWork, 4}, candidate{OpSettle, 2}, candidate{OpMoveShared, 1})
+		menu = append(menu, candidate{OpWork, 4}, candidate{OpAcc, 4}, candidate{OpSettle, 2})
 		if m.clean() && !m.dirty {
 			menu = append(menu, candidate{OpBurst, 3})
 		}
@@ -187,6 +205,15 @@ func Generate(seed int64, count int, hosts []string) []Op {
 			m.partition = [2]string{}
 		case OpSettle:
 			op.N = 5 + r.Intn(26) // 50ms..300ms of virtual time
+		case OpAcc:
+			op.ID = nextAccID
+			nextAccID++
+		case OpManagerCrash:
+			m.mgrDown = true
+			m.dirty = true
+		case OpManagerRecover:
+			m.mgrDown = false
+			m.dirty = true
 		}
 		ops = append(ops, op)
 	}

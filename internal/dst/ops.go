@@ -59,6 +59,22 @@ const (
 	// OpSettle advances virtual time by N*10ms, letting health probes
 	// and failovers run.
 	OpSettle
+	// OpAcc performs one call on the shared stateful accumulator, with
+	// driver-level retries. Pure traffic: it grows the accumulator state
+	// the checkpoint/restore invariants are checked against.
+	OpAcc
+	// OpCheckpointNow runs a synchronous checkpoint sweep on the
+	// Manager. When every stateful procedure snapshots cleanly, the
+	// driver raises its accumulator floor — the value any later
+	// checkpoint restore must reach.
+	OpCheckpointNow
+	// OpManagerCrash kills the Manager process abruptly: its listener,
+	// connections, and journal close, but procedure processes keep
+	// running. The driver snapshots the name database first.
+	OpManagerCrash
+	// OpManagerRecover restarts the Manager from its journal and checks
+	// the recovered name database matches the pre-crash snapshot.
+	OpManagerRecover
 )
 
 var opNames = map[OpKind]string{
@@ -76,6 +92,10 @@ var opNames = map[OpKind]string{
 	OpPartition:  "partition",
 	OpHeal:       "heal",
 	OpSettle:     "settle",
+	OpAcc:            "acc",
+	OpCheckpointNow:  "checkpoint-now",
+	OpManagerCrash:   "manager-crash",
+	OpManagerRecover: "manager-recover",
 }
 
 func (k OpKind) String() string {
@@ -111,7 +131,7 @@ func (o Op) String() string {
 		s += fmt.Sprintf(" line=%d id=%d", o.Line, o.ID)
 	case OpBurst:
 		s += fmt.Sprintf(" n=%d id=%d", o.N, o.ID)
-	case OpWork:
+	case OpWork, OpAcc:
 		s += fmt.Sprintf(" id=%d", o.ID)
 	case OpMoveShared, OpCrash, OpRestore:
 		s += " host=" + o.Host

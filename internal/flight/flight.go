@@ -47,6 +47,12 @@ const (
 	KindPanic            // any: panic captured before re-raise
 	KindViolation        // dst/chaos: invariant violation detected
 	KindNote             // anything else worth keeping
+	KindCheckpoint       // manager: stateful procedure state journaled
+	KindStateRestore     // manager: stateful proc restored from checkpoint
+	KindFailoverSkip     // manager: stateful proc NOT failed over (no checkpoint)
+	KindReadopt          // manager: surviving process re-adopted after recovery
+	KindRecover          // manager: name database rebuilt from the journal
+	KindTakeover         // standby: leader declared dead, standby promoted
 
 	kindMax
 )
@@ -70,6 +76,12 @@ var kindNames = [...]string{
 	KindPanic:        "panic",
 	KindViolation:    "violation",
 	KindNote:         "note",
+	KindCheckpoint:   "checkpoint",
+	KindStateRestore: "state-restore",
+	KindFailoverSkip: "failover-skip",
+	KindReadopt:      "readopt",
+	KindRecover:      "recover",
+	KindTakeover:     "takeover",
 }
 
 func (k Kind) String() string {

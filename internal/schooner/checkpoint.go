@@ -1,0 +1,168 @@
+package schooner
+
+// Periodic checkpointing of stateful procedures: the Manager pulls
+// KStateGet snapshots of every export with a state clause and appends
+// them to the journal. A checkpoint becomes "acked" only once the
+// journal append returns, and only acked checkpoints are used for
+// restore — so a restored procedure's state is never older than the
+// last acked checkpoint at the time its host died.
+
+import (
+	"time"
+
+	"npss/internal/flight"
+	"npss/internal/logx"
+	"npss/internal/trace"
+)
+
+// StartCheckpoints begins the periodic checkpoint sweep. The ticker
+// runs on the package clock, so DST drives it in virtual time. No-op
+// if already running or the Manager is stopped.
+func (m *Manager) StartCheckpoints(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.stopped || m.ckStop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.ckStop = make(chan struct{})
+	m.ckDone = make(chan struct{})
+	stop, done := m.ckStop, m.ckDone
+	m.mu.Unlock()
+	go m.checkpointLoop(interval, stop, done)
+}
+
+// StopCheckpoints halts the checkpoint loop, waiting for an in-flight
+// sweep to finish.
+func (m *Manager) StopCheckpoints() {
+	m.mu.Lock()
+	stop, done := m.ckStop, m.ckDone
+	m.ckStop, m.ckDone = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (m *Manager) checkpointLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := clk().NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.CheckpointNow()
+		}
+	}
+}
+
+// CheckpointNow snapshots every stateful procedure once and journals
+// the captured state. It reports how many processes were snapshotted
+// and how many captures failed (process unreachable, state fetch
+// error). Safe to call at any time; DST's checkpoint_now op calls it
+// directly.
+func (m *Manager) CheckpointNow() (snapshots, failures int) {
+	targets := m.statefulVictims()
+	for _, v := range targets {
+		state, err := m.captureState(v.proc)
+		if err != nil {
+			failures++
+			trace.Count("schooner.manager.checkpoint_failures")
+			logx.For("manager", m.host).Debug("checkpoint capture failed",
+				"proc", v.proc.path, "host", v.proc.host, "err", err)
+			continue
+		}
+		m.mu.Lock()
+		lineLive := v.ln == m.shared || m.lines[v.ln.id] == v.ln
+		if m.stopped || !lineLive || v.ln.processes[v.proc.addr] != v.proc {
+			// The process moved, failed over, or quit while its state
+			// was in flight; the snapshot describes an instance that no
+			// longer exists.
+			m.mu.Unlock()
+			continue
+		}
+		ck := m.checkpoints[v.proc.addr]
+		if ck == nil {
+			ck = make(map[string][]byte)
+			m.checkpoints[v.proc.addr] = ck
+		}
+		acked := true
+		// Journal in export order, so replay order is deterministic.
+		for _, spec := range v.proc.exports {
+			data, ok := state[spec.Name]
+			if !ok {
+				continue
+			}
+			if err := m.journalAppend(&journalRecord{
+				Op: jopCheckpoint, Line: v.ln.id, Addr: v.proc.addr,
+				Proc: spec.Name, State: data,
+			}); err != nil {
+				acked = false
+				break
+			}
+			ck[spec.Name] = data
+		}
+		m.mu.Unlock()
+		if !acked {
+			failures++
+			trace.Count("schooner.manager.checkpoint_failures")
+			continue
+		}
+		snapshots++
+		trace.Count("schooner.manager.checkpoints")
+		flight.Record(flight.Event{Kind: flight.KindCheckpoint, Component: "manager",
+			Host: m.host, Line: v.ln.id, Name: v.proc.path, Detail: v.proc.addr})
+	}
+	return snapshots, failures
+}
+
+// statefulVictims lists every installed process with at least one
+// stateful export, ordered by line id then address so checkpoint and
+// recovery sweeps are deterministic.
+func (m *Manager) statefulVictims() []victim {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []victim
+	collect := func(ln *line) {
+		for _, pr := range sortedProcs(ln) {
+			if !statelessProc(pr) {
+				out = append(out, victim{ln, pr})
+			}
+		}
+	}
+	collect(m.shared)
+	for _, id := range sortedLineIDs(m.lines) {
+		collect(m.lines[id])
+	}
+	return out
+}
+
+// checkpointFor returns the last acked checkpoint covering every
+// stateful export of proc, or nil when any is missing — a partial
+// checkpoint cannot restore the process consistently.
+func (m *Manager) checkpointFor(proc *remoteProc) map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ck := m.checkpoints[proc.addr]
+	if ck == nil {
+		return nil
+	}
+	out := make(map[string][]byte)
+	for _, spec := range proc.exports {
+		if len(spec.State) == 0 {
+			continue
+		}
+		data, ok := ck[spec.Name]
+		if !ok {
+			return nil
+		}
+		out[spec.Name] = data
+	}
+	return out
+}

@@ -31,9 +31,20 @@ type Client struct {
 	Host string
 	// ManagerHost is the machine the persistent Manager runs on.
 	ManagerHost string
+	// Managers lists additional Manager hosts to try, in order, when
+	// ManagerHost is unreachable — the warm standbys. A line whose
+	// Manager connection dies re-attaches to the first host that
+	// recognizes it.
+	Managers []string
 	// Policy bounds calls on every line this client opens. The zero
 	// value applies the package defaults (see CallPolicy).
 	Policy CallPolicy
+}
+
+// managerHosts is the ordered list of Manager hosts to try: the
+// primary first, then the standbys.
+func (c *Client) managerHosts() []string {
+	return append([]string{c.ManagerHost}, c.Managers...)
 }
 
 // arch resolves the client's own architecture.
@@ -46,33 +57,46 @@ func (c *Client) arch() (*machine.Arch, error) {
 // time it is scheduled. The returned Line is the module's handle for
 // starting, calling, moving, and shutting down remote procedures.
 func (c *Client) ContactSchx(module string) (*Line, error) {
-	conn, err := c.Transport.Dial(c.Host, c.ManagerHost+":"+ManagerPort)
+	var lastErr error
+	for _, mh := range c.managerHosts() {
+		conn, id, err := c.registerAt(mh, module)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &Line{
+			client:   c,
+			id:       id,
+			module:   module,
+			mgr:      newMgrConn(conn),
+			policy:   c.Policy,
+			imports:  make(map[string]*uts.ProcSpec),
+			bindings: make(map[string]*binding),
+		}, nil
+	}
+	return nil, lastErr
+}
+
+// registerAt opens a new line with the Manager on one host.
+func (c *Client) registerAt(managerHost, module string) (wire.Conn, uint32, error) {
+	conn, err := c.Transport.Dial(c.Host, managerHost+":"+ManagerPort)
 	if err != nil {
-		return nil, fmt.Errorf("schooner: cannot reach manager on %s: %w", c.ManagerHost, err)
+		return nil, 0, fmt.Errorf("schooner: cannot reach manager on %s: %w", managerHost, err)
 	}
 	if err := conn.Send(&wire.Message{Kind: wire.KRegisterLine, Name: module}); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := conn.Recv()
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.Kind != wire.KLineOK {
 		conn.Close()
-		return nil, fmt.Errorf("schooner: register failed: %s", resp.Err)
+		return nil, 0, fmt.Errorf("schooner: register failed: %s", resp.Err)
 	}
-	ln := &Line{
-		client:   c,
-		id:       resp.Line,
-		module:   module,
-		mgr:      newMgrConn(conn),
-		policy:   c.Policy,
-		imports:  make(map[string]*uts.ProcSpec),
-		bindings: make(map[string]*binding),
-	}
-	return ln, nil
+	return conn, resp.Line, nil
 }
 
 // Line is one thread of control in a Schooner program: a sequential
@@ -91,9 +115,10 @@ type Line struct {
 	client *Client
 	id     uint32
 	module string
-	mgr    *mgrConn
 
 	mu       sync.Mutex
+	mgr      *mgrConn
+	mgrGen   int // bumped on every reattach; guards the swap race
 	seq      uint32
 	policy   CallPolicy
 	imports  map[string]*uts.ProcSpec
@@ -129,6 +154,13 @@ func (l *Line) isQuit() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.quit
+}
+
+// mgrc reads the current Manager connection and its generation.
+func (l *Line) mgrc() (*mgrConn, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mgr, l.mgrGen
 }
 
 // mgrConn multiplexes the line's single Manager connection across
@@ -236,6 +268,16 @@ func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message,
 // goroutine exits and pending waiters fail.
 func (g *mgrConn) Close() { g.conn.Close() }
 
+// dead reports whether the connection hit a terminal receive failure.
+// Timeouts are not terminal — a slow Manager reply still arrives on a
+// live connection — so dead distinguishes "the Manager (or its
+// connection) is gone, reattach somewhere" from "retry here".
+func (g *mgrConn) dead() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err != nil
+}
+
 // binding caches the location of one remote procedure: the paper's
 // per-procedure name cache, refreshed lazily when a call to a stale
 // address fails after a move. Connections to the procedure process are
@@ -305,13 +347,94 @@ func (l *Line) Module() string { return l.module }
 // managerCall performs one request/response with the Manager, bounded
 // by the line's call deadline. The sequence number is allocated under
 // the line lock; the round trip itself runs on the demultiplexed
-// Manager connection with no lock held.
+// Manager connection with no lock held. A terminally dead connection
+// — the Manager crashed, or a standby took over on another host — is
+// cured by re-attaching the line and retrying the request once.
 func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 	if l.isQuit() {
 		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
 	}
+	g, gen := l.mgrc()
+	timeout := l.currentPolicy().Timeout
 	req.Seq = l.nextSeq()
-	return l.mgr.call(req, l.currentPolicy().Timeout)
+	resp, err := g.call(req, timeout)
+	if err == nil || !g.dead() {
+		return resp, err
+	}
+	fresh, _, aerr := l.reattach(gen, false)
+	if aerr != nil {
+		return resp, err // surface the original (stale) failure
+	}
+	req.Seq = l.nextSeq()
+	return fresh.call(req, timeout)
+}
+
+// reattach re-binds the line to a live Manager, trying every
+// configured host in order with KAttachLine. gen is the connection
+// generation the caller observed dead; when another goroutine already
+// swapped in a newer connection, that one is returned without dialing.
+// forQuit lets IQuit reattach after it has marked the line quit.
+func (l *Line) reattach(gen int, forQuit bool) (*mgrConn, int, error) {
+	l.mu.Lock()
+	if l.quit && !forQuit {
+		l.mu.Unlock()
+		return nil, 0, fmt.Errorf("schooner: line %d already quit", l.id)
+	}
+	if l.mgrGen != gen {
+		g, n := l.mgr, l.mgrGen
+		l.mu.Unlock()
+		return g, n, nil
+	}
+	l.mu.Unlock()
+	var lastErr error
+	for _, mh := range l.client.managerHosts() {
+		conn, err := l.client.Transport.Dial(l.client.Host, mh+":"+ManagerPort)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := conn.Send(&wire.Message{Kind: wire.KAttachLine, Line: l.id, Name: l.module}); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		resp, err := recvTimeout(conn, l.currentPolicy().Timeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		if resp.Kind != wire.KLineOK {
+			conn.Close()
+			lastErr = fmt.Errorf("schooner: attach to %s failed: %s", mh, resp.Err)
+			continue
+		}
+		fresh := newMgrConn(conn)
+		l.mu.Lock()
+		if l.mgrGen != gen {
+			// Lost the race: another goroutine reattached first.
+			g, n := l.mgr, l.mgrGen
+			l.mu.Unlock()
+			fresh.Close()
+			return g, n, nil
+		}
+		old := l.mgr
+		l.mgr = fresh
+		l.mgrGen = gen + 1
+		n := l.mgrGen
+		l.mu.Unlock()
+		old.Close()
+		trace.Count("schooner.client.reattaches")
+		flight.Record(flight.Event{Kind: flight.KindRebind, Component: "client",
+			Host: l.client.Host, Line: l.id, Name: l.module, Detail: "manager " + mh})
+		logx.For("client", l.client.Host).Info("line reattached to manager",
+			"line", l.id, "manager", mh)
+		return fresh, n, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("schooner: no manager hosts configured")
+	}
+	return nil, 0, lastErr
 }
 
 // StartRemote asks the Manager to instantiate the procedure file at
@@ -797,11 +920,25 @@ func (l *Line) IQuit() error {
 	timeout := l.policy.withDefaults().Timeout
 	old := l.bindings
 	l.bindings = make(map[string]*binding)
+	g, gen := l.mgr, l.mgrGen
 	l.mu.Unlock()
 	for _, b := range old {
 		b.markStale()
 	}
-	_, err := l.mgr.call(&wire.Message{Kind: wire.KQuitLine, Line: l.id, Seq: seq}, timeout)
-	l.mgr.Close()
+	_, err := g.call(&wire.Message{Kind: wire.KQuitLine, Line: l.id, Seq: seq}, timeout)
+	if err != nil && g.dead() {
+		// The connection died under the quit (Manager crash or standby
+		// takeover); reattach and quit the line at whichever Manager
+		// now owns it.
+		if fresh, _, aerr := l.reattach(gen, true); aerr == nil {
+			l.mu.Lock()
+			l.seq++
+			seq = l.seq
+			l.mu.Unlock()
+			_, err = fresh.call(&wire.Message{Kind: wire.KQuitLine, Line: l.id, Seq: seq}, timeout)
+		}
+	}
+	cur, _ := l.mgrc()
+	cur.Close()
 	return err
 }

@@ -43,15 +43,15 @@ type hostHealth struct {
 }
 
 // StartHealth begins heartbeating every machine's Server and, when a
-// machine is declared dead, automatically restarts its stateless
-// procedure processes on an alternate up machine and repoints the
-// name database — the same migration machinery as Move, so clients'
-// lazy stale-cache recovery finds the new home transparently.
-// Stateful procedures (those with a state clause) are never failed
-// over, mirroring the paper's restriction of Move to stateless
-// procedures: their lost state cannot be reconstructed on a fresh
-// copy. Health monitoring is off by default; call StartHealth to opt
-// in, StopHealth (or Stop) to end it.
+// machine is declared dead, automatically re-homes its procedure
+// processes on an alternate up machine and repoints the name database
+// — the same migration machinery as Move, so clients' lazy
+// stale-cache recovery finds the new home transparently. Stateless
+// procedures restart from their initial state; stateful ones (those
+// with a state clause) are restored from their last acked checkpoint
+// when the Manager runs a checkpoint sweep, and are skipped — loudly —
+// when no complete checkpoint exists. Health monitoring is off by
+// default; call StartHealth to opt in, StopHealth (or Stop) to end it.
 func (m *Manager) StartHealth(p HealthPolicy) {
 	p = p.withDefaults()
 	m.mu.Lock()
@@ -231,10 +231,20 @@ func statelessProc(p *remoteProc) bool {
 	return true
 }
 
-// failoverHost restarts every stateless procedure process of a dead
-// machine on an alternate up machine and repoints the name database.
-// Stateful processes are left in place: their calls keep failing until
-// the machine returns, which is surfaced to the affected line.
+// victim is one procedure process that needs re-homing, paired with
+// the line whose database maps it.
+type victim struct {
+	ln   *line
+	proc *remoteProc
+}
+
+// failoverHost re-homes every procedure process of a dead machine on
+// an alternate up machine and repoints the name database. Stateless
+// processes restart from their initial state; stateful ones are
+// restored from their last acked checkpoint, or — when no complete
+// checkpoint exists — left in place, with the skip surfaced to the
+// flight recorder and the structured log so a post-mortem can name the
+// lost procedure.
 func (m *Manager) failoverHost(deadHost string) {
 	// Failover is Manager-initiated, so it roots its own trace; the
 	// affected clients' later rebinds annotate their own call spans.
@@ -242,10 +252,6 @@ func (m *Manager) failoverHost(deadHost string) {
 	if trace.Enabled() {
 		sp = trace.StartSpan("failover "+deadHost, m.host)
 		defer sp.End()
-	}
-	type victim struct {
-		ln   *line
-		proc *remoteProc
 	}
 	var victims []victim
 	m.mu.Lock()
@@ -264,52 +270,113 @@ func (m *Manager) failoverHost(deadHost string) {
 	m.mu.Unlock()
 
 	for _, v := range victims {
-		if !statelessProc(v.proc) {
+		m.failoverVictim(v, deadHost, sp)
+	}
+}
+
+// failoverVictim re-homes one procedure process. For a stateful victim
+// it first resolves the last acked checkpoint; without one the victim
+// is skipped (the lost state cannot be reconstructed). Placement tries
+// every alive machine except exclude, in sorted order. Reports whether
+// the victim found a new home.
+func (m *Manager) failoverVictim(v victim, exclude string, sp *trace.Span) bool {
+	var state map[string][]byte
+	if !statelessProc(v.proc) {
+		state = m.checkpointFor(v.proc)
+		if state == nil {
 			trace.Count("schooner.manager.failover_skipped_stateful")
-			continue
-		}
-		for _, target := range m.aliveHosts(deadHost) {
-			fresh, specs, err := m.spawn(target, v.proc.path, sp.Context())
-			if err != nil {
-				continue // try the next machine
-			}
-			if err := sameExports(v.proc.exports, specs, v.proc.language); err != nil {
-				m.shutdownProcess(fresh)
-				continue
-			}
-			// Swap under lock, verifying the line and process are
-			// still installed (a concurrent Move or quit wins).
-			m.mu.Lock()
-			lineLive := v.ln == m.shared || m.lines[v.ln.id] == v.ln
-			if !lineLive || v.ln.processes[v.proc.addr] != v.proc {
-				m.mu.Unlock()
-				m.shutdownProcess(fresh)
-				break
-			}
-			for name, r := range v.ln.names {
-				if r.proc == v.proc {
-					v.ln.names[name] = &procRef{proc: fresh, spec: r.spec}
-				}
-			}
-			delete(v.ln.processes, v.proc.addr)
-			v.ln.processes[fresh.addr] = fresh
-			m.mu.Unlock()
-			// Best-effort shutdown of the original (usually
-			// unreachable — the machine is dead).
-			m.shutdownProcess(v.proc)
-			trace.Count("schooner.manager.failovers")
 			ctx := sp.Context()
-			flight.Record(flight.Event{Kind: flight.KindFailover, Component: "manager",
+			flight.Record(flight.Event{Kind: flight.KindFailoverSkip, Component: "manager",
 				Host: m.host, Line: v.ln.id, Trace: ctx.Trace, Span: ctx.Span,
-				Name: v.proc.path, Detail: target})
-			logx.For("manager", m.host).Info("failover",
-				append([]any{"proc", v.proc.path, "from", deadHost, "to", target, "line", v.ln.id},
-					logx.Span(ctx)...)...)
-			if sp != nil {
-				sp.Annotate(v.proc.path, deadHost+" -> "+target)
-				trace.Count(trace.LKey("schooner.manager.failovers", trace.Label{Key: "host", Value: deadHost}))
-			}
-			break
+				Name: v.proc.path, Detail: v.proc.host})
+			logx.For("manager", m.host).Warn("stateful procedure lost with its host: no acked checkpoint to restore from",
+				append([]any{"proc", v.proc.path, "host", v.proc.host, "line", v.ln.id}, logx.Span(ctx)...)...)
+			return false
 		}
 	}
+	for _, target := range m.aliveHosts(exclude) {
+		fresh, specs, err := m.spawn(target, v.proc.path, sp.Context())
+		if err != nil {
+			continue // try the next machine
+		}
+		if err := sameExports(v.proc.exports, specs, v.proc.language); err != nil {
+			m.shutdownProcess(fresh)
+			continue
+		}
+		if state != nil {
+			if err := m.installState(fresh, state); err != nil {
+				// The target died (or mangled the transfer) between
+				// spawn and state install; the next machine gets a
+				// fresh spawn and a fresh install.
+				m.shutdownProcess(fresh)
+				trace.Count("schooner.manager.restore_failures")
+				logx.For("manager", m.host).Warn("state restore failed, trying next machine",
+					"proc", v.proc.path, "target", target, "err", err)
+				continue
+			}
+		}
+		// Swap under lock, verifying the line and process are
+		// still installed (a concurrent Move or quit wins).
+		m.mu.Lock()
+		lineLive := v.ln == m.shared || m.lines[v.ln.id] == v.ln
+		if m.stopped || !lineLive || v.ln.processes[v.proc.addr] != v.proc {
+			m.mu.Unlock()
+			m.shutdownProcess(fresh)
+			return false
+		}
+		for name, r := range v.ln.names {
+			if r.proc == v.proc {
+				v.ln.names[name] = &procRef{proc: fresh, spec: r.spec}
+			}
+		}
+		delete(v.ln.processes, v.proc.addr)
+		v.ln.processes[fresh.addr] = fresh
+		m.journalAppend(&journalRecord{Op: jopUninstall, Line: v.ln.id, Addr: v.proc.addr})
+		m.journalAppend(&journalRecord{Op: jopInstall, Line: v.ln.id, Path: fresh.path,
+			Host: fresh.host, Addr: fresh.addr, Specs: fresh.specText})
+		delete(m.checkpoints, v.proc.addr)
+		if state != nil {
+			// The restored state is the fresh copy's first acked
+			// checkpoint, so an immediate second crash restores from
+			// here rather than finding nothing.
+			ck := make(map[string][]byte, len(state))
+			for _, spec := range fresh.exports {
+				data, ok := stateFor(state, spec.Name)
+				if !ok {
+					continue
+				}
+				ck[spec.Name] = data
+				m.journalAppend(&journalRecord{Op: jopCheckpoint, Line: v.ln.id,
+					Addr: fresh.addr, Proc: spec.Name, State: data})
+			}
+			m.checkpoints[fresh.addr] = ck
+			m.restored[v.proc.addr]++
+		}
+		m.mu.Unlock()
+		// Best-effort shutdown of the original (usually
+		// unreachable — the machine is dead).
+		m.shutdownProcess(v.proc)
+		trace.Count("schooner.manager.failovers")
+		ctx := sp.Context()
+		flight.Record(flight.Event{Kind: flight.KindFailover, Component: "manager",
+			Host: m.host, Line: v.ln.id, Trace: ctx.Trace, Span: ctx.Span,
+			Name: v.proc.path, Detail: target})
+		logx.For("manager", m.host).Info("failover",
+			append([]any{"proc", v.proc.path, "from", v.proc.host, "to", target, "line", v.ln.id},
+				logx.Span(ctx)...)...)
+		if state != nil {
+			trace.Count("schooner.manager.failover_restored_stateful")
+			flight.Record(flight.Event{Kind: flight.KindStateRestore, Component: "manager",
+				Host: m.host, Line: v.ln.id, Trace: ctx.Trace, Span: ctx.Span,
+				Name: v.proc.path, Detail: target})
+			logx.For("manager", m.host).Info("stateful procedure restored from checkpoint",
+				"proc", v.proc.path, "from", v.proc.host, "to", target, "line", v.ln.id)
+		}
+		if sp != nil {
+			sp.Annotate(v.proc.path, v.proc.host+" -> "+target)
+			trace.Count(trace.LKey("schooner.manager.failovers", trace.Label{Key: "host", Value: v.proc.host}))
+		}
+		return true
+	}
+	return false
 }

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"npss/internal/flight"
+	"npss/internal/logx"
 	"npss/internal/trace"
 	"npss/internal/uts"
+	"npss/internal/wal"
 	"npss/internal/wire"
 )
 
@@ -33,6 +35,21 @@ type Manager struct {
 	lines    map[uint32]*line
 	shared   *line // line id 0: the shared procedure database
 	stopped  bool
+
+	// Durability (see journal.go / checkpoint.go). journal is nil when
+	// the Manager runs without a write-ahead log; checkpoints holds the
+	// last acked state snapshot per process address; restored counts
+	// checkpoint restores per pre-failover address (the no-double-
+	// restore ledger DST verifies); subs are live KJournalTail
+	// subscriptions; conns tracks serving connections so Crash can
+	// sever them.
+	journal     *wal.Log
+	checkpoints map[string]map[string][]byte
+	restored    map[string]int
+	subs        map[*journalSub]struct{}
+	conns       map[wire.Conn]struct{}
+	ckStop      chan struct{}
+	ckDone      chan struct{}
 
 	// Health monitoring (see health.go); nil maps/channels when the
 	// monitor is not running.
@@ -71,6 +88,10 @@ type remoteProc struct {
 	addr     string
 	language Language
 	exports  []*uts.ProcSpec
+	// specText is the raw spawn payload (language header plus UTS
+	// export text) the Server returned, kept verbatim so the journal
+	// can reproduce this record on replay.
+	specText string
 }
 
 // procRef binds one lookup name to its process and export spec.
@@ -79,22 +100,145 @@ type procRef struct {
 	spec *uts.ProcSpec
 }
 
-// StartManager launches the Manager on a host. It listens on
+// ManagerConfig selects the Manager's durability behavior.
+type ManagerConfig struct {
+	// Journal is the control-plane write-ahead log. Nil runs the
+	// Manager without durability, exactly as before.
+	Journal *wal.Log
+	// Recover replays the journal before serving: the name database is
+	// rebuilt, surviving processes are re-adopted, and unreachable ones
+	// are failed over (stateful ones restored from their last acked
+	// checkpoint).
+	Recover bool
+	// CheckpointInterval enables the periodic stateful-state checkpoint
+	// sweep; zero disables it.
+	CheckpointInterval time.Duration
+}
+
+// StartManager launches a Manager with no durability. It listens on
 // ManagerPort and runs until Stop.
 func StartManager(t Transport, host string) (*Manager, error) {
+	return StartManagerConfig(t, host, ManagerConfig{})
+}
+
+// StartManagerConfig launches the Manager on a host with the given
+// durability configuration. Recovery (journal replay plus process
+// re-adoption) completes before the listener opens, so a client that
+// can reach the Manager always sees the recovered database.
+func StartManagerConfig(t Transport, host string, cfg ManagerConfig) (*Manager, error) {
+	m := &Manager{
+		transport:   t,
+		host:        host,
+		lines:       make(map[uint32]*line),
+		shared:      newLine(0, "<shared>"),
+		journal:     cfg.Journal,
+		checkpoints: make(map[string]map[string][]byte),
+		restored:    make(map[string]int),
+		subs:        make(map[*journalSub]struct{}),
+		conns:       make(map[wire.Conn]struct{}),
+	}
+	if cfg.Recover && cfg.Journal != nil {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
 	l, err := t.Listen(host, ManagerPort)
 	if err != nil {
 		return nil, err
 	}
-	m := &Manager{
-		transport: t,
-		host:      host,
-		listener:  l,
-		lines:     make(map[uint32]*line),
-		shared:    newLine(0, "<shared>"),
-	}
+	m.listener = l
 	go m.acceptLoop()
+	if cfg.CheckpointInterval > 0 {
+		m.StartCheckpoints(cfg.CheckpointInterval)
+	}
 	return m, nil
+}
+
+// recover rebuilds the name database from the journal and then walks
+// every recorded process: reachable ones are re-adopted as-is,
+// unreachable ones are failed over (with checkpoint restore for
+// stateful ones) exactly as if their host had just been declared dead.
+func (m *Manager) recover() error {
+	if err := m.recoverFromJournal(); err != nil {
+		return err
+	}
+	trace.Count("schooner.manager.recoveries")
+	flight.Record(flight.Event{Kind: flight.KindRecover, Component: "manager",
+		Host: m.host, Detail: fmt.Sprintf("journal seq %d", m.journal.LastSeq())})
+	logx.For("manager", m.host).Info("name database rebuilt from journal",
+		"journalSeq", m.journal.LastSeq(), "lines", len(m.lines))
+	m.readoptProcesses()
+	return nil
+}
+
+// readoptProcesses pings every recovered process and re-adopts the
+// live ones; dead ones go through the failover path. Runs before the
+// listener opens, ordered deterministically for DST.
+func (m *Manager) readoptProcesses() {
+	m.mu.Lock()
+	var victims []victim
+	collect := func(ln *line) {
+		for _, pr := range sortedProcs(ln) {
+			victims = append(victims, victim{ln, pr})
+		}
+	}
+	collect(m.shared)
+	for _, id := range sortedLineIDs(m.lines) {
+		collect(m.lines[id])
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		if m.pingProc(v.proc.addr) {
+			trace.Count("schooner.manager.readopted")
+			flight.Record(flight.Event{Kind: flight.KindReadopt, Component: "manager",
+				Host: m.host, Line: v.ln.id, Name: v.proc.path, Detail: v.proc.addr})
+			logx.For("manager", m.host).Info("re-adopted surviving process",
+				"proc", v.proc.path, "host", v.proc.host, "line", v.ln.id)
+			continue
+		}
+		// The process did not survive the outage. Its host may be fine
+		// (the process alone died), so no host is excluded from the
+		// failover placement.
+		m.failoverVictim(v, "", nil)
+	}
+}
+
+// pingProc probes one procedure process with a bounded KPing.
+func (m *Manager) pingProc(addr string) bool {
+	conn, err := m.transport.Dial(m.host, addr)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KPing}); err != nil {
+		return false
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	return err == nil && resp.Kind == wire.KPong
+}
+
+// sortedLineIDs returns the line ids in ascending order.
+func sortedLineIDs(lines map[uint32]*line) []uint32 {
+	ids := make([]uint32, 0, len(lines))
+	for id := range lines {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedProcs returns a line's processes ordered by address.
+func sortedProcs(ln *line) []*remoteProc {
+	addrs := make([]string, 0, len(ln.processes))
+	for a := range ln.processes {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	out := make([]*remoteProc, len(addrs))
+	for i, a := range addrs {
+		out[i] = ln.processes[a]
+	}
+	return out
 }
 
 func newLine(id uint32, module string) *line {
@@ -116,6 +260,7 @@ func (m *Manager) Addr() string { return m.listener.Addr() }
 // line, including shared procedures.
 func (m *Manager) Stop() {
 	m.StopHealth()
+	m.StopCheckpoints()
 	m.mu.Lock()
 	if m.stopped {
 		m.mu.Unlock()
@@ -133,11 +278,53 @@ func (m *Manager) Stop() {
 	}
 	m.lines = make(map[uint32]*line)
 	m.shared = newLine(0, "<shared>")
+	for sub := range m.subs {
+		close(sub.ch)
+	}
+	m.subs = make(map[*journalSub]struct{})
+	journal := m.journal
 	m.mu.Unlock()
 	m.listener.Close()
 	for _, p := range procs {
 		m.shutdownProcess(p)
 	}
+	if journal != nil {
+		journal.Close()
+	}
+}
+
+// Crash simulates a Manager process death: serving stops instantly,
+// every open connection is severed, and the journal is closed so no
+// straggling handler can append to a log a recovered incarnation now
+// owns — but, unlike Stop, the procedure processes are left running.
+// That is exactly the crash a `-recover` restart (or a warm standby)
+// must pick up after.
+func (m *Manager) Crash() {
+	m.StopHealth()
+	m.StopCheckpoints()
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	conns := m.conns
+	m.conns = make(map[wire.Conn]struct{})
+	for sub := range m.subs {
+		close(sub.ch)
+	}
+	m.subs = make(map[*journalSub]struct{})
+	journal := m.journal
+	m.mu.Unlock()
+	m.listener.Close()
+	for conn := range conns {
+		conn.Close()
+	}
+	if journal != nil {
+		journal.Close()
+	}
+	trace.Count("schooner.manager.crashes")
+	logx.For("manager", m.host).Warn("manager crashed (simulated)")
 }
 
 // LineCount reports the number of live lines (excluding shared).
@@ -194,7 +381,20 @@ func (m *Manager) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go m.serve(conn)
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+		go func() {
+			m.serve(conn)
+			m.mu.Lock()
+			delete(m.conns, conn)
+			m.mu.Unlock()
+		}()
 	}
 }
 
@@ -243,6 +443,28 @@ func (m *Manager) serve(conn wire.Conn) {
 			flight.Record(flight.Event{Kind: flight.KindLineRegister, Component: "manager",
 				Host: m.host, Line: id, Trace: ctx.Trace, Span: ctx.Span, Name: req.Name})
 			resp = &wire.Message{Kind: wire.KLineOK, Line: id}
+		case wire.KAttachLine:
+			if registered != 0 {
+				resp = errMsg("schooner: connection already registered line %d", registered)
+				break
+			}
+			id, errResp := m.attachLine(req.Line, req.Name)
+			if errResp != nil {
+				resp = errResp
+				break
+			}
+			registered = id
+			flight.Record(flight.Event{Kind: flight.KindLineRegister, Component: "manager",
+				Host: m.host, Line: id, Name: req.Name, Detail: "reattach"})
+			resp = &wire.Message{Kind: wire.KLineOK, Line: id}
+		case wire.KJournalTail:
+			// The tail handler owns the connection and streams until the
+			// subscriber hangs up or the Manager stops.
+			if sp != nil {
+				sp.End()
+			}
+			m.serveJournalTail(conn, req)
+			return
 		case wire.KStartProc:
 			resp = m.handleStartProc(registered, req, sp)
 		case wire.KLookup:
@@ -304,8 +526,33 @@ func (m *Manager) registerLine(module string) uint32 {
 	m.nextLine++
 	id := m.nextLine
 	m.lines[id] = newLine(id, module)
+	m.journalAppend(&journalRecord{Op: jopLine, Line: id, Module: module})
 	trace.Count("schooner.manager.lines")
 	return id
+}
+
+// attachLine re-binds an existing line to a fresh connection: the
+// recovery path a client takes when its original Manager connection
+// died (Manager crash, standby takeover) but the line itself — which
+// the journal preserved — is still live.
+func (m *Manager) attachLine(id uint32, module string) (uint32, *wire.Message) {
+	if id == 0 {
+		return 0, errMsg("schooner: attach needs a line id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return 0, errMsg("schooner: manager stopped")
+	}
+	ln, ok := m.lines[id]
+	if !ok {
+		return 0, errMsg("schooner: line %d unknown to this manager", id)
+	}
+	if ln.module != module {
+		return 0, errMsg("schooner: line %d belongs to module %q, not %q", id, ln.module, module)
+	}
+	trace.Count("schooner.manager.attaches")
+	return id, nil
 }
 
 // lineFor resolves a request's target database: the connection's own
@@ -404,7 +651,8 @@ func (m *Manager) spawnOnce(host, path string, ctx trace.SpanContext) (_ *remote
 	if len(exports) == 0 {
 		return nil, nil, fmt.Errorf("%s exports no procedures", path), true
 	}
-	proc := &remoteProc{path: path, host: host, addr: resp.Str, language: lang, exports: exports}
+	proc := &remoteProc{path: path, host: host, addr: resp.Str, language: lang,
+		exports: exports, specText: string(resp.Data)}
 	return proc, exports, nil, false
 }
 
@@ -442,6 +690,9 @@ func lookupNames(spec *uts.ProcSpec, lang Language) []string {
 func (m *Manager) install(ln *line, proc *remoteProc, specs []*uts.ProcSpec) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("schooner: manager stopped")
+	}
 	// Validate before mutating.
 	for _, spec := range specs {
 		for _, n := range lookupNames(spec, proc.language) {
@@ -458,6 +709,8 @@ func (m *Manager) install(ln *line, proc *remoteProc, specs []*uts.ProcSpec) err
 		}
 	}
 	ln.processes[proc.addr] = proc
+	m.journalAppend(&journalRecord{Op: jopInstall, Line: ln.id, Path: proc.path,
+		Host: proc.host, Addr: proc.addr, Specs: proc.specText})
 	return nil
 }
 
@@ -581,6 +834,26 @@ func (m *Manager) handleMove(registered uint32, req *wire.Message, sp *trace.Spa
 	}
 	delete(ln.processes, old.addr)
 	ln.processes[fresh.addr] = fresh
+	m.journalAppend(&journalRecord{Op: jopUninstall, Line: ln.id, Addr: old.addr})
+	m.journalAppend(&journalRecord{Op: jopInstall, Line: ln.id, Path: fresh.path,
+		Host: fresh.host, Addr: fresh.addr, Specs: fresh.specText})
+	delete(m.checkpoints, old.addr)
+	if withState {
+		// The transferred state doubles as the fresh copy's first acked
+		// checkpoint: if its host dies before the next sweep, restore
+		// starts from what was just installed rather than from nothing.
+		ck := make(map[string][]byte, len(state))
+		for _, spec := range fresh.exports {
+			data, ok := stateFor(state, spec.Name)
+			if !ok {
+				continue
+			}
+			ck[spec.Name] = data
+			m.journalAppend(&journalRecord{Op: jopCheckpoint, Line: ln.id,
+				Addr: fresh.addr, Proc: spec.Name, State: data})
+		}
+		m.checkpoints[fresh.addr] = ck
+	}
 	m.mu.Unlock()
 	trace.Count("schooner.manager.moves")
 	ctx := sp.Context()
@@ -662,13 +935,37 @@ func (m *Manager) installState(proc *remoteProc, state map[string][]byte) error 
 	return nil
 }
 
+// stateFor resolves captured state for a fresh export, tolerating the
+// case-only renames Fortran compilers introduce.
+func stateFor(state map[string][]byte, name string) ([]byte, bool) {
+	if data, ok := state[name]; ok {
+		return data, true
+	}
+	for n, data := range state {
+		if strings.EqualFold(n, name) {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
 // quitLine shuts down every procedure process in a line and removes
-// the line. Shared procedures are unaffected.
+// the line. Shared procedures are unaffected. After a Crash the quit
+// is a no-op: the dying Manager's connection-drop handlers must not
+// shut down processes a recovered incarnation will re-adopt.
 func (m *Manager) quitLine(id uint32) {
 	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
 	ln, ok := m.lines[id]
 	if ok {
 		delete(m.lines, id)
+		for addr := range ln.processes {
+			delete(m.checkpoints, addr)
+		}
+		m.journalAppend(&journalRecord{Op: jopQuitLine, Line: id})
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -680,6 +977,32 @@ func (m *Manager) quitLine(id uint32) {
 	trace.Count("schooner.manager.quits")
 	flight.Record(flight.Event{Kind: flight.KindLineQuit, Component: "manager",
 		Host: m.host, Line: id, Name: ln.module})
+}
+
+// RestoreLedger reports how many times each pre-failover process
+// address has been restored from checkpoint. DST merges the ledgers of
+// successive Manager incarnations to verify no instance is ever
+// double-restored.
+func (m *Manager) RestoreLedger() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.restored))
+	for addr, n := range m.restored {
+		out[addr] = n
+	}
+	return out
+}
+
+// JournalSeq reports the journal's last appended sequence number, or 0
+// when the Manager runs without a journal.
+func (m *Manager) JournalSeq() uint64 {
+	m.mu.Lock()
+	journal := m.journal
+	m.mu.Unlock()
+	if journal == nil {
+		return 0
+	}
+	return journal.LastSeq()
 }
 
 // shutdownProcess sends a best-effort shutdown to a procedure process.

@@ -1,0 +1,425 @@
+// Package wal is an append-only, checksummed, segment-rotating
+// write-ahead log. The Manager journals every control-plane mutation
+// through it (package schooner's journal), so a restarted Manager can
+// rebuild its name database, and the warm standby can mirror the
+// leader's log entry by entry.
+//
+// Records are framed as [length uint32][crc32 uint32][payload], all
+// big-endian, packed back to back inside segments. A segment is an
+// opaque named blob the Backend stores; the log rotates to a fresh
+// segment once the current one exceeds the configured size, and every
+// Open starts a new segment rather than appending to an old one — so
+// a backend never needs to re-open a blob for writing, and a torn
+// write can only ever sit at the tail of the newest segment.
+//
+// Replay walks the segments in name order and the records within each
+// in write order. A record whose frame is incomplete or whose
+// checksum mismatches is tolerated only at the tail of the final
+// segment (the torn write of a crash mid-append, which by the WAL
+// contract was never acknowledged); anywhere else it is corruption
+// and replay fails loudly. Open repairs a torn tail by truncating the
+// final segment back to its last whole record, so the damage cannot
+// later masquerade as mid-log corruption once newer segments exist.
+//
+// Two backends ship with the package: FileBackend persists segments
+// as files in a directory with optional fsync — pure Go, no
+// dependencies — and MemBackend holds them in memory so the
+// deterministic simulation harness can crash and recover a Manager
+// entirely under the virtual clock.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by Append on a closed log. A crashed Manager's
+// stray request handlers hold a closed *Log, so nothing they do can
+// reach the segments a recovered Manager is writing.
+var ErrClosed = errors.New("wal: log closed")
+
+// frameHeader is the per-record overhead: payload length + CRC32.
+const frameHeader = 8
+
+// maxRecord bounds one record's payload, guarding replay against a
+// corrupt length field pointing far past the segment.
+const maxRecord = 1 << 26 // 64 MiB
+
+// Backend stores named segments. Segment names are chosen by the Log
+// and sort lexicographically in creation order.
+type Backend interface {
+	// List returns the names of all existing segments, in any order.
+	List() ([]string, error)
+	// Read returns a segment's full contents.
+	Read(name string) ([]byte, error)
+	// Create makes a new empty segment open for appending. The name is
+	// unused so far.
+	Create(name string) (SegmentWriter, error)
+	// Truncate cuts a segment back to size bytes — Open's torn-tail
+	// repair.
+	Truncate(name string, size int) error
+}
+
+// SegmentWriter receives one segment's records.
+type SegmentWriter interface {
+	io.Writer
+	// Sync durably flushes everything written so far; a no-op for
+	// backends without a durability boundary.
+	Sync() error
+	Close() error
+}
+
+// Options tune a Log.
+type Options struct {
+	// SegmentSize is the byte threshold after which the log rotates to
+	// a new segment (default 1 MiB).
+	SegmentSize int
+	// Sync makes every Append flush through SegmentWriter.Sync before
+	// returning, trading throughput for single-write durability.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 1 << 20
+	}
+	return o
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	backend Backend
+	opts    Options
+
+	mu      sync.Mutex
+	seq     uint64 // records ever appended (and surviving replay)
+	segIdx  int    // index of the segment being written
+	segSize int    // bytes written to the current segment
+	w       SegmentWriter
+	closed  bool
+}
+
+// segName names a segment so that lexicographic order equals creation
+// order.
+func segName(idx int) string { return fmt.Sprintf("wal-%08d.seg", idx) }
+
+// Open validates the existing segments, repairs a torn tail left by a
+// crash mid-append, and prepares a fresh segment for appending. The
+// returned log's first Append gets sequence number LastSeq()+1.
+func Open(b Backend, opts Options) (*Log, error) {
+	l := &Log{backend: b, opts: opts.withDefaults()}
+	// Walk the existing records to recover the sequence counter,
+	// rejecting mid-log corruption and locating any torn tail.
+	torn, err := l.walkLocked(func(uint64, []byte) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	if torn != nil {
+		if err := b.Truncate(torn.seg, torn.validLen); err != nil {
+			return nil, fmt.Errorf("wal: repairing torn tail of %s: %w", torn.seg, err)
+		}
+	}
+	names, err := b.List()
+	if err != nil {
+		return nil, err
+	}
+	l.segIdx = len(names)
+	w, err := b.Create(segName(l.segIdx))
+	if err != nil {
+		return nil, err
+	}
+	l.w = w
+	return l, nil
+}
+
+// LastSeq reports the sequence number of the most recent record, 0 if
+// the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append writes one record and returns its 1-based sequence number.
+// When the record returns without error it has been handed to the
+// backend (and flushed, with Options.Sync) — the caller may treat it
+// as acknowledged.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.segSize+frameHeader+len(payload) > l.opts.SegmentSize && l.segSize > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	frame := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := l.w.Write(frame); err != nil {
+		return 0, err
+	}
+	if l.opts.Sync {
+		if err := l.w.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	l.segSize += len(frame)
+	l.seq++
+	return l.seq, nil
+}
+
+// rotateLocked closes the current segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Close(); err != nil {
+		return err
+	}
+	l.segIdx++
+	w, err := l.backend.Create(segName(l.segIdx))
+	if err != nil {
+		return err
+	}
+	l.w, l.segSize = w, 0
+	return nil
+}
+
+// Replay calls fn for every acknowledged record, oldest first, with
+// its sequence number. A torn record at the very tail of the log is
+// skipped (it was never acknowledged); corruption anywhere else is an
+// error.
+func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	save := l.seq
+	l.seq = 0
+	_, err := l.walkLocked(fn)
+	if l.seq < save {
+		l.seq = save
+	}
+	return err
+}
+
+// tornTail describes an incomplete record found at the end of the
+// final segment: the segment's name and how many bytes of it are
+// whole records.
+type tornTail struct {
+	seg      string
+	validLen int
+}
+
+// walkLocked visits every valid record in segment order, advancing
+// l.seq per record. A broken record in the final segment stops the
+// walk and is reported as a torn tail; anywhere else it is an error.
+func (l *Log) walkLocked(fn func(seq uint64, payload []byte) error) (*tornTail, error) {
+	names, err := l.backend.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		data, err := l.backend.Read(name)
+		if err != nil {
+			return nil, err
+		}
+		last := i == len(names)-1
+		for off := 0; off < len(data); {
+			rest := data[off:]
+			broken := ""
+			var payload []byte
+			if len(rest) < frameHeader {
+				broken = "truncated frame header"
+			} else {
+				n := binary.BigEndian.Uint32(rest[0:])
+				crc := binary.BigEndian.Uint32(rest[4:])
+				switch {
+				case n > maxRecord:
+					broken = "implausible record length"
+				case len(rest) < frameHeader+int(n):
+					broken = "truncated record body"
+				case crc32.ChecksumIEEE(rest[frameHeader:frameHeader+int(n)]) != crc:
+					broken = "checksum mismatch"
+				default:
+					payload = rest[frameHeader : frameHeader+int(n)]
+				}
+			}
+			if broken != "" {
+				if last {
+					// The torn tail of the newest segment: the write
+					// that died with the previous process. It was never
+					// acknowledged, so dropping it is repair, not loss.
+					return &tornTail{seg: name, validLen: off}, nil
+				}
+				return nil, fmt.Errorf("wal: %s at offset %d of %s (not the final segment): log corrupt", broken, off, name)
+			}
+			l.seq++
+			if err := fn(l.seq, payload); err != nil {
+				return nil, err
+			}
+			off += frameHeader + len(payload)
+		}
+	}
+	return nil, nil
+}
+
+// Close flushes and closes the log. Further Appends fail with
+// ErrClosed; the backend's segments remain for the next Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.opts.Sync {
+		if err := l.w.Sync(); err != nil {
+			l.w.Close()
+			return err
+		}
+	}
+	return l.w.Close()
+}
+
+// FileBackend stores segments as files in one directory.
+type FileBackend struct {
+	dir string
+}
+
+// NewFileBackend uses dir (created if absent) as segment storage.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+// List names the segment files present in the directory.
+func (b *FileBackend) List() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Read loads one segment file.
+func (b *FileBackend) Read(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, name))
+}
+
+// Create opens a new segment file for appending.
+func (b *FileBackend) Create(name string) (SegmentWriter, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Truncate cuts a segment file back to size bytes.
+func (b *FileBackend) Truncate(name string, size int) error {
+	return os.Truncate(filepath.Join(b.dir, name), int64(size))
+}
+
+// MemBackend stores segments in memory. It outlives any one Log, so a
+// simulated Manager can crash (dropping its *Log) and a recovered
+// Manager can Open the same backend and replay — the DST harness's
+// stand-in for a surviving disk.
+type MemBackend struct {
+	mu   sync.Mutex
+	segs map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory segment store.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{segs: make(map[string][]byte)}
+}
+
+// List names the stored segments.
+func (b *MemBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.segs))
+	for n := range b.segs {
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// Read returns a copy of one segment.
+func (b *MemBackend) Read(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.segs[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: no segment %q", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Create opens a new in-memory segment.
+func (b *MemBackend) Create(name string) (SegmentWriter, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.segs[name]; dup {
+		return nil, fmt.Errorf("wal: segment %q already exists", name)
+	}
+	b.segs[name] = nil
+	return &memWriter{b: b, name: name}, nil
+}
+
+// Truncate cuts an in-memory segment back to size bytes.
+func (b *MemBackend) Truncate(name string, size int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.segs[name]
+	if !ok {
+		return fmt.Errorf("wal: no segment %q", name)
+	}
+	if size < len(data) {
+		b.segs[name] = data[:size:size]
+	}
+	return nil
+}
+
+// SetSegment overwrites a segment's raw bytes — the fault-injection
+// hook tests use to simulate torn writes and bit rot.
+func (b *MemBackend) SetSegment(name string, data []byte) {
+	b.mu.Lock()
+	b.segs[name] = append([]byte(nil), data...)
+	b.mu.Unlock()
+}
+
+type memWriter struct {
+	b    *MemBackend
+	name string
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	w.b.mu.Lock()
+	w.b.segs[w.name] = append(w.b.segs[w.name], p...)
+	w.b.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *memWriter) Sync() error  { return nil }
+func (w *memWriter) Close() error { return nil }

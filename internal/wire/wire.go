@@ -103,6 +103,26 @@ const (
 	// KFlightDumpOK answers with the plain-text dump in Data.
 	KFlightDump
 	KFlightDumpOK
+	// KAttachLine re-binds an existing line to a new Manager
+	// connection after the original connection (or the Manager itself)
+	// died: Line carries the line id, Name the module it registered
+	// under. KLineOK acknowledges, exactly as for KRegisterLine. The
+	// attached connection inherits the register semantics — dropping
+	// it while the line is live quits the line.
+	KAttachLine
+	// KJournalTail subscribes the connection to the Manager's
+	// control-plane journal: the Manager first streams every existing
+	// record, then every new one as it is appended, each as a
+	// KJournalEntry. The warm-standby Manager mirrors the leader's
+	// write-ahead log through this.
+	KJournalTail
+	// KJournalEntry carries one journal record: Data is an 8-byte
+	// big-endian sequence number followed by the record payload.
+	KJournalEntry
+
+	// kindMax is the decode bound sentinel; every valid Kind is below
+	// it. Keep it last.
+	kindMax
 )
 
 var kindNames = map[Kind]string{
@@ -120,6 +140,8 @@ var kindNames = map[Kind]string{
 	KStatus: "Status", KStatusOK: "StatusOK",
 	KMetrics: "Metrics", KMetricsOK: "MetricsOK",
 	KFlightDump: "FlightDump", KFlightDumpOK: "FlightDumpOK",
+	KAttachLine: "AttachLine", KJournalTail: "JournalTail",
+	KJournalEntry: "JournalEntry",
 }
 
 // String names the message kind for diagnostics.
@@ -200,7 +222,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("wire: message truncated at header (%d bytes)", len(buf))
 	}
 	m := &Message{Kind: Kind(buf[0])}
-	if m.Kind == KInvalid || m.Kind > KFlightDumpOK {
+	if m.Kind == KInvalid || m.Kind >= kindMax {
 		return nil, fmt.Errorf("wire: unknown message kind %d", buf[0])
 	}
 	m.Seq = binary.BigEndian.Uint32(buf[1:])
