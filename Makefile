@@ -1,0 +1,42 @@
+GO ?= go
+
+# The committed benchmark trajectory: BENCH_<n>.json snapshots, one
+# per change to the RPC hot path. `make bench` regenerates the current
+# snapshot and compares it (warn-only) against the newest previous
+# one; `make bench-check` fails on a >15% regression of ns/op,
+# allocs/op, or rpcs/op.
+BENCH_NEW  ?= BENCH_7.json
+BENCH_BASE ?= $(lastword $(sort $(filter-out $(BENCH_NEW),$(wildcard BENCH_*.json))))
+
+.PHONY: all test race bench bench-check
+
+all: test
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the RPC-path trajectory benchmarks — the Table 2
+# end-to-end runs (sequential, parallel, batched) plus the Schooner
+# call microbenchmarks — and snapshots their metrics. The Table 2
+# benches actually sleep a fraction of their simulated network delays,
+# so they run few iterations; the microbenchmarks run enough for
+# stable ns/op.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2_' -benchmem -benchtime 2x -count 1 . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRPC_' -benchmem -benchtime 2000x -count 1 . | tee -a bench.out
+	$(GO) run ./cmd/bench-snapshot snap -in bench.out -out $(BENCH_NEW)
+	@if [ -n "$(BENCH_BASE)" ]; then \
+		$(GO) run ./cmd/bench-snapshot compare -warn $(BENCH_BASE) $(BENCH_NEW); \
+	else \
+		echo "no previous BENCH_*.json; $(BENCH_NEW) is the first trajectory point"; \
+	fi
+
+bench-check:
+	@if [ -n "$(BENCH_BASE)" ]; then \
+		$(GO) run ./cmd/bench-snapshot compare $(BENCH_BASE) $(BENCH_NEW); \
+	else \
+		echo "no previous BENCH_*.json; nothing to check"; \
+	fi

@@ -76,21 +76,27 @@ func runRemoteBenchSpec(b *testing.B, avs string, placements map[string]string, 
 			b.Fatal(err)
 		}
 	}
+	opts := core.RunOptions{Parallel: spec.Parallel || spec.Batch, Batch: spec.Batch}
 	// Warm up (starts the lines).
-	if _, err := exec.Run(core.RunOptions{Parallel: spec.Parallel}); err != nil {
+	if _, err := exec.Run(opts); err != nil {
 		b.Fatal(err)
 	}
 	tb.Net.ResetStats()
+	rpcs0 := trace.Get("schooner.client.rpcs")
 	calls0 := trace.Get("schooner.client.calls")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.Run(core.RunOptions{Parallel: spec.Parallel}); err != nil {
+		if _, err := exec.Run(opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	rpcs := trace.Get("schooner.client.calls") - calls0
+	// rpcs/op counts wire round trips — what batching saves; calls/op
+	// counts procedure invocations — invariant under batching.
+	rpcs := trace.Get("schooner.client.rpcs") - rpcs0
+	calls := trace.Get("schooner.client.calls") - calls0
 	b.ReportMetric(float64(rpcs)/float64(b.N), "rpcs/op")
+	b.ReportMetric(float64(calls)/float64(b.N), "calls/op")
 	b.ReportMetric(float64(tb.Net.TotalSimDelay().Milliseconds())/float64(b.N), "simnet-ms/op")
 }
 
@@ -124,6 +130,16 @@ func BenchmarkTable2_Combined(b *testing.B) {
 func BenchmarkTable2_Parallel(b *testing.B) {
 	spec := benchSpecTimed()
 	spec.Parallel = true
+	runRemoteBenchSpec(b, exper.SparcUA, exper.Table2Placements(), spec)
+}
+
+// BenchmarkTable2_Batched is the parallel workload with same-host call
+// coalescing on top: the two shaft calls per evaluation pass ride one
+// KBatch envelope to the RS/6000, so rpcs/op drops below the parallel
+// path at identical calls/op — and identical simulation results.
+func BenchmarkTable2_Batched(b *testing.B) {
+	spec := benchSpecTimed()
+	spec.Batch = true
 	runRemoteBenchSpec(b, exper.SparcUA, exper.Table2Placements(), spec)
 }
 

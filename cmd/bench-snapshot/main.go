@@ -1,0 +1,207 @@
+// Command bench-snapshot turns `go test -bench` output into a
+// committed benchmark trajectory file (BENCH_<n>.json) and compares
+// two such files for regressions.
+//
+// The trajectory keeps the paper-facing benchmark metrics — ns/op,
+// allocs/op, and the experiment's own rpcs/op and calls/op — so the
+// repo's history carries how the RPC path's cost evolved alongside the
+// code that changed it.
+//
+//	go test -run '^$' -bench 'Table2|RPC_' -benchmem . | bench-snapshot snap -out BENCH_7.json
+//	bench-snapshot compare BENCH_6.json BENCH_7.json          # exit 1 on >15% regression
+//	bench-snapshot compare -warn BENCH_6.json BENCH_7.json    # report only
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the trajectory file format: one metric map per
+// benchmark, keyed by the benchmark name without the "Benchmark"
+// prefix or the -GOMAXPROCS suffix.
+type Snapshot struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// regressionMetrics are compared against the baseline; higher is
+// worse for all of them. Metrics absent from either side are skipped.
+var regressionMetrics = []string{"ns/op", "allocs/op", "rpcs/op"}
+
+// threshold is the allowed relative growth before a metric counts as
+// a regression.
+const threshold = 0.15
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "snap":
+		fs := flag.NewFlagSet("snap", flag.ExitOnError)
+		in := fs.String("in", "", "bench output file (default stdin)")
+		out := fs.String("out", "", "snapshot JSON to write (default stdout)")
+		fs.Parse(os.Args[2:])
+		if err := snap(*in, *out); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		warn := fs.Bool("warn", false, "report regressions without failing")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		regressed, err := compare(fs.Arg(0), fs.Arg(1), os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed && !*warn {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bench-snapshot snap [-in bench.txt] [-out BENCH_n.json]")
+	fmt.Fprintln(os.Stderr, "       bench-snapshot compare [-warn] baseline.json new.json")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-snapshot:", err)
+	os.Exit(1)
+}
+
+func snap(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Parse extracts benchmark result lines from `go test -bench` output.
+// A result line is "BenchmarkName-P  N  v1 unit1  v2 unit2 ...".
+func Parse(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Benchmarks: make(map[string]map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			s.Benchmarks[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// compare reports every regression of the tracked metrics beyond the
+// threshold, plus improvements for the record, and returns whether
+// anything regressed. A missing baseline file is not an error: the
+// first trajectory snapshot has nothing to compare against.
+func compare(basePath, newPath string, w io.Writer) (bool, error) {
+	base, err := load(basePath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(w, "no baseline %s; skipping comparison\n", basePath)
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, name := range names {
+		for _, metric := range regressionMetrics {
+			old, ok1 := base.Benchmarks[name][metric]
+			now, ok2 := cur.Benchmarks[name][metric]
+			if !ok1 || !ok2 || old <= 0 {
+				continue
+			}
+			rel := (now - old) / old
+			switch {
+			case rel > threshold:
+				fmt.Fprintf(w, "REGRESSION %s %s: %g -> %g (%+.1f%%)\n", name, metric, old, now, 100*rel)
+				regressed = true
+			case rel < -threshold:
+				fmt.Fprintf(w, "improved   %s %s: %g -> %g (%+.1f%%)\n", name, metric, old, now, 100*rel)
+			}
+		}
+	}
+	if !regressed {
+		fmt.Fprintf(w, "no regressions beyond %.0f%% across %d benchmarks\n", 100*threshold, len(names))
+	}
+	return regressed, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: npss
+BenchmarkTable2_Parallel-8             2         512345678 ns/op              3360 rpcs/op          3342 calls/op           212 simnet-ms/op        1234567 B/op      23456 allocs/op
+BenchmarkTable2_Batched-8              2         498765432 ns/op              2804 rpcs/op          3342 calls/op           198 simnet-ms/op        1200000 B/op      22000 allocs/op
+BenchmarkRPC_ShaftCall-8           12345             98765 ns/op            1024 B/op         18 allocs/op
+PASS
+ok      npss    12.345s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s.Benchmarks), s.Benchmarks)
+	}
+	par := s.Benchmarks["Table2_Parallel"]
+	if par == nil {
+		t.Fatal("Table2_Parallel missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if par["rpcs/op"] != 3360 || par["calls/op"] != 3342 {
+		t.Errorf("Table2_Parallel metrics wrong: %v", par)
+	}
+	if s.Benchmarks["RPC_ShaftCall"]["allocs/op"] != 18 {
+		t.Errorf("RPC_ShaftCall metrics wrong: %v", s.Benchmarks["RPC_ShaftCall"])
+	}
+}
+
+func writeSnap(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json",
+		`{"benchmarks":{"RPC_ShaftCall":{"ns/op":100000,"allocs/op":18,"rpcs/op":1}}}`)
+	worse := writeSnap(t, dir, "worse.json",
+		`{"benchmarks":{"RPC_ShaftCall":{"ns/op":130000,"allocs/op":18,"rpcs/op":1}}}`)
+	var out strings.Builder
+	regressed, err := compare(base, worse, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("30%% ns/op growth not flagged; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION RPC_ShaftCall ns/op") {
+		t.Errorf("report missing regression line:\n%s", out.String())
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json",
+		`{"benchmarks":{"RPC_ShaftCall":{"ns/op":100000,"allocs/op":18,"rpcs/op":1}}}`)
+	near := writeSnap(t, dir, "near.json",
+		`{"benchmarks":{"RPC_ShaftCall":{"ns/op":110000,"allocs/op":19,"rpcs/op":1}}}`)
+	var out strings.Builder
+	regressed, err := compare(base, near, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("within-threshold drift flagged as regression:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeSnap(t, dir, "cur.json", `{"benchmarks":{"X":{"ns/op":1}}}`)
+	var out strings.Builder
+	regressed, err := compare(filepath.Join(dir, "absent.json"), cur, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("missing baseline reported a regression")
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("missing-baseline notice absent:\n%s", out.String())
+	}
+}

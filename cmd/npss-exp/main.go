@@ -9,6 +9,7 @@
 //	npss-exp -exp table1
 //	npss-exp -exp table2 -transient 1.0
 //	npss-exp -exp table2 -parallel          # overlap the six remote modules
+//	npss-exp -exp table2 -batch             # ...and batch same-host calls
 //	npss-exp -exp all
 //	npss-exp -exp table1 -timescale 0.01   # actually sleep 1% of the
 //	                                       # simulated network delays
@@ -41,6 +42,7 @@ func main() {
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
 	calls := flag.Int("calls", 200, "operation count for the ablation timings")
 	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
+	batch := flag.Bool("batch", false, "coalesce simultaneous same-host remote calls into batch envelopes (implies -parallel)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
 	metricsOut := flag.String("metrics", "", "write the run's aggregated metric snapshot as JSON to this file")
 	telemetryAddr := flag.String("telemetry", "", "serve live /metrics, /statusz, /flightz and pprof on this address while the experiments run")
@@ -73,7 +75,7 @@ func main() {
 	// per-experiment exports yields the cluster-wide roll-up.
 	var agg trace.MetricsSnapshot
 
-	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel}
+	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel, Batch: *batch}
 
 	run := map[string]func(){
 		"table1": func() {

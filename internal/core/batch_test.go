@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"npss/internal/trace"
+)
+
+// table2Placements is the paper's Table 2 combined placement: six
+// remote computations, with both shafts sharing the LeRC RS/6000 —
+// the pair the batched dispatch coalesces.
+func table2Placements() map[string]string {
+	return map[string]string{
+		InstComb:      "sgi-ua",
+		InstBypDuct:   "cray-lerc",
+		InstAugDuct:   "cray-lerc",
+		InstNozzle:    "sgi-lerc",
+		InstLowShaft:  "rs6000-lerc",
+		InstHighShaft: "rs6000-lerc",
+	}
+}
+
+// TestBatchedRunBitIdentical checks the batched Table 2 run produces
+// bit-identical simulation results to the parallel run, with fewer
+// wire round trips: the two shaft calls per evaluation pass collapse
+// into one KBatch to the RS/6000's Server.
+func TestBatchedRunBitIdentical(t *testing.T) {
+	run := func(opts RunOptions) (*RunResult, int64, int64) {
+		tb := newTestbed(t)
+		shortRun(t, tb.exec)
+		if err := tb.exec.Network.SetParam(InstComb, "fuel schedule", "0:1.48, 0.05:1.33"); err != nil {
+			t.Fatal(err)
+		}
+		for inst, mach := range table2Placements() {
+			if err := tb.exec.SetRemote(inst, mach, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rpcs0 := trace.Get("schooner.client.rpcs")
+		calls0 := trace.Get("schooner.client.calls")
+		res, err := tb.exec.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace.Get("schooner.client.rpcs") - rpcs0, trace.Get("schooner.client.calls") - calls0
+	}
+
+	par, parRPCs, parCalls := run(RunOptions{Parallel: true})
+	bat, batRPCs, batCalls := run(RunOptions{Parallel: true, Batch: true})
+
+	// Bit-identical: same calls, same arguments, same arithmetic —
+	// batching only changes the envelope they ride in.
+	if par.Steady.Thrust != bat.Steady.Thrust || par.Final.Thrust != bat.Final.Thrust {
+		t.Errorf("thrust differs: parallel (%.17g, %.17g) vs batched (%.17g, %.17g)",
+			par.Steady.Thrust, par.Final.Thrust, bat.Steady.Thrust, bat.Final.Thrust)
+	}
+	for i := range par.State {
+		if par.State[i] != bat.State[i] {
+			t.Errorf("state %d differs: parallel %.17g vs batched %.17g", i, par.State[i], bat.State[i])
+		}
+	}
+
+	// Same procedure-call count, fewer wire messages.
+	if batCalls != parCalls {
+		t.Errorf("batched run made %d calls, parallel made %d — batching must not change call count", batCalls, parCalls)
+	}
+	if batRPCs >= parRPCs {
+		t.Errorf("batched run used %d wire round trips, parallel used %d — batching saved nothing", batRPCs, parRPCs)
+	}
+	t.Logf("parallel: %d calls over %d rpcs; batched: %d calls over %d rpcs", parCalls, parRPCs, batCalls, batRPCs)
+}
+
+// TestBatchWithLocalShaftFallsBack checks Batch with one shaft local
+// degrades gracefully to the per-call path.
+func TestBatchWithLocalShaftFallsBack(t *testing.T) {
+	tb := newTestbed(t)
+	shortRun(t, tb.exec)
+	if err := tb.exec.SetRemote(InstLowShaft, "rs6000-lerc", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.exec.Run(RunOptions{Parallel: true, Batch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steady.Thrust <= 0 {
+		t.Errorf("steady thrust %g not positive", res.Steady.Thrust)
+	}
+}

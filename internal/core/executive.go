@@ -185,6 +185,12 @@ type RunOptions struct {
 	// adapted hook calls run concurrently where the airflow graph
 	// allows. Results are bit-identical to a sequential run.
 	Parallel bool
+	// Batch additionally coalesces simultaneous remote calls that
+	// target the same machine into single wire messages: the two shaft
+	// computations, which become ready at the same instant of the
+	// parallel pass, dispatch as one KBatch when their processes share
+	// a host. Requires Parallel; results stay bit-identical.
+	Batch bool
 }
 
 // parallelWorkers bounds the wavefront scheduler's worker pool; the
@@ -227,7 +233,7 @@ func (x *Executive) Run(opts RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := x.installHooks(eng); err != nil {
+	if err := x.installHooks(eng, opts.Batch); err != nil {
 		return nil, err
 	}
 	eng.Parallel = opts.Parallel
@@ -491,12 +497,14 @@ func (x *Executive) applyStator(instance string, dst **engine.Schedule) error {
 
 // installHooks routes the engine's component computations through the
 // network's adapted modules: remote where a machine is selected, local
-// otherwise.
-func (x *Executive) installHooks(eng *engine.Engine) error {
+// otherwise. With batch set, the two shaft modules' calls additionally
+// dispatch as one coalesced operation when both compute remotely.
+func (x *Executive) installHooks(eng *engine.Engine, batch bool) error {
 	hooks := engine.LocalHooks()
 
 	// Shafts by spool.
 	shaftHooks := make(map[string]func(qTur, qCom, inertia, omega float64) (float64, error))
+	shaftMods := make(map[string]*ShaftModule)
 	for _, inst := range []string{InstLowShaft, InstHighShaft} {
 		node, err := x.Network.Node(inst)
 		if err != nil {
@@ -507,6 +515,7 @@ func (x *Executive) installHooks(eng *engine.Engine) error {
 			return fmt.Errorf("core: instance %q is not a shaft module", inst)
 		}
 		shaftHooks[sm.Spool] = sm.Hook()
+		shaftMods[sm.Spool] = sm
 	}
 	if len(shaftHooks) > 0 {
 		local := engine.LocalHooks().Shaft
@@ -515,6 +524,13 @@ func (x *Executive) installHooks(eng *engine.Engine) error {
 				return h(qTur, qCom, inertia, omega)
 			}
 			return local(spool, qTur, qCom, inertia, omega)
+		}
+	}
+	if batch {
+		if low, ok := shaftMods["low"]; ok {
+			if high, ok := shaftMods["high"]; ok {
+				hooks.ShaftPair = x.shaftPairHook(low, high)
+			}
 		}
 	}
 
@@ -588,10 +604,14 @@ func (x *Executive) RemotePlacements() map[string]string {
 }
 
 // Destroy clears the network, shutting down every adapted module's
-// line (each remote computation terminates, other lines unaffected).
+// line (each remote computation terminates, other lines unaffected)
+// and releasing the client's cached batch connections.
 func (x *Executive) Destroy() {
 	if x.Network != nil {
 		x.Network.Clear()
+	}
+	if x.Client != nil {
+		x.Client.Close()
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"npss/internal/engine"
 	"npss/internal/npssproc"
 	"npss/internal/schooner"
+	"npss/internal/uts"
 )
 
 // Local is the machine widget option meaning "compute in-process".
@@ -291,6 +292,21 @@ func (m *ShaftModule) Compute(c *dataflow.Context) error {
 // Destroy shuts down the module's line (sch_i_quit).
 func (m *ShaftModule) Destroy() { m.destroy() }
 
+// setup performs the once-per-placement setshaft call (the start of a
+// steady-state computation) and returns the setup constant.
+func (m *ShaftModule) setup(ln *schooner.Line) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.haveE {
+		e, err := npssproc.Setshaft(ln, []float64{0, 0, 0, 0}, 1, []float64{0, 0, 0, 0}, 1)
+		if err != nil {
+			return 0, err
+		}
+		m.ecorr, m.haveE = e, true
+	}
+	return m.ecorr, nil
+}
+
 // Hook returns the engine shaft hook routed through this module: the
 // remote setshaft/shaft pair when a machine is selected, the local
 // computation otherwise.
@@ -300,22 +316,70 @@ func (m *ShaftModule) Hook() func(qTur, qCom, inertia, omega float64) (float64, 
 		if ln == nil {
 			return engine.ShaftAccel(qTur, qCom, inertia, omega)
 		}
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		if !m.haveE {
-			// setshaft: called once at the start of a steady-state
-			// computation.
-			e, err := npssproc.Setshaft(ln, []float64{0, 0, 0, 0}, 1, []float64{0, 0, 0, 0}, 1)
-			if err != nil {
-				return 0, err
-			}
-			m.ecorr, m.haveE = e, true
+		ecorr, err := m.setup(ln)
+		if err != nil {
+			return 0, err
 		}
 		// The paper's shaft signature carries energy (power) terms.
 		return npssproc.Shaft(ln,
 			[]float64{qCom * omega, 0, 0, 0}, 1,
 			[]float64{qTur * omega, 0, 0, 0}, 1,
-			m.ecorr, omega, inertia)
+			ecorr, omega, inertia)
+	}
+}
+
+// shaftCallArgs marshals one shaft invocation exactly as npssproc.Shaft
+// would, for the batched dispatch path.
+func shaftCallArgs(qTur, qCom, inertia, omega, ecorr float64) []uts.Value {
+	return []uts.Value{
+		uts.DoubleArray(qCom*omega, 0, 0, 0), uts.MustInt(1),
+		uts.DoubleArray(qTur*omega, 0, 0, 0), uts.MustInt(1),
+		uts.DoubleVal(ecorr), uts.DoubleVal(omega), uts.DoubleVal(inertia),
+	}
+}
+
+// shaftPairHook coalesces the two spools' shaft computations: when
+// both modules compute remotely, their shaft calls dispatch together
+// through Client.GoBatchHosts, so two calls whose processes share a
+// machine (the paper's combined test puts both shafts on the RS/6000)
+// cost one wire round trip. The sub-calls carry exactly the messages
+// the separate Shaft calls would, so results are bit-identical.
+func (x *Executive) shaftPairHook(low, high *ShaftModule) func(qTurL, qComL, inertiaL, omegaL, qTurH, qComH, inertiaH, omegaH float64) (float64, float64, error) {
+	return func(qTurL, qComL, inertiaL, omegaL, qTurH, qComH, inertiaH, omegaH float64) (float64, float64, error) {
+		lnL, lnH := low.Line(), high.Line()
+		if lnL == nil || lnH == nil {
+			// At least one side computes in-process: nothing to coalesce.
+			dL, err := low.Hook()(qTurL, qComL, inertiaL, omegaL)
+			if err != nil {
+				return 0, 0, err
+			}
+			dH, err := high.Hook()(qTurH, qComH, inertiaH, omegaH)
+			return dL, dH, err
+		}
+		eL, err := low.setup(lnL)
+		if err != nil {
+			return 0, 0, err
+		}
+		eH, err := high.setup(lnH)
+		if err != nil {
+			return 0, 0, err
+		}
+		pends := x.Client.GoBatchHosts([]schooner.CrossCall{
+			{Line: lnL, Name: "shaft", Args: shaftCallArgs(qTurL, qComL, inertiaL, omegaL, eL)},
+			{Line: lnH, Name: "shaft", Args: shaftCallArgs(qTurH, qComH, inertiaH, omegaH, eH)},
+		})
+		outL, err := pends[0].Wait()
+		if err != nil {
+			return 0, 0, err
+		}
+		outH, err := pends[1].Wait()
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(outL) != 1 || len(outH) != 1 {
+			return 0, 0, fmt.Errorf("core: batched shaft returned %d/%d results, want 1/1", len(outL), len(outH))
+		}
+		return outL[0].F, outH[0].F, nil
 	}
 }
 

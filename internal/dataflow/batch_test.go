@@ -1,0 +1,159 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gainBatch doubles (by Gain) its input like doubler, but advertises a
+// batch key: same-level instances with the same key must be computed
+// through one ComputeBatch call.
+type gainBatch struct {
+	key          string
+	gain         float64
+	computes     *int // plain Compute invocations
+	batchCalls   *int // ComputeBatch invocations
+	batchMembers *int // total contexts seen by ComputeBatch
+	failBatch    bool
+}
+
+func (m *gainBatch) Spec(sp *Spec) {
+	sp.SetName("gainBatch")
+	sp.InPort("in", "number")
+	sp.OutPort("out", "number")
+}
+
+func (m *gainBatch) Compute(c *Context) error {
+	*m.computes++
+	v, _ := c.In("in").(float64)
+	return c.Out("out", v*m.gain)
+}
+
+func (m *gainBatch) BatchKey() string { return m.key }
+
+func (m *gainBatch) ComputeBatch(ctxs []*Context) error {
+	*m.batchCalls++
+	*m.batchMembers += len(ctxs)
+	if m.failBatch {
+		return fmt.Errorf("batch refused")
+	}
+	// The group representative computes on behalf of every member: each
+	// context is filled with its own instance's result (the executive's
+	// ComputeBatch does the same, dispatching one sub-call per member).
+	for _, c := range ctxs {
+		peer := c.node.module.(*gainBatch)
+		v, _ := c.In("in").(float64)
+		if err := c.Out("out", v*peer.gain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *gainBatch) Destroy() {}
+
+// batchedDiamond is the wavefront diamond with the two middle modules
+// batch-capable: src -> {left ×2, right ×3} -> sum -> snk. Shared key
+// means the middle level computes as one unit.
+func batchedDiamond(t *testing.T, leftKey, rightKey string, counters *[5]int) (*Network, *sink) {
+	t.Helper()
+	n := NewNetwork("batched-diamond")
+	snk := &sink{}
+	left := &gainBatch{key: leftKey, gain: 2, computes: &counters[0], batchCalls: &counters[1], batchMembers: &counters[2]}
+	right := &gainBatch{key: rightKey, gain: 3, computes: &counters[3], batchCalls: &counters[1], batchMembers: &counters[2]}
+	mustAdd := func(name, typ string, m Module) {
+		t.Helper()
+		if _, err := n.Add(name, typ, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("src", "source", &source{})
+	mustAdd("left", "gainBatch", left)
+	mustAdd("right", "gainBatch", right)
+	mustAdd("sum", "summer", &summer{})
+	mustAdd("snk", "sink", snk)
+	for _, c := range [][4]string{
+		{"src", "out", "left", "in"},
+		{"src", "out", "right", "in"},
+		{"left", "out", "sum", "a"},
+		{"right", "out", "sum", "b"},
+		{"sum", "out", "snk", "in"},
+	} {
+		if err := n.Connect(c[0], c[1], c[2], c[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.SetParam("src", "value", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	return n, snk
+}
+
+// TestBatchModulesCoalesce checks same-key same-level modules compute
+// through one ComputeBatch call with the same results as the plain
+// path, under both the sequential and the parallel scheduler.
+func TestBatchModulesCoalesce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var counters [5]int
+		n, snk := batchedDiamond(t, "hostA", "hostA", &counters)
+		computed, err := n.ExecuteParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if computed != 5 {
+			t.Errorf("workers=%d: computed %d nodes, want 5", workers, computed)
+		}
+		if snk.last != 5*2+5*3 {
+			t.Errorf("workers=%d: sink = %g, want 25", workers, snk.last)
+		}
+		if counters[0] != 0 || counters[3] != 0 {
+			t.Errorf("workers=%d: plain Computes ran (%d, %d) despite shared batch key", workers, counters[0], counters[3])
+		}
+		if counters[1] != 1 || counters[2] != 2 {
+			t.Errorf("workers=%d: %d batch calls over %d members, want 1 over 2", workers, counters[1], counters[2])
+		}
+	}
+}
+
+// TestBatchSingletonUsesCompute checks a batch-capable module with no
+// same-key peer at its level takes the ordinary Compute path.
+func TestBatchSingletonUsesCompute(t *testing.T) {
+	var counters [5]int
+	n, snk := batchedDiamond(t, "hostA", "hostB", &counters)
+	if _, err := n.ExecuteParallel(4); err != nil {
+		t.Fatal(err)
+	}
+	if snk.last != 25 {
+		t.Errorf("sink = %g, want 25", snk.last)
+	}
+	if counters[1] != 0 {
+		t.Errorf("%d batch calls for distinct keys, want 0", counters[1])
+	}
+	if counters[0] != 1 || counters[3] != 1 {
+		t.Errorf("plain Computes = (%d, %d), want (1, 1)", counters[0], counters[3])
+	}
+}
+
+// TestBatchErrorFailsGroupRecomputably checks a failed ComputeBatch
+// fails its whole group, leaves the group dirty, and recomputes after
+// the fault clears — the same contract plain Compute errors have.
+func TestBatchErrorFailsGroupRecomputably(t *testing.T) {
+	var counters [5]int
+	n, snk := batchedDiamond(t, "hostA", "hostA", &counters)
+	node, err := n.Node("left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := node.module.(*gainBatch)
+	bm.failBatch = true
+	if _, err := n.ExecuteParallel(4); err == nil {
+		t.Fatal("batch error did not surface")
+	}
+	bm.failBatch = false
+	if _, err := n.ExecuteParallel(4); err != nil {
+		t.Fatal(err)
+	}
+	if snk.last != 25 {
+		t.Errorf("sink = %g after recovery, want 25", snk.last)
+	}
+}

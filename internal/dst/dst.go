@@ -636,6 +636,30 @@ func (c *cluster) apply(idx int, op Op) string {
 		}
 		return fmt.Sprintf("ok=%d/%d", ok, op.N)
 
+	case OpBatch:
+		calls := make([]schooner.BatchCall, op.N)
+		for i := range calls {
+			id := op.ID + int64(i)
+			calls[i] = schooner.BatchCall{Name: "work",
+				Args: []uts.Value{uts.LongVal(id), uts.DoubleVal(xFor(id))}}
+		}
+		ok := 0
+		for i, p := range c.workLine.GoBatch(calls) {
+			id := op.ID + int64(i)
+			res, err := p.Wait()
+			if err != nil {
+				trace.Count("dst.calls.fail")
+				continue
+			}
+			if !near(res[0].F, workExpect(xFor(id))) {
+				c.violate(idx, "wrong-answer", fmt.Sprintf("batched work id=%d: got %v want %v", id, res[0].F, workExpect(xFor(id))))
+				continue
+			}
+			trace.Count("dst.calls.ok")
+			ok++
+		}
+		return fmt.Sprintf("ok=%d/%d", ok, op.N)
+
 	case OpWork:
 		got, ok := c.workCallOnce(op.ID)
 		if !ok {

@@ -118,7 +118,8 @@ func Generate(seed int64, count int, hosts []string) []Op {
 		if len(m.startedLines()) > 0 {
 			menu = append(menu, candidate{OpCall, 6}, candidate{OpSlow, 2})
 		}
-		menu = append(menu, candidate{OpWork, 4}, candidate{OpAcc, 4}, candidate{OpSettle, 2})
+		menu = append(menu, candidate{OpWork, 4}, candidate{OpBatch, 3},
+			candidate{OpAcc, 4}, candidate{OpSettle, 2})
 		if m.clean() && !m.dirty {
 			menu = append(menu, candidate{OpBurst, 3})
 		}
@@ -163,7 +164,7 @@ func Generate(seed int64, count int, hosts []string) []Op {
 			op.Line = lines[r.Intn(len(lines))]
 			op.ID = nextID
 			nextID++
-		case OpBurst:
+		case OpBurst, OpBatch:
 			op.N = 2 + r.Intn(3)
 			op.ID = nextWorkID
 			nextWorkID += int64(op.N)

@@ -75,6 +75,12 @@ const (
 	// OpManagerRecover restarts the Manager from its journal and checks
 	// the recovered name database matches the pre-crash snapshot.
 	OpManagerRecover
+	// OpBatch launches N work calls on the shared work line as one
+	// batched dispatch (Line.GoBatch): calls binding to one process ride
+	// a single wire envelope, and any batch-level failure falls back to
+	// the per-call retry path. Stays on the menu while the Manager is
+	// down — cached bindings keep batches working.
+	OpBatch
 )
 
 var opNames = map[OpKind]string{
@@ -96,6 +102,7 @@ var opNames = map[OpKind]string{
 	OpCheckpointNow:  "checkpoint-now",
 	OpManagerCrash:   "manager-crash",
 	OpManagerRecover: "manager-recover",
+	OpBatch:          "batch",
 }
 
 func (k OpKind) String() string {
@@ -129,7 +136,7 @@ func (o Op) String() string {
 		s += fmt.Sprintf(" line=%d n=%d id=%d", o.Line, o.N, o.ID)
 	case OpSlow:
 		s += fmt.Sprintf(" line=%d id=%d", o.Line, o.ID)
-	case OpBurst:
+	case OpBurst, OpBatch:
 		s += fmt.Sprintf(" n=%d id=%d", o.N, o.ID)
 	case OpWork, OpAcc:
 		s += fmt.Sprintf(" id=%d", o.ID)

@@ -26,6 +26,15 @@ type Hooks struct {
 	Duct      func(id string, k, pUp, tUp, far, pDown float64) (float64, error)
 	Combustor func(k, pUp, tUp, farUp, pDown, wf, eta, stator float64) (w, tOut, farOut float64, err error)
 	Nozzle    func(a8, pt, tt, far, pamb, stator float64) (w, thrust float64, err error)
+	// ShaftPair, when non-nil, computes both spools' shaft dynamics in
+	// one operation. The parallel evaluation pass prefers it over two
+	// separate Shaft calls: both torque balances become known at the
+	// same instant (right after the LPT), so a transport that can batch
+	// — the executive coalesces the two remote shaft calls into one
+	// wire message when they share a host — halves the shaft round
+	// trips without changing any argument or result. Each sub-result
+	// must be exactly what the corresponding Shaft call would return.
+	ShaftPair func(qTurL, qComL, inertiaL, omegaL, qTurH, qComH, inertiaH, omegaH float64) (dOmegaL, dOmegaH float64, err error)
 }
 
 // LocalHooks returns hooks that execute every computation in-process.
@@ -550,18 +559,30 @@ func (e *Engine) evalParallel(t float64, x []float64, dx []float64) (Outputs, er
 	v5.UpdateFAR()
 
 	// Both spools' torques are known; launch the shaft dynamics to
-	// overlap the mixer and nozzle.
+	// overlap the mixer and nozzle. With a ShaftPair hook installed the
+	// two calls ride one launched goroutine (and, in the executive, one
+	// wire message); the wait functions are idempotent, so both waiters
+	// below can share it.
 	var dOmegaL, dOmegaH float64
 	lptQ, fanQ := lpt.Torque, fan.Torque
-	waitShaftL := launchHook(func() (err error) {
-		dOmegaL, err = e.Hooks.Shaft("low", lptQ, fanQ, e.InertiaL, omegaL)
-		return err
-	})
 	hptQ, hpcQ := hpt.Torque, hpc.Torque
-	waitShaftH := launchHook(func() (err error) {
-		dOmegaH, err = e.Hooks.Shaft("high", hptQ, hpcQ, e.InertiaH, omegaH)
-		return err
-	})
+	var waitShaftL, waitShaftH func() error
+	if e.Hooks.ShaftPair != nil {
+		w := launchHook(func() (err error) {
+			dOmegaL, dOmegaH, err = e.Hooks.ShaftPair(lptQ, fanQ, e.InertiaL, omegaL, hptQ, hpcQ, e.InertiaH, omegaH)
+			return err
+		})
+		waitShaftL, waitShaftH = w, w
+	} else {
+		waitShaftL = launchHook(func() (err error) {
+			dOmegaL, err = e.Hooks.Shaft("low", lptQ, fanQ, e.InertiaL, omegaL)
+			return err
+		})
+		waitShaftH = launchHook(func() (err error) {
+			dOmegaH, err = e.Hooks.Shaft("high", hptQ, hpcQ, e.InertiaH, omegaH)
+			return err
+		})
+	}
 
 	// Mixer core side V5 -> V7, launched.
 	var wMixCore float64

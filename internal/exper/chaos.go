@@ -98,6 +98,7 @@ func (s *ChaosSpec) defaults() {
 var chaosCounters = []string{
 	"netsim.drops",
 	"schooner.client.calls",
+	"schooner.client.rpcs",
 	"schooner.client.retries",
 	"schooner.client.timeouts",
 	"schooner.client.stale",
@@ -236,7 +237,8 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	}
 	row.Converged = true
 	row.SteadyIters = remote.SteadyIters
-	row.RPCs = res.Counters["schooner.client.calls"]
+	row.RPCs = res.Counters["schooner.client.rpcs"]
+	row.Calls = res.Counters["schooner.client.calls"]
 	row.SimNet = tb.Net.TotalSimDelay()
 	row.MaxRelErr = maxRelErr(local, remote)
 	return res

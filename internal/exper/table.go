@@ -31,6 +31,10 @@ type RunSpec struct {
 	// adapted-hook RPCs. The local baseline stays sequential, so the
 	// comparison also verifies the parallel path's correctness.
 	Parallel bool
+	// Batch additionally coalesces simultaneous same-host remote calls
+	// into single wire messages (the two shaft calls of the parallel
+	// pass share one envelope to the RS/6000). Implies Parallel.
+	Batch bool
 }
 
 func (s *RunSpec) defaults() {
@@ -58,10 +62,16 @@ type ModuleRun struct {
 	// from the local run over the final state vector and the steady
 	// and final outputs: the paper's correctness criterion.
 	MaxRelErr float64
-	RPCs      int64
-	SimNet    time.Duration // simulated network time spent
-	Wall      time.Duration // wall-clock of the remote run
-	Err       error
+	// RPCs counts wire round trips: a batch envelope carrying several
+	// procedure calls counts once, which is what batching saves.
+	RPCs int64
+	// Calls counts procedure invocations, independent of how many
+	// shared an envelope; equal placements give equal Calls whether or
+	// not batching is on.
+	Calls  int64
+	SimNet time.Duration // simulated network time spent
+	Wall   time.Duration // wall-clock of the remote run
+	Err    error
 }
 
 // runConfigured executes the local baseline and the placed run on a
@@ -110,12 +120,17 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	}
 	tb.Net.ResetStats()
 	callsBefore := trace.Get("schooner.client.calls")
+	rpcsBefore := trace.Get("schooner.client.rpcs")
 	remoteSp := trace.StartSpan("remote run", avs)
-	if remoteSp != nil && spec.Parallel {
-		remoteSp.Annotate("mode", "parallel")
+	if remoteSp != nil && (spec.Parallel || spec.Batch) {
+		mode := "parallel"
+		if spec.Batch {
+			mode = "batch"
+		}
+		remoteSp.Annotate("mode", mode)
 	}
 	start := time.Now()
-	remote, err := exec.Run(core.RunOptions{Parallel: spec.Parallel})
+	remote, err := exec.Run(core.RunOptions{Parallel: spec.Parallel || spec.Batch, Batch: spec.Batch})
 	row.Wall = time.Since(start)
 	remoteSp.End()
 	if err != nil {
@@ -124,7 +139,8 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	}
 	row.Converged = true
 	row.SteadyIters = remote.SteadyIters
-	row.RPCs = trace.Get("schooner.client.calls") - callsBefore
+	row.RPCs = trace.Get("schooner.client.rpcs") - rpcsBefore
+	row.Calls = trace.Get("schooner.client.calls") - callsBefore
 	row.SimNet = tb.Net.TotalSimDelay()
 	row.MaxRelErr = maxRelErr(local, remote)
 	return row
@@ -264,8 +280,8 @@ func FormatTable2(r *ModuleRun) string {
 		fmt.Fprintf(&b, "ERROR: %v\n", r.Err)
 		return b.String()
 	}
-	fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e rpcs=%d simNetTime=%s wall=%s\n",
-		r.Converged, r.SteadyIters, r.MaxRelErr, r.RPCs, r.SimNet.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e calls=%d rpcs=%d simNetTime=%s wall=%s\n",
+		r.Converged, r.SteadyIters, r.MaxRelErr, r.Calls, r.RPCs, r.SimNet.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
 	return b.String()
 }
 

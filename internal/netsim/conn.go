@@ -100,6 +100,7 @@ func newConnPair(n *Network, link LinkSpec, clientHost, serverHost string) (clie
 	b2a := newQueue()
 	client = &simConn{net: n, link: link, local: clientHost, remote: serverHost, in: b2a, out: a2b}
 	server = &simConn{net: n, link: link, local: serverHost, remote: clientHost, in: a2b, out: b2a}
+	n.openConns.Add(2)
 	return client, server
 }
 
@@ -166,6 +167,7 @@ func (c *simConn) Close() error {
 	c.closedOnce.Do(func() {
 		c.in.close()
 		c.out.close()
+		c.net.openConns.Add(-1)
 	})
 	return nil
 }

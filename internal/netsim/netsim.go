@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"npss/internal/flight"
@@ -123,7 +124,17 @@ type Network struct {
 	faultSeed   int64
 	faults      map[[2]string]*linkFaults
 	clock       vclock.Clock
+	// openConns counts connection endpoints created and not yet closed
+	// (each direction of a dial counts one). Leak checks compare it to
+	// zero after teardown.
+	openConns atomic.Int64
 }
+
+// OpenConns returns the number of connection endpoints currently open
+// on the network: every successful Dial contributes two (the client
+// side and the accepted server side), and each endpoint's Close
+// retires one. A fully quiesced network reports zero.
+func (n *Network) OpenConns() int { return int(n.openConns.Load()) }
 
 // New creates an empty network. The default link between hosts without
 // an explicit link is LocalEthernet, and the default TimeScale is 0
@@ -505,6 +516,8 @@ func (h *Host) Dial(addr string) (wire.Conn, error) {
 	case l.backlog <- server:
 		return client, nil
 	case <-l.done:
+		client.Close()
+		server.Close()
 		return nil, fmt.Errorf("netsim: connection refused: listener on %s closed", addr)
 	}
 }
@@ -547,11 +560,21 @@ func (l *Listener) Accept() (wire.Conn, error) {
 	}
 }
 
-// Close shuts the listener; blocked Accepts return io.EOF.
+// Close shuts the listener; blocked Accepts return io.EOF. Inbound
+// connections still queued in the backlog — dialed but never accepted
+// — are closed so they do not count as leaked endpoints.
 func (l *Listener) Close() error {
 	l.once.Do(func() {
 		close(l.done)
 		l.host.removeListener(l.port)
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

@@ -39,6 +39,68 @@ type Client struct {
 	// Policy bounds calls on every line this client opens. The zero
 	// value applies the package defaults (see CallPolicy).
 	Policy CallPolicy
+
+	// mu guards the cross-line batching state: the cached per-host
+	// Server connections GoBatchHosts coalesces onto, and their
+	// sequence counter.
+	mu       sync.Mutex
+	srvConns map[string]*demuxConn
+	batchSeq uint32
+}
+
+// serverConn returns the client's shared demultiplexed connection to a
+// machine's Server, dialing on first use or after the previous one
+// died.
+func (c *Client) serverConn(host string) (*demuxConn, error) {
+	c.mu.Lock()
+	if g := c.srvConns[host]; g != nil && !g.dead() {
+		c.mu.Unlock()
+		return g, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.Transport.Dial(c.Host, host+":"+ServerPort)
+	if err != nil {
+		return nil, &staleError{fmt.Errorf("schooner: cannot reach server on %s: %w", host, err)}
+	}
+	fresh := newDemuxConn(conn)
+	c.mu.Lock()
+	if g := c.srvConns[host]; g != nil && !g.dead() {
+		c.mu.Unlock()
+		fresh.Close()
+		return g, nil
+	}
+	if c.srvConns == nil {
+		c.srvConns = make(map[string]*demuxConn)
+	}
+	old := c.srvConns[host]
+	c.srvConns[host] = fresh
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return fresh, nil
+}
+
+// nextBatchSeq allocates a sequence number for the client's Server
+// connections, on which sub-requests from many lines interleave.
+func (c *Client) nextBatchSeq() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batchSeq++
+	return c.batchSeq
+}
+
+// Close releases the client's cached Server connections (the cross-
+// line batch path). Lines opened through the client are unaffected;
+// quit them individually with IQuit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := c.srvConns
+	c.srvConns = nil
+	c.mu.Unlock()
+	for _, g := range conns {
+		g.Close()
+	}
 }
 
 // managerHosts is the ordered list of Manager hosts to try: the
@@ -68,7 +130,7 @@ func (c *Client) ContactSchx(module string) (*Line, error) {
 			client:   c,
 			id:       id,
 			module:   module,
-			mgr:      newMgrConn(conn),
+			mgr:      newDemuxConn(conn),
 			policy:   c.Policy,
 			imports:  make(map[string]*uts.ProcSpec),
 			bindings: make(map[string]*binding),
@@ -117,7 +179,7 @@ type Line struct {
 	module string
 
 	mu       sync.Mutex
-	mgr      *mgrConn
+	mgr      *demuxConn
 	mgrGen   int // bumped on every reattach; guards the swap race
 	seq      uint32
 	policy   CallPolicy
@@ -157,20 +219,23 @@ func (l *Line) isQuit() bool {
 }
 
 // mgrc reads the current Manager connection and its generation.
-func (l *Line) mgrc() (*mgrConn, int) {
+func (l *Line) mgrc() (*demuxConn, int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.mgr, l.mgrGen
 }
 
-// mgrConn multiplexes the line's single Manager connection across
-// concurrently calling goroutines: requests carry a sequence number,
-// the Manager echoes it in every reply, and a reader goroutine routes
-// each reply to the goroutine whose request carried that number. On a
-// deadline, the waiter abandons its pending entry but the connection
-// stays open — closing it would make the Manager treat the line as
-// dead and shut down its remote computations.
-type mgrConn struct {
+// demuxConn multiplexes one shared connection across concurrently
+// calling goroutines: requests carry a sequence number, the peer echoes
+// it in every reply, and a reader goroutine routes each reply to the
+// goroutine whose request carried that number. It is both the line's
+// Manager connection and — since servers and procedure processes
+// learned to reply out of order — the pipelined procedure-call path:
+// any number of requests may be in flight on the same connection at
+// once. On a deadline, the waiter abandons its pending entry but the
+// connection stays open — a late reply to an abandoned seq is simply
+// discarded.
+type demuxConn struct {
 	conn wire.Conn
 
 	// sendMu serializes frames onto the shared connection.
@@ -181,16 +246,16 @@ type mgrConn struct {
 	err     error // terminal receive failure: the connection is dead
 }
 
-func newMgrConn(conn wire.Conn) *mgrConn {
-	g := &mgrConn{conn: conn, pending: make(map[uint32]chan *wire.Message)}
+func newDemuxConn(conn wire.Conn) *demuxConn {
+	g := &demuxConn{conn: conn, pending: make(map[uint32]chan *wire.Message)}
 	go g.readLoop()
 	return g
 }
 
-// readLoop dispatches Manager replies by echoed sequence number.
-// Replies whose waiter already gave up are discarded. A receive error
-// is terminal: every pending and future waiter fails.
-func (g *mgrConn) readLoop() {
+// readLoop dispatches replies by echoed sequence number. Replies whose
+// waiter already gave up are discarded. A receive error is terminal:
+// every pending and future waiter fails.
+func (g *demuxConn) readLoop() {
 	for {
 		m, err := g.conn.Recv()
 		if err != nil {
@@ -215,22 +280,24 @@ func (g *mgrConn) readLoop() {
 	}
 }
 
-func (g *mgrConn) forget(seq uint32) {
+func (g *demuxConn) forget(seq uint32) {
 	g.mu.Lock()
 	delete(g.pending, seq)
 	g.mu.Unlock()
 }
 
-// call performs one request/response exchange, bounded by timeout.
-// Transport failures and timeouts are transient (wrapped stale); a
-// KError reply from the Manager is an application error and final.
-func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
+// exchange performs one request/response round trip, bounded by
+// timeout. Transport failures and timeouts are transient (wrapped
+// stale); the reply — including KError — is returned uninterpreted,
+// because Manager and procedure callers attach different meanings to
+// an error reply.
+func (g *demuxConn) exchange(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
 	ch := make(chan *wire.Message, 1)
 	g.mu.Lock()
 	if g.err != nil {
 		err := g.err
 		g.mu.Unlock()
-		return nil, &staleError{fmt.Errorf("schooner: manager connection lost: %w", err)}
+		return nil, &staleError{fmt.Errorf("schooner: shared connection lost: %w", err)}
 	}
 	g.pending[req.Seq] = ch
 	g.mu.Unlock()
@@ -242,6 +309,7 @@ func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message,
 		g.forget(req.Seq)
 		return nil, &staleError{err}
 	}
+	trace.Count("schooner.client.rpcs")
 
 	var timerC <-chan time.Time
 	if timeout > 0 {
@@ -252,10 +320,7 @@ func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message,
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, &staleError{errors.New("schooner: manager connection lost")}
-		}
-		if resp.Kind == wire.KError {
-			return nil, fmt.Errorf("%s", resp.Err)
+			return nil, &staleError{errors.New("schooner: shared connection lost")}
 		}
 		return resp, nil
 	case <-timerC:
@@ -264,15 +329,28 @@ func (g *mgrConn) call(req *wire.Message, timeout time.Duration) (*wire.Message,
 	}
 }
 
-// Close tears down the underlying Manager connection; the reader
-// goroutine exits and pending waiters fail.
-func (g *mgrConn) Close() { g.conn.Close() }
+// call is exchange with the Manager's error convention applied: a
+// KError reply is an application error and final.
+func (g *demuxConn) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
+	resp, err := g.exchange(req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KError {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Close tears down the underlying connection; the reader goroutine
+// exits and pending waiters fail.
+func (g *demuxConn) Close() { g.conn.Close() }
 
 // dead reports whether the connection hit a terminal receive failure.
-// Timeouts are not terminal — a slow Manager reply still arrives on a
-// live connection — so dead distinguishes "the Manager (or its
-// connection) is gone, reattach somewhere" from "retry here".
-func (g *mgrConn) dead() bool {
+// Timeouts are not terminal — a slow reply still arrives on a live
+// connection — so dead distinguishes "the peer (or its connection) is
+// gone" from "retry here".
+func (g *demuxConn) dead() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.err != nil
@@ -280,18 +358,73 @@ func (g *mgrConn) dead() bool {
 
 // binding caches the location of one remote procedure: the paper's
 // per-procedure name cache, refreshed lazily when a call to a stale
-// address fails after a move. Connections to the procedure process are
-// leased per in-flight call — the process serves each connection
-// sequentially, so a private connection per call lets concurrent calls
-// through one line overlap without reply matching — and pooled for
-// reuse between calls.
+// address fails after a move.
+//
+// The default data path is one shared pipelined connection per binding
+// (pipe): concurrent calls ride it together, matched to their replies
+// by sequence number, because procedure processes dispatch requests
+// out of order. For peers that serve a connection strictly
+// sequentially (CallPolicy.NoPipeline), connections are instead leased
+// per in-flight call and pooled for reuse between calls; the pool is
+// capped at maxIdleConns so a burst of N concurrent calls cannot pin N
+// connections forever.
 type binding struct {
 	addr       string
 	exportName string
 
 	mu    sync.Mutex
 	idle  []wire.Conn
+	pipe  *demuxConn
 	stale bool
+}
+
+// maxIdleConns caps each binding's leased-connection pool. Beyond it,
+// released connections are closed: a 64-way burst briefly dials 64
+// conns, but the pool settles back to this bound.
+const maxIdleConns = 4
+
+// pipeline returns the binding's shared demuxed connection, dialing it
+// on first use or after the previous one died. Dialing happens outside
+// the binding lock; when several goroutines race to establish it, the
+// first to install wins and the others' dials are closed.
+func (b *binding) pipeline(t Transport, from, name string) (*demuxConn, error) {
+	b.mu.Lock()
+	if b.stale {
+		b.mu.Unlock()
+		return nil, &staleError{fmt.Errorf("schooner: binding for %q invalidated", name)}
+	}
+	if b.pipe != nil && !b.pipe.dead() {
+		p := b.pipe
+		b.mu.Unlock()
+		return p, nil
+	}
+	b.mu.Unlock()
+	conn, err := t.Dial(from, b.addr)
+	if err != nil {
+		// Transient: the mapped host may be mid-crash, with the
+		// Manager's failover about to repoint the name; retry.
+		return nil, &staleError{fmt.Errorf("schooner: procedure %q mapped to unreachable %s: %w", name, b.addr, err)}
+	}
+	fresh := newDemuxConn(conn)
+	b.mu.Lock()
+	if b.stale {
+		b.mu.Unlock()
+		fresh.Close()
+		return nil, &staleError{fmt.Errorf("schooner: binding for %q invalidated", name)}
+	}
+	if b.pipe != nil && !b.pipe.dead() {
+		p := b.pipe
+		b.mu.Unlock()
+		fresh.Close()
+		return p, nil
+	}
+	old := b.pipe
+	b.pipe = fresh
+	b.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return fresh, nil
 }
 
 // lease hands out a pooled idle connection or dials a fresh one.
@@ -314,27 +447,39 @@ func (b *binding) lease(t Transport, from, name string) (wire.Conn, error) {
 }
 
 // release returns a healthy connection to the pool, unless the binding
-// was invalidated while the call was in flight.
+// was invalidated while the call was in flight or the pool is already
+// at its cap (the overflow of a call burst is closed, not pooled).
 func (b *binding) release(conn wire.Conn) {
 	b.mu.Lock()
-	if b.stale {
+	if b.stale || len(b.idle) >= maxIdleConns {
+		evict := !b.stale
 		b.mu.Unlock()
 		conn.Close()
+		if evict {
+			trace.Count("schooner.client.pool_evictions")
+		}
 		return
 	}
 	b.idle = append(b.idle, conn)
 	b.mu.Unlock()
 }
 
-// markStale invalidates the binding and closes its pooled connections.
+// markStale invalidates the binding and closes its pooled and
+// pipelined connections; calls in flight on them fail stale and retry
+// against the rebound address.
 func (b *binding) markStale() {
 	b.mu.Lock()
 	b.stale = true
 	idle := b.idle
 	b.idle = nil
+	pipe := b.pipe
+	b.pipe = nil
 	b.mu.Unlock()
 	for _, c := range idle {
 		c.Close()
+	}
+	if pipe != nil {
+		pipe.Close()
 	}
 }
 
@@ -374,7 +519,7 @@ func (l *Line) managerCall(req *wire.Message) (*wire.Message, error) {
 // generation the caller observed dead; when another goroutine already
 // swapped in a newer connection, that one is returned without dialing.
 // forQuit lets IQuit reattach after it has marked the line quit.
-func (l *Line) reattach(gen int, forQuit bool) (*mgrConn, int, error) {
+func (l *Line) reattach(gen int, forQuit bool) (*demuxConn, int, error) {
 	l.mu.Lock()
 	if l.quit && !forQuit {
 		l.mu.Unlock()
@@ -409,7 +554,7 @@ func (l *Line) reattach(gen int, forQuit bool) (*mgrConn, int, error) {
 			lastErr = fmt.Errorf("schooner: attach to %s failed: %s", mh, resp.Err)
 			continue
 		}
-		fresh := newMgrConn(conn)
+		fresh := newDemuxConn(conn)
 		l.mu.Lock()
 		if l.mgrGen != gen {
 			// Lost the race: another goroutine reattached first.
@@ -644,35 +789,7 @@ func (l *Line) Go(name string, args ...uts.Value) *Pending {
 // child of it, so a retried call keeps one trace id across attempts
 // and a failover-rebound attempt stays linked to the original parent.
 func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value, error) {
-	l.mu.Lock()
-	if l.quit {
-		l.mu.Unlock()
-		return nil, fmt.Errorf("schooner: line %d already quit", l.id)
-	}
-	imp, ok := l.imports[name]
-	pol := l.policy.withDefaults()
-	l.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("schooner: no import specification registered for %q", name)
-	}
-	arch, err := l.client.arch()
-	if err != nil {
-		return nil, err
-	}
-	ins := imp.InParams()
-	if len(args) != len(ins) {
-		return nil, fmt.Errorf("schooner: %s takes %d in-parameters, got %d", name, len(ins), len(args))
-	}
-	// Outbound conversion: native -> UTS.
-	conv := make([]uts.Value, len(args))
-	for i, a := range args {
-		v, err := arch.NativeRoundTrip(a)
-		if err != nil {
-			return nil, fmt.Errorf("schooner: parameter %q: %w", ins[i].Name, err)
-		}
-		conv[i] = v
-	}
-	data, err := uts.EncodeParams(nil, ins, conv)
+	imp, pol, data, err := l.prepare(name, args)
 	if err != nil {
 		return nil, err
 	}
@@ -734,7 +851,16 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 				continue
 			}
 		}
-		conn, err := b.lease(l.client.Transport, l.client.Host, name)
+		// Default path: the binding's shared pipelined connection, on
+		// which this attempt overlaps every other in-flight call.
+		// NoPipeline leases a private connection per attempt instead.
+		var conn wire.Conn
+		var pc *demuxConn
+		if pol.NoPipeline {
+			conn, err = b.lease(l.client.Transport, l.client.Host, name)
+		} else {
+			pc, err = b.pipeline(l.client.Transport, l.client.Host, name)
+		}
 		if err != nil {
 			lastErr = err
 			prevAddr = b.addr
@@ -760,7 +886,12 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 		flight.Record(flight.Event{Kind: flight.KindCallAttempt, Component: "client",
 			Host: l.client.Host, Line: l.id, Trace: ctx.Trace, Span: ctx.Span,
 			Name: name, Detail: b.addr})
-		reply, err := l.callOnce(conn, b, imp, data, pol.Timeout, att)
+		var reply []byte
+		if pc != nil {
+			reply, err = l.callPipelined(pc, b, imp, data, pol.Timeout, att)
+		} else {
+			reply, err = l.callOnce(conn, b, imp, data, pol.Timeout, att)
+		}
 		if att != nil {
 			if err != nil {
 				att.Annotate("error", err.Error())
@@ -773,24 +904,19 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 			att.End()
 		}
 		if err == nil {
-			b.release(conn)
-			// Inbound conversion: UTS -> native.
-			outs := imp.OutParams()
-			results, err := uts.DecodeParams(reply, outs)
+			if conn != nil {
+				b.release(conn)
+			}
+			results, err := l.decodeResults(imp, reply)
 			if err != nil {
 				return nil, err
-			}
-			for i := range results {
-				v, err := arch.NativeRoundTrip(results[i])
-				if err != nil {
-					return nil, fmt.Errorf("schooner: result %q: %w", outs[i].Name, err)
-				}
-				results[i] = v
 			}
 			trace.Count("schooner.client.calls")
 			return results, nil
 		}
-		conn.Close()
+		if conn != nil {
+			conn.Close()
+		}
 		if !isStale(err) {
 			return nil, err
 		}
@@ -808,6 +934,68 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 	return nil, fmt.Errorf("schooner: call to %q failed after %d attempts: %w", name, pol.MaxRetries+1, lastErr)
 }
 
+// prepare is the marshaling front half shared by Call and GoBatch: it
+// resolves the import specification, converts the arguments through
+// this machine's native representation into the UTS interchange
+// format, and returns the line's effective policy alongside.
+func (l *Line) prepare(name string, args []uts.Value) (*uts.ProcSpec, CallPolicy, []byte, error) {
+	l.mu.Lock()
+	if l.quit {
+		l.mu.Unlock()
+		return nil, CallPolicy{}, nil, fmt.Errorf("schooner: line %d already quit", l.id)
+	}
+	imp, ok := l.imports[name]
+	pol := l.policy.withDefaults()
+	l.mu.Unlock()
+	if !ok {
+		return nil, pol, nil, fmt.Errorf("schooner: no import specification registered for %q", name)
+	}
+	arch, err := l.client.arch()
+	if err != nil {
+		return nil, pol, nil, err
+	}
+	ins := imp.InParams()
+	if len(args) != len(ins) {
+		return nil, pol, nil, fmt.Errorf("schooner: %s takes %d in-parameters, got %d", name, len(ins), len(args))
+	}
+	// Outbound conversion: native -> UTS.
+	conv := make([]uts.Value, len(args))
+	for i, a := range args {
+		v, err := arch.NativeRoundTrip(a)
+		if err != nil {
+			return nil, pol, nil, fmt.Errorf("schooner: parameter %q: %w", ins[i].Name, err)
+		}
+		conv[i] = v
+	}
+	data, err := uts.EncodeParams(nil, ins, conv)
+	if err != nil {
+		return nil, pol, nil, err
+	}
+	return imp, pol, data, nil
+}
+
+// decodeResults is the unmarshaling back half shared by Call and
+// GoBatch: UTS interchange bytes -> this machine's native values.
+func (l *Line) decodeResults(imp *uts.ProcSpec, reply []byte) ([]uts.Value, error) {
+	arch, err := l.client.arch()
+	if err != nil {
+		return nil, err
+	}
+	outs := imp.OutParams()
+	results, err := uts.DecodeParams(reply, outs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		v, err := arch.NativeRoundTrip(results[i])
+		if err != nil {
+			return nil, fmt.Errorf("schooner: result %q: %w", outs[i].Name, err)
+		}
+		results[i] = v
+	}
+	return results, nil
+}
+
 // callOnce performs one call attempt over a leased connection, bounded
 // by the per-attempt deadline. The procedure process serves requests
 // one at a time per connection, so the next message on the connection
@@ -822,6 +1010,7 @@ func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []by
 	if err := conn.Send(req); err != nil {
 		return nil, &staleError{err}
 	}
+	trace.Count("schooner.client.rpcs")
 	resp, err := recvTimeout(conn, timeout)
 	if err != nil {
 		if errors.As(err, new(*timeoutError)) {
@@ -830,6 +1019,36 @@ func (l *Line) callOnce(conn wire.Conn, b *binding, imp *uts.ProcSpec, data []by
 		}
 		return nil, &staleError{err}
 	}
+	return callReplyData(resp)
+}
+
+// callPipelined performs one call attempt on the binding's shared
+// demultiplexed connection: the request's sequence number matches it to
+// its reply among every other call in flight on the connection. A
+// timeout abandons the reply but leaves the connection open for the
+// other in-flight calls (the caller invalidates the binding, which
+// closes it for everyone — the retry machinery re-binds).
+func (l *Line) callPipelined(pc *demuxConn, b *binding, imp *uts.ProcSpec, data []byte, timeout time.Duration, sp *trace.Span) ([]byte, error) {
+	req := &wire.Message{
+		Kind: wire.KCall, Seq: l.nextSeq(), Line: l.id,
+		Name: b.exportName, Str: imp.Signature(), Data: data,
+	}
+	inject(req, sp)
+	resp, err := pc.exchange(req, timeout)
+	if err != nil {
+		if errors.As(err, new(*timeoutError)) {
+			trace.Count("schooner.client.timeouts")
+			sp.Annotate("timeout", timeout.String())
+		}
+		return nil, err
+	}
+	return callReplyData(resp)
+}
+
+// callReplyData interprets a procedure call's reply message: a KError
+// carrying the terminated sentinel is stale (the process died under a
+// move or crash — rebind), any other KError is an application error.
+func callReplyData(resp *wire.Message) ([]byte, error) {
 	if resp.Kind == wire.KError {
 		if resp.Err == ErrProcessTerminated {
 			return nil, &staleError{fmt.Errorf("%s", resp.Err)}

@@ -100,6 +100,7 @@ func TestConcurrentCallsAcrossMoves(t *testing.T) {
 
 	stalesBefore := trace.Get("schooner.client.stale")
 	var stop atomic.Bool
+	var moves atomic.Int64
 	var moverWG sync.WaitGroup
 	moverWG.Add(1)
 	go func() {
@@ -110,18 +111,23 @@ func TestConcurrentCallsAcrossMoves(t *testing.T) {
 				t.Errorf("move %d: %v", i, err)
 				return
 			}
+			moves.Add(1)
 			time.Sleep(2 * time.Millisecond)
 		}
 	}()
 
+	// Callers run until several moves have landed (pipelined calls are
+	// fast enough that a fixed iteration count can finish before the
+	// first move), with a floor so every goroutine does real work.
 	const goroutines = 6
-	const iters = 20
+	const minIters = 20
+	const minMoves = 4
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for i := 0; i < iters; i++ {
+			for i := 0; i < minIters || moves.Load() < minMoves; i++ {
 				a, b := float64(g), float64(i)
 				out, err := ln.Call("add", uts.DoubleVal(a), uts.DoubleVal(b))
 				if err != nil {

@@ -31,6 +31,11 @@ type CallPolicy struct {
 	// MaxBackoff caps the doubled delay. Zero selects
 	// DefaultMaxBackoff.
 	MaxBackoff time.Duration
+	// NoPipeline routes every call attempt over a private leased
+	// connection instead of the binding's shared pipelined connection —
+	// the fallback for procedure servers that serve a connection
+	// strictly sequentially and cannot demultiplex concurrent requests.
+	NoPipeline bool
 }
 
 // Defaults for zero CallPolicy fields: bounded, so every call

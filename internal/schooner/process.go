@@ -97,46 +97,93 @@ func (p *process) acceptLoop() {
 	}
 }
 
+// serve reads requests off one connection and dispatches each in its
+// own goroutine, so a pipelined caller's in-flight requests overlap and
+// replies return in completion order (the caller matches them by Seq).
+// Procedure bodies still serialize on p.mu; the concurrency covers the
+// marshaling halves and the reply ordering. KShutdown stays in the read
+// loop because it ends the conversation.
 func (p *process) serve(conn wire.Conn) {
 	defer conn.Close()
+	var sendMu sync.Mutex
+	reply := func(req, resp *wire.Message) {
+		resp.Seq = req.Seq
+		// A failed reply means the connection died; the caller's
+		// receive will fail and recovery happens on its side.
+		sendMu.Lock()
+		_ = conn.Send(resp)
+		sendMu.Unlock()
+	}
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			return
 		}
 		if p.stopped() {
-			p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: ErrProcessTerminated})
+			reply(m, &wire.Message{Kind: wire.KError, Err: ErrProcessTerminated})
 			return
 		}
-		switch m.Kind {
-		case wire.KCall:
-			p.handleCall(conn, m)
-		case wire.KStateGet:
-			p.handleStateGet(conn, m)
-		case wire.KStatePut:
-			p.handleStatePut(conn, m)
-		case wire.KShutdown:
-			p.reply(conn, m, &wire.Message{Kind: wire.KShutdownOK, Seq: m.Seq})
+		if m.Kind == wire.KShutdown {
+			reply(m, &wire.Message{Kind: wire.KShutdownOK})
 			p.stop()
 			return
-		case wire.KPing:
-			p.reply(conn, m, &wire.Message{Kind: wire.KPong, Seq: m.Seq})
-		case wire.KMetrics:
-			p.reply(conn, m, metricsReply())
-		case wire.KFlightDump:
-			p.reply(conn, m, &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())})
-		default:
-			p.reply(conn, m, &wire.Message{Kind: wire.KError, Seq: m.Seq,
-				Err: fmt.Sprintf("schooner: procedure process cannot handle %v", m.Kind)})
 		}
+		go func(m *wire.Message) { reply(m, p.dispatch(m)) }(m)
 	}
 }
 
-func (p *process) reply(conn wire.Conn, req, resp *wire.Message) {
-	resp.Seq = req.Seq
-	// A failed reply means the connection died; the caller's receive
-	// will fail and recovery happens on its side.
-	_ = conn.Send(resp)
+// dispatch computes the reply for one request. It is the entry point
+// both for requests read off a connection and for batch sub-requests a
+// Server fans out in-memory; the caller assigns the reply Seq.
+func (p *process) dispatch(m *wire.Message) *wire.Message {
+	if p.stopped() {
+		return &wire.Message{Kind: wire.KError, Err: ErrProcessTerminated}
+	}
+	switch m.Kind {
+	case wire.KCall:
+		return p.handleCall(m)
+	case wire.KStateGet:
+		return p.handleStateGet(m)
+	case wire.KStatePut:
+		return p.handleStatePut(m)
+	case wire.KBatch:
+		return p.dispatchBatch(m)
+	case wire.KPing:
+		return &wire.Message{Kind: wire.KPong}
+	case wire.KMetrics:
+		return metricsReply()
+	case wire.KFlightDump:
+		return &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
+	default:
+		return &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: procedure process cannot handle %v", m.Kind)}
+	}
+}
+
+// dispatchBatch runs a batch envelope's sub-requests in order — batches
+// may carry calls to stateful procedures, so sub-request order is
+// execution order — and returns one KBatchOK with a reply sub-frame per
+// sub-request. Address tags are ignored: a batch sent directly to a
+// process is already at its destination.
+func (p *process) dispatchBatch(env *wire.Message) *wire.Message {
+	// Replies are roughly request-sized; start at the envelope's size
+	// to avoid growth reallocations. Sub-frames are walked in place
+	// rather than split into a slice first.
+	data := make([]byte, 0, len(env.Data))
+	for rest := env.Data; len(rest) > 0; {
+		sub, r, err := wire.SplitSub(rest)
+		if err != nil {
+			return &wire.Message{Kind: wire.KError, Err: err.Error()}
+		}
+		rest = r
+		resp := p.dispatch(sub.Msg)
+		resp.Seq = sub.Msg.Seq
+		if data, err = wire.AppendSub(data, "", resp); err != nil {
+			return &wire.Message{Kind: wire.KError, Err: err.Error()}
+		}
+	}
+	trace.Count("schooner.proc.batches")
+	return &wire.Message{Kind: wire.KBatchOK, Data: data}
 }
 
 // importSpec resolves the caller's import signature for a procedure:
@@ -162,7 +209,7 @@ func (p *process) importSpec(name, sig string) (*uts.ProcSpec, error) {
 	return spec, nil
 }
 
-func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
+func (p *process) handleCall(m *wire.Message) *wire.Message {
 	// Remote half of the call's span tree: a traced request parents a
 	// dispatch span on this host, with children for the decode half of
 	// the conversion, the procedure body, and the encode half.
@@ -176,9 +223,8 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 		Host: p.host, Line: m.Line, Trace: m.Trace, Span: m.Span, Name: m.Name})
 	bp := p.instance.Find(m.Name, p.program.Language)
 	if bp == nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError,
-			Err: fmt.Sprintf("schooner: no procedure %q in %s", m.Name, p.program.Path)})
-		return
+		return &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: no procedure %q in %s", m.Name, p.program.Path)}
 	}
 	var decode *trace.Span
 	if dispatch != nil {
@@ -186,19 +232,16 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	}
 	imp, err := p.importSpec(m.Name, m.Str)
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	// The import may be a subset of the export; re-verify here (the
 	// Manager checked at bind time, but a direct caller could lie).
 	if err := uts.CheckImport(imp, bp.Spec); err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	sent, err := uts.DecodeParams(m.Data, imp.InParams())
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	// Assemble the full in-parameter list of the export: parameters
 	// omitted by a subset import take their zero values.
@@ -219,9 +262,8 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	for i := range in {
 		nv, err := p.arch.NativeRoundTrip(in[i])
 		if err != nil {
-			p.reply(conn, m, &wire.Message{Kind: wire.KError,
-				Err: fmt.Sprintf("schooner: converting parameter to %s native format: %v", p.arch.Name, err)})
-			return
+			return &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: converting parameter to %s native format: %v", p.arch.Name, err)}
 		}
 		in[i] = nv
 	}
@@ -249,15 +291,13 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	}
 	trace.Count("schooner.proc.calls")
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError,
-			Err: fmt.Sprintf("schooner: %s: %v", m.Name, err)})
-		return
+		return &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: %s: %v", m.Name, err)}
 	}
 	exportOut := bp.Spec.OutParams()
 	if len(out) != len(exportOut) {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError,
-			Err: fmt.Sprintf("schooner: %s returned %d results, export declares %d", m.Name, len(out), len(exportOut))})
-		return
+		return &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: %s returned %d results, export declares %d", m.Name, len(out), len(exportOut))}
 	}
 	// Native-to-UTS conversion of results, then keep only the
 	// out-parameters the import asked for, in import order.
@@ -269,9 +309,8 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	for i, prm := range exportOut {
 		nv, err := p.arch.NativeRoundTrip(out[i])
 		if err != nil {
-			p.reply(conn, m, &wire.Message{Kind: wire.KError,
-				Err: fmt.Sprintf("schooner: converting result %q from %s native format: %v", prm.Name, p.arch.Name, err)})
-			return
+			return &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: converting result %q from %s native format: %v", prm.Name, p.arch.Name, err)}
 		}
 		outByName[prm.Name] = nv
 	}
@@ -282,11 +321,10 @@ func (p *process) handleCall(conn wire.Conn, m *wire.Message) {
 	}
 	data, err := uts.EncodeParams(nil, impOut, results)
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	encode.End()
-	p.reply(conn, m, &wire.Message{Kind: wire.KReply, Data: data})
+	return &wire.Message{Kind: wire.KReply, Data: data}
 }
 
 // stateFor finds the bound procedure by name and checks it supports
@@ -302,48 +340,42 @@ func (p *process) stateFor(name string) (*BoundProc, error) {
 	return bp, nil
 }
 
-func (p *process) handleStateGet(conn wire.Conn, m *wire.Message) {
+func (p *process) handleStateGet(m *wire.Message) *wire.Message {
 	bp, err := p.stateFor(m.Name)
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	p.mu.Lock()
 	vals, err := bp.GetState()
 	p.mu.Unlock()
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	params := stateParams(bp.Spec)
 	data, err := uts.EncodeParams(nil, params, vals)
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError,
-			Err: fmt.Sprintf("schooner: state of %q does not match its state clause: %v", m.Name, err)})
-		return
+		return &wire.Message{Kind: wire.KError,
+			Err: fmt.Sprintf("schooner: state of %q does not match its state clause: %v", m.Name, err)}
 	}
-	p.reply(conn, m, &wire.Message{Kind: wire.KStateOK, Data: data})
+	return &wire.Message{Kind: wire.KStateOK, Data: data}
 }
 
-func (p *process) handleStatePut(conn wire.Conn, m *wire.Message) {
+func (p *process) handleStatePut(m *wire.Message) *wire.Message {
 	bp, err := p.stateFor(m.Name)
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	vals, err := uts.DecodeParams(m.Data, stateParams(bp.Spec))
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
 	p.mu.Lock()
 	err = bp.SetState(vals)
 	p.mu.Unlock()
 	if err != nil {
-		p.reply(conn, m, &wire.Message{Kind: wire.KError, Err: err.Error()})
-		return
+		return &wire.Message{Kind: wire.KError, Err: err.Error()}
 	}
-	p.reply(conn, m, &wire.Message{Kind: wire.KStatePutOK})
+	return &wire.Message{Kind: wire.KStatePutOK}
 }
 
 // stateParams views a spec's state clause as a parameter list for

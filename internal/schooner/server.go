@@ -103,6 +103,8 @@ func (s *Server) serve(conn wire.Conn) {
 		switch m.Kind {
 		case wire.KSpawn:
 			resp = s.handleSpawn(m)
+		case wire.KBatch:
+			resp = s.handleBatch(m)
 		case wire.KStatus:
 			resp = &wire.Message{Kind: wire.KStatusOK,
 				Data: []byte(fmt.Sprintf("schooner server on %s: %d processes\n", s.host, s.ProcessCount()))}
@@ -127,6 +129,42 @@ func (s *Server) serve(conn wire.Conn) {
 			return
 		}
 	}
+}
+
+// handleBatch fans a host-level batch out to this machine's processes:
+// each sub-request is tagged with the address of a process the server
+// spawned, and is dispatched to it in-memory — one wire round trip
+// covers calls to any number of processes on the host. Sub-requests are
+// run in envelope order (batches may touch stateful procedures), and
+// the reply carries one sub-frame per sub-request in the same order.
+func (s *Server) handleBatch(m *wire.Message) *wire.Message {
+	// Replies are roughly request-sized; start at the envelope's size
+	// to avoid growth reallocations. Sub-frames are walked in place
+	// rather than split into a slice first.
+	data := make([]byte, 0, len(m.Data))
+	for rest := m.Data; len(rest) > 0; {
+		sub, r, err := wire.SplitSub(rest)
+		if err != nil {
+			return &wire.Message{Kind: wire.KError, Err: err.Error()}
+		}
+		rest = r
+		s.mu.Lock()
+		p := s.processes[sub.Addr]
+		s.mu.Unlock()
+		var resp *wire.Message
+		if p == nil {
+			resp = &wire.Message{Kind: wire.KError,
+				Err: fmt.Sprintf("schooner: no process at %q on %s", sub.Addr, s.host)}
+		} else {
+			resp = p.dispatch(sub.Msg)
+		}
+		resp.Seq = sub.Msg.Seq
+		if data, err = wire.AppendSub(data, "", resp); err != nil {
+			return &wire.Message{Kind: wire.KError, Err: err.Error()}
+		}
+	}
+	trace.Count("schooner.server.batches")
+	return &wire.Message{Kind: wire.KBatchOK, Data: data}
 }
 
 func (s *Server) handleSpawn(m *wire.Message) *wire.Message {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // The UTS intermediate representation is a canonical big-endian
@@ -180,6 +181,32 @@ func Decode(buf []byte, t *Type) (Value, []byte, error) {
 		return Value{Type: t, Elems: elems}, buf, nil
 	}
 	return Value{}, nil, fmt.Errorf("uts: cannot decode type %v", t)
+}
+
+// encBufPool recycles parameter-marshaling buffers for the call hot
+// path; see GetBuf/PutBuf. Oversized buffers are dropped rather than
+// pooled so one huge array transfer does not pin memory in every slot.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+const poolBufCap = 1 << 16
+
+// GetBuf returns an empty scratch buffer for EncodeParams. Return it
+// with PutBuf once the marshaled bytes have been fully consumed (sent
+// or copied).
+func GetBuf() []byte {
+	return (*(encBufPool.Get().(*[]byte)))[:0]
+}
+
+// PutBuf returns a scratch buffer to the pool. The caller must not
+// retain any slice aliasing buf afterward.
+func PutBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > poolBufCap {
+		return
+	}
+	buf = buf[:0]
+	encBufPool.Put(&buf)
 }
 
 // EncodeParams marshals the values bound to the given parameters in

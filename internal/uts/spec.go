@@ -3,6 +3,7 @@ package uts
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Mode is the parameter passing mode of a procedure parameter.
@@ -55,6 +56,49 @@ type ProcSpec struct {
 	Export bool // true for export declarations, false for import
 	Params []Param
 	State  []Field
+
+	// derived guards the cached forms below. A specification is
+	// immutable once handed to the runtime (Clone to modify), and its
+	// signature and parameter views sit on the per-call marshal path, so
+	// they are computed once instead of per call.
+	derived sync.Once
+	sig     string
+	ins     []Param
+	outs    []Param
+}
+
+// derive fills the cached derived forms.
+func (s *ProcSpec) derive() {
+	s.derived.Do(func() {
+		var b strings.Builder
+		b.WriteString("prog(")
+		nIn, nOut := 0, 0
+		for i, p := range s.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", quoteName(p.Name), p.Mode, p.Type)
+			if p.In() {
+				nIn++
+			}
+			if p.Out() {
+				nOut++
+			}
+		}
+		b.WriteString(")")
+		s.sig = b.String()
+		// Exact-size views: a caller appending to one is forced to copy.
+		s.ins = make([]Param, 0, nIn)
+		s.outs = make([]Param, 0, nOut)
+		for _, p := range s.Params {
+			if p.In() {
+				s.ins = append(s.ins, p)
+			}
+			if p.Out() {
+				s.outs = append(s.outs, p)
+			}
+		}
+	})
 }
 
 // quoteName renders a parameter or field name in specification
@@ -69,16 +113,8 @@ func quoteName(name string) string { return `"` + name + `"` }
 // checking: two specs are call-compatible only if the importing
 // signature is a subset of the exporting one (see CheckImport).
 func (s *ProcSpec) Signature() string {
-	var b strings.Builder
-	b.WriteString("prog(")
-	for i, p := range s.Params {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		fmt.Fprintf(&b, "%s %s %s", quoteName(p.Name), p.Mode, p.Type)
-	}
-	b.WriteString(")")
-	return b.String()
+	s.derive()
+	return s.sig
 }
 
 // String renders the complete declaration in specification syntax.
@@ -114,27 +150,19 @@ func (s *ProcSpec) Param(name string) *Param {
 }
 
 // InParams returns the parameters carried on the call message, in
-// declaration order.
+// declaration order. The returned slice is a shared cached view:
+// callers must not modify it.
 func (s *ProcSpec) InParams() []Param {
-	var out []Param
-	for _, p := range s.Params {
-		if p.In() {
-			out = append(out, p)
-		}
-	}
-	return out
+	s.derive()
+	return s.ins
 }
 
 // OutParams returns the parameters carried on the reply message, in
-// declaration order.
+// declaration order. The returned slice is a shared cached view:
+// callers must not modify it.
 func (s *ProcSpec) OutParams() []Param {
-	var out []Param
-	for _, p := range s.Params {
-		if p.Out() {
-			out = append(out, p)
-		}
-	}
-	return out
+	s.derive()
+	return s.outs
 }
 
 // Clone returns a deep copy of the spec with the given export flag.

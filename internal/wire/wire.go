@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Kind identifies a protocol message.
@@ -119,6 +120,17 @@ const (
 	// KJournalEntry carries one journal record: Data is an 8-byte
 	// big-endian sequence number followed by the record payload.
 	KJournalEntry
+	// KBatch carries several requests in one wire message: Data is a
+	// sequence of addressed sub-frames (AppendSub/SplitSub), each a
+	// complete encoded request, optionally tagged with the address of
+	// the local process it is destined for (a Server fans sub-requests
+	// out to its processes; a process ignores the tags). The envelope's
+	// own Seq correlates the KBatchOK reply.
+	KBatch
+	// KBatchOK answers KBatch: Data carries one unaddressed sub-frame
+	// per sub-request, in request order, each a complete encoded reply
+	// (KReply or KError).
+	KBatchOK
 
 	// kindMax is the decode bound sentinel; every valid Kind is below
 	// it. Keep it last.
@@ -142,6 +154,7 @@ var kindNames = map[Kind]string{
 	KFlightDump: "FlightDump", KFlightDumpOK: "FlightDumpOK",
 	KAttachLine: "AttachLine", KJournalTail: "JournalTail",
 	KJournalEntry: "JournalEntry",
+	KBatch:        "Batch", KBatchOK: "BatchOK",
 }
 
 // String names the message kind for diagnostics.
@@ -215,6 +228,34 @@ func (m *Message) Encode(buf []byte) ([]byte, error) {
 	return append(buf, m.Data...), nil
 }
 
+// encBufPool recycles encode/frame scratch buffers so the steady-state
+// send path stops allocating one exact-size buffer per message. Buffers
+// above poolBufCap are not returned to the pool: one huge state
+// transfer must not pin megabytes in every pooled slot.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// poolBufCap is the largest buffer the pool keeps.
+const poolBufCap = 1 << 16
+
+// GetBuf returns an empty scratch buffer from the pool. Pass it to
+// Message.Encode (or append to it directly) and hand it back with
+// PutBuf once the bytes have been fully consumed.
+func GetBuf() []byte {
+	return (*(encBufPool.Get().(*[]byte)))[:0]
+}
+
+// PutBuf returns a scratch buffer to the pool. The caller must not
+// retain any slice aliasing buf afterward.
+func PutBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > poolBufCap {
+		return
+	}
+	buf = buf[:0]
+	encBufPool.Put(&buf)
+}
+
 // DecodeMessage parses a serialized message, which must be exactly one
 // message with no trailing bytes.
 func DecodeMessage(buf []byte) (*Message, error) {
@@ -277,7 +318,18 @@ type StreamConn struct {
 	rw    io.ReadWriteCloser
 	label string
 	rbuf  []byte
+	// High-water tracking for rbuf: one large message must not pin a
+	// large buffer for the connection's lifetime, so every
+	// rbufShrinkEvery receives the buffer shrinks back toward the
+	// largest frame seen in that window.
+	rhigh  int // largest frame in the current window
+	rcount int // receives since the last shrink check
 }
+
+const (
+	rbufShrinkEvery = 64 // receives between shrink checks
+	rbufMinCap      = 1 << 10
+)
 
 // NewStreamConn wraps a stream; label describes the peer.
 func NewStreamConn(rw io.ReadWriteCloser, label string) *StreamConn {
@@ -286,12 +338,14 @@ func NewStreamConn(rw io.ReadWriteCloser, label string) *StreamConn {
 
 // Send frames and writes one message.
 func (c *StreamConn) Send(m *Message) error {
-	body, err := m.Encode(nil)
+	frame := GetBuf()
+	defer func() { PutBuf(frame) }()
+	frame = binary.BigEndian.AppendUint32(frame, 0)
+	frame, err := m.Encode(frame)
 	if err != nil {
 		return err
 	}
-	frame := binary.BigEndian.AppendUint32(make([]byte, 0, 4+len(body)), uint32(len(body)))
-	frame = append(frame, body...)
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
 	_, err = c.rw.Write(frame)
 	return err
 }
@@ -309,11 +363,31 @@ func (c *StreamConn) Recv() (*Message, error) {
 	if cap(c.rbuf) < int(n) {
 		c.rbuf = make([]byte, n)
 	}
+	if int(n) > c.rhigh {
+		c.rhigh = int(n)
+	}
 	buf := c.rbuf[:n]
 	if _, err := io.ReadFull(c.rw, buf); err != nil {
 		return nil, err
 	}
-	return DecodeMessage(buf)
+	m, err := DecodeMessage(buf)
+	c.maybeShrink()
+	return m, err
+}
+
+// maybeShrink releases rbuf when its capacity exceeds 4x the largest
+// frame of the recent window, so a single outsized message (a state
+// transfer, a flight dump) stops pinning memory once traffic returns
+// to normal.
+func (c *StreamConn) maybeShrink() {
+	c.rcount++
+	if c.rcount < rbufShrinkEvery {
+		return
+	}
+	if want := max(c.rhigh, rbufMinCap); cap(c.rbuf) > 4*want {
+		c.rbuf = make([]byte, 0, want)
+	}
+	c.rcount, c.rhigh = 0, 0
 }
 
 // Close closes the underlying stream.
