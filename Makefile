@@ -5,8 +5,11 @@ GO ?= go
 # snapshot and compares it (warn-only) against the newest previous
 # one; `make bench-check` fails on a >15% regression of ns/op,
 # allocs/op, or rpcs/op.
-BENCH_NEW  ?= BENCH_7.json
-BENCH_BASE ?= $(lastword $(sort $(filter-out $(BENCH_NEW),$(wildcard BENCH_*.json))))
+# The baseline is discovered numerically (`bench-snapshot latest`):
+# make's $(sort) is lexicographic and would rank BENCH_9 above
+# BENCH_10 once the trajectory reaches two digits.
+BENCH_NEW  ?= BENCH_8.json
+BENCH_BASE ?= $(shell $(GO) run ./cmd/bench-snapshot latest -exclude $(BENCH_NEW))
 
 .PHONY: all test race bench bench-check
 

@@ -7,9 +7,13 @@
 // repo's history carries how the RPC path's cost evolved alongside the
 // code that changed it.
 //
-//	go test -run '^$' -bench 'Table2|RPC_' -benchmem . | bench-snapshot snap -out BENCH_7.json
-//	bench-snapshot compare BENCH_6.json BENCH_7.json          # exit 1 on >15% regression
-//	bench-snapshot compare -warn BENCH_6.json BENCH_7.json    # report only
+//	go test -run '^$' -bench 'Table2|RPC_' -benchmem . | bench-snapshot snap -out BENCH_8.json
+//	bench-snapshot compare BENCH_7.json BENCH_8.json          # exit 1 on >15% regression
+//	bench-snapshot compare -warn BENCH_7.json BENCH_8.json    # report only
+//	bench-snapshot latest -exclude BENCH_8.json               # highest-numbered baseline
+//
+// latest picks the baseline numerically (BENCH_10.json beats
+// BENCH_9.json), where a lexicographic directory sort would not.
 package main
 
 import (
@@ -66,6 +70,18 @@ func main() {
 		if regressed && !*warn {
 			os.Exit(1)
 		}
+	case "latest":
+		fs := flag.NewFlagSet("latest", flag.ExitOnError)
+		dir := fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+		exclude := fs.String("exclude", "", "file name to skip (the snapshot about to be written)")
+		fs.Parse(os.Args[2:])
+		name, err := latest(*dir, *exclude)
+		if err != nil {
+			fatal(err)
+		}
+		if name != "" {
+			fmt.Println(name)
+		}
 	default:
 		usage()
 	}
@@ -74,7 +90,42 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bench-snapshot snap [-in bench.txt] [-out BENCH_n.json]")
 	fmt.Fprintln(os.Stderr, "       bench-snapshot compare [-warn] baseline.json new.json")
+	fmt.Fprintln(os.Stderr, "       bench-snapshot latest [-dir .] [-exclude BENCH_n.json]")
 	os.Exit(2)
+}
+
+// latest scans dir for integer-numbered BENCH_<n>.json files and
+// returns the highest-numbered one's name — the numeric order a
+// lexicographic sort breaks at BENCH_10. An empty name (and nil
+// error) means no trajectory point exists yet.
+func latest(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == exclude {
+			continue
+		}
+		numPart, ok := strings.CutPrefix(name, "BENCH_")
+		if !ok {
+			continue
+		}
+		numPart, ok = strings.CutSuffix(numPart, ".json")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(numPart)
+		if err != nil || n < 0 {
+			continue
+		}
+		if n > bestN {
+			best, bestN = name, n
+		}
+	}
+	return best, nil
 }
 
 func fatal(err error) {

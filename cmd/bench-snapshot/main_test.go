@@ -96,3 +96,34 @@ func TestCompareMissingBaseline(t *testing.T) {
 		t.Errorf("missing-baseline notice absent:\n%s", out.String())
 	}
 }
+
+func TestLatestPicksNumericMax(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2.json", "BENCH_9.json", "BENCH_10.json", "BENCH_11.json",
+		"BENCH_x.json", "BENCH_3.txt", "notes.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latest(dir, "BENCH_11.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BENCH_11 is the snapshot being written; BENCH_10 must beat
+	// BENCH_9 despite sorting before it lexicographically.
+	if got != "BENCH_10.json" {
+		t.Fatalf("latest = %q, want BENCH_10.json", got)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	got, err := latest(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Fatalf("latest in empty dir = %q, want empty", got)
+	}
+}

@@ -21,6 +21,13 @@
 //	                                       # scenario (not part of "all";
 //	                                       # it checks invariants rather
 //	                                       # than producing an artifact)
+//	npss-exp -exp chaos -report out.html -trace out.json
+//	                                       # a self-contained HTML report
+//	                                       # of the faulty run: per-host
+//	                                       # load timelines, latency
+//	                                       # heatmaps, and tail-latency
+//	                                       # exemplars whose span IDs
+//	                                       # resolve in out.json
 package main
 
 import (
@@ -28,9 +35,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"time"
 
 	"npss/internal/exper"
 	"npss/internal/logx"
+	"npss/internal/report"
 	"npss/internal/telemetry"
 	"npss/internal/trace"
 )
@@ -49,7 +59,11 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	seed := flag.Int64("seed", 1, "scenario seed for the dst experiment")
 	ops := flag.Int("ops", 40, "operation count for the dst experiment")
+	reportOut := flag.String("report", "", "write a self-contained HTML report of the chaos or dst run to this file")
+	reportJSON := flag.String("report-json", "", "write the machine-readable report bundle (series, events) as JSON to this file")
+	seriesInterval := flag.Duration("series-interval", 0, "time-series sampling window (0 picks a default when -report/-report-json is set: 25ms wall for chaos, 50ms virtual for dst)")
 	flag.Parse()
+	reporting := *reportOut != "" || *reportJSON != ""
 	if err := logx.SetLevelName(*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -74,6 +88,21 @@ func main() {
 	// the in-process cluster shares one trace set, so merging the
 	// per-experiment exports yields the cluster-wide roll-up.
 	var agg trace.MetricsSnapshot
+
+	// reportData is filled by the chaos or dst experiment when -report
+	// or -report-json is set, and rendered after the runs finish; dst
+	// writes eagerly instead and records that via reportWritten.
+	var reportData *report.Data
+	reportWritten := false
+	// chaosInterval and dstInterval are the sampling windows a report
+	// uses when -series-interval is left at its zero default: chaos
+	// samples wall time, dst samples virtual time (which a scenario
+	// covers much faster than real time).
+	chaosInterval, dstInterval := *seriesInterval, *seriesInterval
+	if reporting && *seriesInterval == 0 {
+		chaosInterval = 25 * time.Millisecond
+		dstInterval = 50 * time.Millisecond
+	}
 
 	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel, Batch: *batch}
 
@@ -138,16 +167,43 @@ func main() {
 		},
 		"chaos": func() {
 			fmt.Println("== Chaos: Table 2 workload under loss, flaps, and a machine crash ==")
-			r := exper.Chaos(exper.ChaosSpec{Run: spec})
+			r := exper.Chaos(exper.ChaosSpec{Run: spec, SeriesInterval: chaosInterval})
 			// The chaos run records into its own scoped trace set; fold
 			// its snapshot into the -metrics aggregate explicitly.
 			agg.Merge(r.Metrics)
 			fmt.Print(exper.FormatChaos(r))
+			if reporting {
+				reportData = &report.Data{
+					Title:        fmt.Sprintf("chaos seed=%d: Table 2 workload, crash of %s at step %d", *seed, r.CrashHost, r.CrashStep),
+					Series:       r.Series,
+					Events:       r.Events,
+					TimelineFile: timelineName(*traceOut),
+					Notes: []string{
+						fmt.Sprintf("faults: loss + jitter + link flaps on every client link; %s down mid-transient", r.CrashHost),
+						fmt.Sprintf("converged=%v maxRelErr=%.2e rpcs=%d wall=%s", r.Row.Converged, r.Row.MaxRelErr, r.Row.RPCs, r.Row.Wall.Round(time.Millisecond)),
+					},
+				}
+			}
 		},
 		"dst": func() {
 			fmt.Println("== DST: deterministic cluster simulation in virtual time ==")
-			report, ok := exper.DSTReport(*seed, *ops)
-			fmt.Print(report)
+			out, series, ok := exper.DSTReport(*seed, *ops, dstInterval)
+			fmt.Print(out)
+			if reporting {
+				reportData = &report.Data{
+					Title:  fmt.Sprintf("dst seed=%d ops=%d", *seed, *ops),
+					Series: series,
+					Notes: []string{
+						"virtual-time series: windows advance with the scenario's simulated clock",
+						fmt.Sprintf("invariants held: %v", ok),
+					},
+				}
+				// Written here, not at exit: a violation exits nonzero
+				// below and the report must survive that.
+				writeReports(reportData, *reportOut, *reportJSON)
+				reportData = nil
+				reportWritten = true
+			}
 			if !ok {
 				os.Exit(1)
 			}
@@ -188,6 +244,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if reportData != nil {
+		writeReports(reportData, *reportOut, *reportJSON)
+	} else if reporting && !reportWritten {
+		fmt.Fprintln(os.Stderr, "npss-exp: -report/-report-json need the chaos or dst experiment; no report written")
+	}
 	if *metricsOut != "" {
 		data, err := agg.EncodeJSON()
 		if err != nil {
@@ -198,6 +259,37 @@ func main() {
 		}
 		fmt.Printf("npss-exp: wrote %d counters and %d histograms to %s\n",
 			len(agg.Counters), len(agg.Hists), *metricsOut)
+	}
+}
+
+// timelineName is the timeline file a report links exemplar spans to:
+// the base name, since report and timeline sit side by side.
+func timelineName(traceOut string) string {
+	if traceOut == "" {
+		return ""
+	}
+	return filepath.Base(traceOut)
+}
+
+// writeReports renders the HTML and/or JSON report of a chaos or dst
+// run.
+func writeReports(d *report.Data, htmlOut, jsonOut string) {
+	if htmlOut != "" {
+		if err := os.WriteFile(htmlOut, report.HTML(*d), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("npss-exp: wrote report (%d series windows, %d events) to %s\n",
+			len(d.Series.Windows), len(d.Events), htmlOut)
+	}
+	if jsonOut != "" {
+		data, err := report.JSON(*d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("npss-exp: wrote report bundle to %s\n", jsonOut)
 	}
 }
 

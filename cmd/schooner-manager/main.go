@@ -27,9 +27,10 @@
 //
 // prints its live lines, the health monitor's view of the machines,
 // and the trace counters, then exits. With -hosts the status query
-// also rolls the Servers' metric snapshots into a cluster-wide
-// aggregate. -telemetry :9100 serves the same data live over HTTP
-// (/metrics, /statusz, /flightz, /debug/pprof).
+// also rolls the Servers' metric snapshots — and, when the daemons
+// run with -series-interval, their windowed time series — into a
+// cluster-wide aggregate. -telemetry :9100 serves the same data live
+// over HTTP (/metrics, /statusz, /flightz, /seriesz, /debug/pprof).
 package main
 
 import (
@@ -46,6 +47,7 @@ import (
 	"npss/internal/schooner"
 	"npss/internal/telemetry"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 	"npss/internal/wal"
 	"npss/internal/wire"
 )
@@ -60,6 +62,7 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the control-plane write-ahead journal (empty = no durability)")
 	doRecover := flag.Bool("recover", false, "rebuild the name database from the -wal journal and re-adopt surviving processes before serving")
 	ckInterval := flag.Duration("checkpoint-interval", 0, "cadence for pulling stateful-procedure checkpoints into the journal (0 = off)")
+	seriesInterval := flag.Duration("series-interval", 0, "sample windowed metric series on this cadence, served at /seriesz, over the Series RPC, and in -status (0 = off)")
 	flag.Parse()
 	if err := logx.SetLevelName(*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -112,6 +115,15 @@ func main() {
 	if err != nil {
 		lg.Error("manager start failed", "err", err)
 		os.Exit(1)
+	}
+	if *seriesInterval > 0 {
+		sampler := tseries.Start(tseries.Config{Interval: *seriesInterval})
+		tseries.SetActive(sampler)
+		defer func() {
+			tseries.SetActive(nil)
+			sampler.Stop()
+		}()
+		lg.Info("series sampling", "interval", *seriesInterval)
 	}
 	lg.Info("serving", "listen", *listen, "endpoint", *host+":schx-manager",
 		"wal", *walDir, "recovered", *doRecover)
@@ -173,6 +185,27 @@ func clusterStatus(managerAddr, hostTable string) (string, error) {
 		agg.Merge(snap)
 	}
 	report += agg.Format()
+
+	// Series roll-up: same sources, aligned window-by-window. Daemons
+	// running without -series-interval answer with empty series; the
+	// section only appears when someone actually sampled.
+	var aggSeries tseries.Series
+	for _, src := range sources {
+		data, err := queryKind(src.addr, wire.KSeries, wire.KSeriesOK)
+		if err != nil {
+			report += fmt.Sprintf("(%s at %s series unreachable: %v)\n", src.name, src.addr, err)
+			continue
+		}
+		s, err := tseries.DecodeSeries(data)
+		if err != nil {
+			return "", fmt.Errorf("schooner-manager: %s series: %w", src.name, err)
+		}
+		aggSeries.Merge(s)
+	}
+	if len(aggSeries.Windows) > 0 {
+		report += "-- cluster series --\n"
+		report += aggSeries.Format()
+	}
 	return report, nil
 }
 

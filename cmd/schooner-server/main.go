@@ -20,6 +20,7 @@ import (
 	"npss/internal/npssproc"
 	"npss/internal/schooner"
 	"npss/internal/telemetry"
+	"npss/internal/tseries"
 	"npss/internal/uts"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	listen := flag.String("listen", "", "socket address to listen on (must match this host's -hosts entry)")
 	hostTable := flag.String("hosts", "", "server table: name=arch@ip:port[,...]")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /statusz, /flightz and pprof on this address")
+	seriesInterval := flag.Duration("series-interval", 0, "sample windowed metric series on this cadence, served at /seriesz and over the Series RPC (0 = off)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
 	if err := logx.SetLevelName(*logLevel); err != nil {
@@ -79,6 +81,15 @@ func main() {
 		os.Exit(1)
 	}
 	lg.Info("serving", "listen", *listen, "programs", fmt.Sprint(reg.Paths()))
+	if *seriesInterval > 0 {
+		sampler := tseries.Start(tseries.Config{Interval: *seriesInterval})
+		tseries.SetActive(sampler)
+		defer func() {
+			tseries.SetActive(nil)
+			sampler.Stop()
+		}()
+		lg.Info("series sampling", "interval", *seriesInterval)
+	}
 
 	if *telemetryAddr != "" {
 		ts, err := telemetry.Start(*telemetryAddr, telemetry.Config{

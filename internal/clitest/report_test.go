@@ -1,0 +1,111 @@
+package clitest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npss/internal/report"
+)
+
+// TestNpssExpChaosReport is the report plane's end-to-end proof: one
+// chaos run with -report/-report-json/-trace must yield a
+// self-contained HTML report whose per-host timeline shows the
+// crashed machine's calls stopping mid-run, and whose tail-latency
+// exemplars carry span IDs that resolve in the same run's Chrome
+// timeline.
+func TestNpssExpChaosReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs a multi-second experiment")
+	}
+	bin := build(t, "npss/cmd/npss-exp")
+	dir := t.TempDir()
+	htmlFile := filepath.Join(dir, "chaos-report.html")
+	jsonFile := filepath.Join(dir, "chaos-report.json")
+	traceFile := filepath.Join(dir, "chaos-timeline.json")
+
+	out := run(t, bin, "-exp", "chaos", "-transient", "0.1",
+		"-trace", traceFile, "-report", htmlFile, "-report-json", jsonFile)
+	if !strings.Contains(out, "converged=true") {
+		t.Fatalf("chaos run did not converge:\n%s", out)
+	}
+	if !strings.Contains(out, "wrote report") {
+		t.Fatalf("report note missing from output:\n%s", out)
+	}
+
+	// The HTML report: self-contained, with the load timeline and the
+	// crashed host in it.
+	html, err := os.ReadFile(htmlFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(html)
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "rs6000-lerc", "Tail-latency exemplars", "chaos-timeline.json"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "<script", "src=", "@import"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("report not self-contained: found %q", banned)
+		}
+	}
+
+	// The JSON bundle: the series must show the crash — the RS/6000
+	// takes calls early and none after the failover settles.
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d report.Data
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("report bundle does not parse: %v", err)
+	}
+	n := len(d.Series.Windows)
+	if n < 4 {
+		t.Fatalf("series has only %d windows", n)
+	}
+	const crashedKey = "schooner.client.calls{host=rs6000-lerc}"
+	var before, tail int64
+	for i, w := range d.Series.Windows {
+		if i >= n-3 {
+			tail += w.Counters[crashedKey]
+		} else {
+			before += w.Counters[crashedKey]
+		}
+	}
+	if before == 0 {
+		t.Errorf("no calls to the crashed host before the crash; series keys: %v", d.Series.Keys(false))
+	}
+	if tail != 0 {
+		t.Errorf("crashed host still serving %d calls in the final windows", tail)
+	}
+
+	// Exemplars link into the timeline: at least one captured span ID
+	// must appear among the timeline's span args (non-padded hex on
+	// both sides).
+	timeline, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exemplars, resolved := 0, 0
+	for _, w := range d.Series.Windows {
+		for _, h := range w.Hists {
+			for _, ex := range h.Exemplars {
+				exemplars++
+				if ex.Span != 0 && strings.Contains(string(timeline), fmt.Sprintf(`"span":"%x"`, ex.Span)) {
+					resolved++
+				}
+			}
+		}
+	}
+	if exemplars == 0 {
+		t.Fatal("no exemplars captured in the series")
+	}
+	if resolved == 0 {
+		t.Errorf("none of %d exemplar span IDs resolve in the timeline", exemplars)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"npss/internal/netsim"
 	"npss/internal/schooner"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 	"npss/internal/uts"
 	"npss/internal/vclock"
 	"npss/internal/wal"
@@ -35,6 +37,12 @@ type Config struct {
 	// never restarted in place: the scenario converges through standby
 	// takeover and client reattachment instead.
 	Standby bool
+	// SeriesInterval, when positive, runs a windowed time-series
+	// sampler on the scenario's virtual clock, closing a window every
+	// interval of simulated time. The sanitized series lands in
+	// Result.Series and must be bit-identical across same-schedule
+	// replays.
+	SeriesInterval time.Duration
 }
 
 // Violation is one invariant failure, tied to the op after which it
@@ -63,6 +71,12 @@ type Result struct {
 	// RealElapsed is the wall-clock cost of simulating it.
 	VirtualElapsed time.Duration
 	RealElapsed    time.Duration
+	// Series is the sanitized windowed metric series when
+	// Config.SeriesInterval was set: virtual-time windows with the
+	// teardown-racy heartbeat families removed and trailing empty
+	// windows trimmed, so same-schedule replays encode byte-identical
+	// series.
+	Series tseries.Series
 }
 
 // signatureKeys are the counters included in Result.Signature: every
@@ -97,6 +111,52 @@ var signatureKeys = []string{
 // verifyIDBase is the call-ID space for the driver's own invariant
 // verification calls, disjoint from generated bump and work IDs.
 const verifyIDBase = 1 << 30
+
+// seriesPhase offsets sampler window boundaries from every round
+// virtual instant where a periodic cluster timer could fire at the
+// same moment (25ms standby heartbeats, probe periods), so the
+// advancer always delivers the sampler tick alone.
+const seriesPhase = 311*time.Microsecond + 7*time.Nanosecond
+
+// racySeriesCounters are the counter families whose post-converge
+// tail makes the final windows schedule-dependent: heartbeats keep
+// ticking for however many probe periods teardown takes (the same
+// reason signatureKeys excludes them). sanitizeSeries strips them so
+// replayed series compare byte-identical.
+var racySeriesCounters = map[string]bool{
+	"schooner.manager.heartbeats": true,
+	"schooner.standby.heartbeats": true,
+}
+
+// sanitizeSeries removes the teardown-racy counter families from
+// every window, then trims trailing windows left with no samples at
+// all — the nondeterministic tail between convergence and sampler
+// stop. What remains is a pure function of the op schedule.
+func sanitizeSeries(s tseries.Series) tseries.Series {
+	for i := range s.Windows {
+		for key := range s.Windows[i].Counters {
+			if racySeriesCounters[baseKey(key)] {
+				delete(s.Windows[i].Counters, key)
+			}
+		}
+	}
+	for len(s.Windows) > 0 {
+		last := s.Windows[len(s.Windows)-1]
+		if len(last.Counters) > 0 || len(last.Hists) > 0 {
+			break
+		}
+		s.Windows = s.Windows[:len(s.Windows)-1]
+	}
+	return s
+}
+
+// baseKey strips a metric key's label set.
+func baseKey(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
 
 // ledger records every commit a procedure process performs, keyed by
 // (call ID, attempt number). The bump procedure is called with no
@@ -167,6 +227,7 @@ type cluster struct {
 	// checkpoints.
 	backend       *wal.MemBackend
 	standby       *schooner.Standby
+	sampler       *tseries.Sampler
 	mgrDown       bool
 	preCrash      map[uint32][]string
 	restoredTotal map[string]int
@@ -377,6 +438,19 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 	set := trace.NewSet()
 	prevSet := trace.Swap(set)
 	prevClock := schooner.SwapClock(c.v)
+	if cfg.SeriesInterval > 0 {
+		// The phase offset keeps window boundaries off the round
+		// virtual instants where periodic timers (heartbeats, probes)
+		// fire, so under the advancer's quiescence ordering a sampler
+		// tick never races a same-instant workload timer.
+		c.sampler = tseries.Start(tseries.Config{
+			Interval: cfg.SeriesInterval,
+			Phase:    seriesPhase,
+			Clock:    c.v,
+			Source:   set.Export,
+		})
+		tseries.SetActive(c.sampler)
+	}
 
 	c.net = netsim.New()
 	c.net.SetClock(c.v)
@@ -481,6 +555,17 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 	for _, k := range signatureKeys {
 		res.Signature[k] = set.Get(k)
 	}
+	if c.sampler != nil {
+		// Stop the sampler while the virtual clock still runs so the
+		// final partial window flushes at a virtual instant, then
+		// sanitize: the heartbeat counter families tick during the
+		// nondeterministic post-converge tail (the same reason
+		// signatureKeys excludes them), so they are dropped and the
+		// then-empty trailing windows trimmed.
+		tseries.SetActive(nil)
+		c.sampler.Stop()
+		res.Series = sanitizeSeries(c.sampler.Snapshot())
+	}
 	teardown(c, prevClock, prevSet)
 	res.RealElapsed = time.Since(realStart)
 	return res, nil
@@ -492,6 +577,13 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 // stopping it releases any straggling virtual sleepers — and finally
 // the global clock and metric set are restored.
 func teardown(c *cluster, prevClock vclock.Clock, prevSet *trace.Set) {
+	if c.sampler != nil {
+		// Normally already stopped by the success path; on an error
+		// path this releases the sampler's virtual-clock timer before
+		// the clock halts. Stop is idempotent.
+		tseries.SetActive(nil)
+		c.sampler.Stop()
+	}
 	if c.standby != nil {
 		c.standby.Stop()
 		if pm := c.standby.Manager(); pm != nil && pm != c.mgr {

@@ -1,6 +1,7 @@
 package dst
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -192,5 +193,66 @@ func TestVirtualTimeNotWallTime(t *testing.T) {
 	}
 	if res.RealElapsed > res.VirtualElapsed {
 		t.Fatalf("real time %v exceeded virtual time %v: something slept on the wall clock", res.RealElapsed, res.VirtualElapsed)
+	}
+}
+
+// TestSeriesReplayIdentical runs the same schedule twice with the
+// windowed sampler on and demands byte-identical series JSON — the
+// property that lets a chaos report from a DST run be regenerated
+// from nothing but the seed.
+func TestSeriesReplayIdentical(t *testing.T) {
+	cfg := Config{Seed: 42, Ops: 40, Hosts: 3, SeriesInterval: 50 * time.Millisecond}
+	ops := Generate(cfg.Seed, cfg.Ops, workerHosts(cfg.Hosts))
+	first, err := Replay(cfg, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Series.Windows) == 0 {
+		t.Fatal("sampler produced no windows")
+	}
+	var sampled int64
+	for _, w := range first.Series.Windows {
+		for key := range w.Counters {
+			if racySeriesCounters[baseKey(key)] {
+				t.Fatalf("sanitized series still carries racy counter %q", key)
+			}
+		}
+		sampled += w.Counters["schooner.client.calls"]
+	}
+	if sampled == 0 {
+		t.Fatalf("windows carry no client calls:\n%s", first.Series.Format())
+	}
+	if last := first.Series.Windows[len(first.Series.Windows)-1]; len(last.Counters) == 0 && len(last.Hists) == 0 {
+		t.Fatal("trailing empty window not trimmed")
+	}
+	firstJSON, err := first.Series.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := Replay(cfg, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resJSON, err := res.Series.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(firstJSON, resJSON) {
+			t.Fatalf("run %d: series diverged:\nfirst:\n%s\nnow:\n%s",
+				i, first.Series.Format(), res.Series.Format())
+		}
+	}
+}
+
+// TestSeriesOffByDefault confirms a plain run allocates no sampler
+// and returns an empty series.
+func TestSeriesOffByDefault(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Ops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series.Windows) != 0 {
+		t.Fatalf("series sampled without SeriesInterval: %d windows", len(res.Series.Windows))
 	}
 }

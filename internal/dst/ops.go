@@ -84,20 +84,20 @@ const (
 )
 
 var opNames = map[OpKind]string{
-	OpSpawnLine:  "spawn-line",
-	OpQuitLine:   "quit-line",
-	OpStartProc:  "start-proc",
-	OpCall:       "call",
-	OpSlow:       "slow-call",
-	OpBurst:      "burst",
-	OpWork:       "work",
-	OpMove:       "move",
-	OpMoveShared: "move-shared",
-	OpCrash:      "crash",
-	OpRestore:    "restore",
-	OpPartition:  "partition",
-	OpHeal:       "heal",
-	OpSettle:     "settle",
+	OpSpawnLine:      "spawn-line",
+	OpQuitLine:       "quit-line",
+	OpStartProc:      "start-proc",
+	OpCall:           "call",
+	OpSlow:           "slow-call",
+	OpBurst:          "burst",
+	OpWork:           "work",
+	OpMove:           "move",
+	OpMoveShared:     "move-shared",
+	OpCrash:          "crash",
+	OpRestore:        "restore",
+	OpPartition:      "partition",
+	OpHeal:           "heal",
+	OpSettle:         "settle",
 	OpAcc:            "acc",
 	OpCheckpointNow:  "checkpoint-now",
 	OpManagerCrash:   "manager-crash",

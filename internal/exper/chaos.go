@@ -11,6 +11,7 @@ import (
 	"npss/internal/netsim"
 	"npss/internal/schooner"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 )
 
 // ChaosSpec configures the chaos experiment: the Table 2 combined
@@ -47,6 +48,11 @@ type ChaosSpec struct {
 	// Health is the Manager's monitoring policy (default: 5ms sweeps,
 	// 3 missed probes declare a machine dead).
 	Health schooner.HealthPolicy
+	// SeriesInterval, when positive, samples windowed metric series
+	// (with tail-latency exemplars) over the faulty run, landing in
+	// ChaosResult.Series — the raw material for the per-run HTML
+	// report.
+	SeriesInterval time.Duration
 }
 
 func (s *ChaosSpec) defaults() {
@@ -125,6 +131,18 @@ type ChaosResult struct {
 	// run scopes its trace sets, so this is the only way its metrics
 	// escape the experiment.
 	Metrics trace.MetricsSnapshot
+	// Series is the windowed metric series of the faulty run when
+	// ChaosSpec.SeriesInterval was set: per-host call rates, per-proc
+	// latency quantiles, and the slowest spans per window.
+	Series tseries.Series
+	// Events is the flight recorder's view of the faulty run — the
+	// crash, the health-down verdict, and the failovers, timestamped
+	// on the same clock as Series so a report can overlay them.
+	Events []flight.Event
+	// FlightDump is the recorder dump captured at the moment of a
+	// failed run, while the sampler was still active — so it includes
+	// the series-tail section. Empty on success.
+	FlightDump string
 }
 
 // Chaos runs the paper's Table 2 combined test — the TESS F100
@@ -209,6 +227,24 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	tb.Net.ResetStats()
 	chaosSet := trace.NewSet()
 	trace.Swap(chaosSet)
+	// Scope the flight recorder to the faulty run, big enough that
+	// tens of thousands of per-call events cannot evict the handful of
+	// transition events (crash, failovers) the report overlays.
+	chaosRec := flight.NewRecorder(1 << 16)
+	prevRec := flight.Swap(chaosRec)
+	defer flight.Swap(prevRec)
+	var sampler *tseries.Sampler
+	if spec.SeriesInterval > 0 {
+		// Sample the faulty run only: the sampler reads the scoped
+		// chaos set on the real clock, and installing it as the active
+		// sampler routes the runtime's per-call exemplars (trace/span
+		// IDs of the slowest calls) into the windows.
+		sampler = tseries.Start(tseries.Config{
+			Interval: spec.SeriesInterval,
+			Source:   chaosSet.Export,
+		})
+		tseries.SetActive(sampler)
+	}
 
 	// The crash: mid-transient, the chosen machine goes silent and
 	// stays down. Every connection to it is dead from that instant —
@@ -224,6 +260,25 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	start := time.Now()
 	remote, err := exec.Run(core.RunOptions{Observe: observe})
 	row.Wall = time.Since(start)
+	if err != nil {
+		// Capture the dump before deactivating the sampler so it ships
+		// with the "-- series tail --" section: the last windows before
+		// the failure, alongside the last events.
+		res.FlightDump = flight.DumpString()
+	}
+	if sampler != nil {
+		tseries.SetActive(nil)
+		sampler.Stop()
+		res.Series = sampler.Snapshot()
+	}
+	// Keep the faulty run's transition events: they share the series'
+	// clock, so the crash and the failovers overlay its timeline. The
+	// per-call kinds stay out — the series already aggregates them.
+	for _, e := range chaosRec.Events() {
+		if e.Kind.IsTransition() {
+			res.Events = append(res.Events, e)
+		}
+	}
 
 	res.Counters = make(map[string]int64, len(chaosCounters))
 	for _, k := range chaosCounters {
@@ -261,8 +316,13 @@ func FormatChaos(r *ChaosResult) string {
 		fmt.Fprintf(&b, "ERROR: %v\n", r.Row.Err)
 		// A chaos run that failed to converge is a harness violation:
 		// dump the flight recorder so the failure ships with the last
-		// things every component did.
-		b.WriteString(flight.DumpString())
+		// things every component did (and, when sampling was on, the
+		// last series windows).
+		if r.FlightDump != "" {
+			b.WriteString(r.FlightDump)
+		} else {
+			b.WriteString(flight.DumpString())
+		}
 	} else {
 		fmt.Fprintf(&b, "converged=%v steadyIters=%d maxRelErr=%.2e rpcs=%d wall=%s\n",
 			r.Row.Converged, r.Row.SteadyIters, r.Row.MaxRelErr, r.Row.RPCs, r.Row.Wall.Round(time.Millisecond))

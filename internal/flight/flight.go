@@ -29,30 +29,30 @@ import (
 type Kind uint8
 
 const (
-	KindInvalid Kind = iota
-	KindCallAttempt      // client: one attempt of a Line.Call
-	KindCallRetry        // client: attempt failed, will retry
-	KindCallFail         // client: call terminally failed
-	KindBind             // client: bound a procedure to a process
-	KindRebind           // client: invalidated a cached binding
-	KindSpawn            // manager/server: process spawned
-	KindLineRegister     // manager: line registered
-	KindLineQuit         // manager: line quit
-	KindMigration        // manager: procedure moved between hosts
-	KindHealthDown       // manager: host transitioned to down
-	KindHealthUp         // manager: host transitioned back up
-	KindFailover         // manager: stateless procs re-homed off a dead host
-	KindFaultInject      // netsim: fault model dropped/killed a message
-	KindDispatch         // process: procedure invocation dispatched
-	KindPanic            // any: panic captured before re-raise
-	KindViolation        // dst/chaos: invariant violation detected
-	KindNote             // anything else worth keeping
-	KindCheckpoint       // manager: stateful procedure state journaled
-	KindStateRestore     // manager: stateful proc restored from checkpoint
-	KindFailoverSkip     // manager: stateful proc NOT failed over (no checkpoint)
-	KindReadopt          // manager: surviving process re-adopted after recovery
-	KindRecover          // manager: name database rebuilt from the journal
-	KindTakeover         // standby: leader declared dead, standby promoted
+	KindInvalid      Kind = iota
+	KindCallAttempt       // client: one attempt of a Line.Call
+	KindCallRetry         // client: attempt failed, will retry
+	KindCallFail          // client: call terminally failed
+	KindBind              // client: bound a procedure to a process
+	KindRebind            // client: invalidated a cached binding
+	KindSpawn             // manager/server: process spawned
+	KindLineRegister      // manager: line registered
+	KindLineQuit          // manager: line quit
+	KindMigration         // manager: procedure moved between hosts
+	KindHealthDown        // manager: host transitioned to down
+	KindHealthUp          // manager: host transitioned back up
+	KindFailover          // manager: stateless procs re-homed off a dead host
+	KindFaultInject       // netsim: fault model dropped/killed a message
+	KindDispatch          // process: procedure invocation dispatched
+	KindPanic             // any: panic captured before re-raise
+	KindViolation         // dst/chaos: invariant violation detected
+	KindNote              // anything else worth keeping
+	KindCheckpoint        // manager: stateful procedure state journaled
+	KindStateRestore      // manager: stateful proc restored from checkpoint
+	KindFailoverSkip      // manager: stateful proc NOT failed over (no checkpoint)
+	KindReadopt           // manager: surviving process re-adopted after recovery
+	KindRecover           // manager: name database rebuilt from the journal
+	KindTakeover          // standby: leader declared dead, standby promoted
 
 	kindMax
 )
@@ -89,6 +89,21 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsTransition reports whether k marks a cluster-shape change — a
+// crash, failover, takeover, migration, recovery, or violation —
+// rather than per-call traffic. Transition events are the ones a
+// run report overlays on its load timeline, and the ones worth
+// keeping verbatim when the per-call kinds would flood a capture.
+func (k Kind) IsTransition() bool {
+	switch k {
+	case KindHealthDown, KindHealthUp, KindFailover, KindFailoverSkip,
+		KindTakeover, KindViolation, KindMigration, KindStateRestore,
+		KindRecover:
+		return true
+	}
+	return false
 }
 
 // Event is one flight-recorder entry. All fields are plain values;
@@ -193,12 +208,36 @@ func (r *Recorder) Reset() {
 	r.mu.Unlock()
 }
 
+// auxDump is an optional extra post-mortem section appended to every
+// Dump — e.g. the time-series plane registers the last few metric
+// windows here, so a chaos/DST failure dump shows the minutes before
+// the violation, not just the instant. Held behind an atomic pointer
+// so registration costs dumps nothing when unset.
+type auxDump struct {
+	name string
+	fn   func() string
+}
+
+var auxDumper atomic.Pointer[auxDump]
+
+// SetAuxDump registers fn to contribute a named section to future
+// dumps; a nil fn unregisters. Only one aux dumper is held — the
+// latest registration wins.
+func SetAuxDump(name string, fn func() string) {
+	if fn == nil {
+		auxDumper.Store(nil)
+		return
+	}
+	auxDumper.Store(&auxDump{name: name, fn: fn})
+}
+
 // Dump writes the ring's events oldest-first as one line each:
 //
 //	#seq time kind component@host line=N trace=... span=... name detail
 //
 // A truncation header states how many events were overwritten, so a
-// short dump is visibly short rather than silently so.
+// short dump is visibly short rather than silently so. Any section
+// registered via SetAuxDump follows the event lines.
 func (r *Recorder) Dump(w io.Writer) error {
 	events := r.Events()
 	dropped := r.Dropped()
@@ -218,6 +257,14 @@ func (r *Recorder) Dump(w io.Writer) error {
 			return err
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	if aux := auxDumper.Load(); aux != nil {
+		if _, err := fmt.Fprintf(w, "-- %s --\n", aux.name); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, aux.fn()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,187 @@
+// Package report turns one run's observability artifacts — the
+// windowed time series, the flight-recorder events, and the span
+// timeline reference — into a single self-contained HTML file (or a
+// JSON bundle) an operator can open with no server and no external
+// assets: per-host load timelines, per-proc latency heatmaps,
+// failure-event overlays, and tail-latency exemplars that link a p99
+// spike to the exact span IDs in the Chrome-trace timeline of the
+// same run.
+package report
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"time"
+
+	"npss/internal/flight"
+	"npss/internal/tseries"
+)
+
+// Data is everything a report renders.
+type Data struct {
+	// Title heads the report ("chaos seed=1993").
+	Title string `json:"title"`
+	// Series is the run's windowed metric series.
+	Series tseries.Series `json:"series"`
+	// Events is the flight recorder's view of the run; the overlay
+	// kinds (crash, failover, takeover, violation, ...) are drawn on
+	// the load timeline when their timestamps fall inside the series.
+	Events []flight.Event `json:"events,omitempty"`
+	// TimelineFile names the Chrome-trace timeline captured for the
+	// same run, if any — exemplar span IDs resolve inside it.
+	TimelineFile string `json:"timeline_file,omitempty"`
+	// Notes are free-form lines shown under the title.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// JSON renders the machine-readable report bundle.
+func JSON(d Data) ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// OverlayEvents filters events down to the cluster-shape transitions
+// a timeline overlay shows.
+func OverlayEvents(events []flight.Event) []flight.Event {
+	var out []flight.Event
+	for _, e := range events {
+		if e.Kind.IsTransition() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// labelValue extracts one label's value from a runtime metric key like
+// schooner.client.calls{host=cray,proc=add}; ok is false when the key
+// carries no such label.
+func labelValue(key, label string) (string, bool) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return "", false
+	}
+	for _, kv := range strings.Split(key[i+1:len(key)-1], ",") {
+		k, v, found := strings.Cut(kv, "=")
+		if found && k == label {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// baseName strips a key's label set.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// seriesByLabel groups one metric family's windowed counter rates by a
+// label: hostLoad(series) is seriesByLabel(s, "schooner.client.calls",
+// "host"). Values are per-window rates (events/second), one slice
+// entry per window, zero-filled where the key is absent.
+func seriesByLabel(s tseries.Series, family, label string) (names []string, rows map[string][]float64) {
+	rows = make(map[string][]float64)
+	for i, w := range s.Windows {
+		for key := range w.Counters {
+			if baseName(key) != family {
+				continue
+			}
+			v, ok := labelValue(key, label)
+			if !ok {
+				continue
+			}
+			if _, seen := rows[v]; !seen {
+				rows[v] = make([]float64, len(s.Windows))
+			}
+			rows[v][i] += w.Rate(key)
+		}
+	}
+	names = make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, rows
+}
+
+// histsByLabel groups one histogram family's per-window quantiles by a
+// label. Values are the chosen quantile in nanoseconds per window,
+// zero where absent.
+func histsByLabel(s tseries.Series, family, label string, q func(tseries.WindowHist) int64) (names []string, rows map[string][]int64) {
+	rows = make(map[string][]int64)
+	for i, w := range s.Windows {
+		for key, h := range w.Hists {
+			if baseName(key) != family {
+				continue
+			}
+			v, ok := labelValue(key, label)
+			if !ok {
+				continue
+			}
+			if _, seen := rows[v]; !seen {
+				rows[v] = make([]int64, len(s.Windows))
+			}
+			if h2 := q(h); h2 > rows[v][i] {
+				rows[v][i] = h2
+			}
+		}
+	}
+	names = make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, rows
+}
+
+// exemplarRow is one rendered exemplar: where and when the slow call
+// happened and which span it was.
+type exemplarRow struct {
+	Key    string
+	Window int
+	Start  time.Time
+	Ex     tseries.Exemplar
+}
+
+// topExemplars collects the slowest exemplars across the whole series,
+// slowest first, at most n.
+func topExemplars(s tseries.Series, n int) []exemplarRow {
+	var rows []exemplarRow
+	for i, w := range s.Windows {
+		for key, h := range w.Hists {
+			for _, ex := range h.Exemplars {
+				rows = append(rows, exemplarRow{Key: key, Window: i, Start: w.Start, Ex: ex})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Ex, rows[j].Ex
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.Span < b.Span
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// span reports the series' covered time range.
+func span(s tseries.Series) (t0, t1 time.Time, ok bool) {
+	if len(s.Windows) == 0 {
+		return t0, t1, false
+	}
+	t0 = s.Windows[0].Start
+	last := s.Windows[len(s.Windows)-1]
+	t1 = last.Start.Add(time.Duration(last.Dur))
+	return t0, t1, t1.After(t0)
+}

@@ -1,0 +1,184 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"npss/internal/flight"
+	"npss/internal/tseries"
+	"npss/internal/vclock"
+)
+
+// sampleData builds a run with two hosts, a mid-run crash of one, a
+// proc latency histogram, and exemplars — the shape a chaos report has.
+func sampleData() Data {
+	t0 := vclock.Epoch1993
+	win := func(i int, rs6000, cray int64) tseries.Window {
+		w := tseries.Window{
+			Seq:   int64(i),
+			Start: t0.Add(time.Duration(i) * 100 * time.Millisecond),
+			Dur:   int64(100 * time.Millisecond),
+			Counters: map[string]int64{
+				"schooner.client.calls{host=cray}": cray,
+			},
+			Hists: map[string]tseries.WindowHist{
+				"schooner.client.call{proc=add}": {
+					Count: cray, Sum: int64(time.Millisecond),
+					P50: int64(100 * time.Microsecond), P95: int64(time.Duration(i+1) * time.Millisecond),
+					P99: int64(4 * time.Millisecond),
+					Exemplars: []tseries.Exemplar{
+						{Dur: int64(time.Duration(9-i) * time.Millisecond), Trace: uint64(0xa0 + i), Span: uint64(0xb0 + i)},
+					},
+				},
+			},
+		}
+		if rs6000 > 0 {
+			w.Counters["schooner.client.calls{host=rs6000-lerc}"] = rs6000
+		}
+		return w
+	}
+	s := tseries.Series{Interval: int64(100 * time.Millisecond)}
+	for i := 0; i < 6; i++ {
+		var rs int64
+		if i < 3 {
+			rs = 40 // crashes after window 2
+		}
+		s.Windows = append(s.Windows, win(i, rs, 30))
+	}
+	return Data{
+		Title:        "chaos seed=1993",
+		Series:       s,
+		TimelineFile: "timeline.json",
+		Notes:        []string{"mid-transient crash of rs6000-lerc"},
+		Events: []flight.Event{
+			{Seq: 1, Time: t0.Add(250 * time.Millisecond), Kind: flight.KindHealthDown,
+				Component: "manager", Host: "cray", Name: "rs6000-lerc"},
+			{Seq: 2, Time: t0.Add(260 * time.Millisecond), Kind: flight.KindFailover,
+				Component: "manager", Host: "cray", Name: "add"},
+			{Seq: 3, Time: t0.Add(10 * time.Millisecond), Kind: flight.KindCallAttempt,
+				Component: "client", Host: "sparc10-ua", Name: "add"}, // not an overlay kind
+		},
+	}
+}
+
+func TestHTMLReportContent(t *testing.T) {
+	out := string(HTML(sampleData()))
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"chaos seed=1993",
+		"rs6000-lerc", // host series present
+		"cray",
+		"<svg",                   // load timeline rendered
+		"health-down",            // crash overlay marker label
+		"Per-proc latency",       // heatmap section
+		ramp[len(ramp)-1],        // darkest ramp step used for the max p95 cell
+		"Tail-latency exemplars", // exemplar section
+		"data-span=\"b0\"",       // slowest exemplar (window 0), non-padded hex
+		"timeline.json",
+		"prefers-color-scheme: dark", // dark mode selected, not flipped
+		"--s1: #2a78d6",              // categorical slot 1 light
+		"--s1: #3987e5",              // categorical slot 1 dark
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Self-contained: no external fetches of any kind.
+	for _, banned := range []string{"http://", "https://", "<script", "src=", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report not self-contained: found %q", banned)
+		}
+	}
+}
+
+func TestHTMLReportEmptyData(t *testing.T) {
+	out := string(HTML(Data{Title: "empty run"}))
+	for _, want := range []string{"empty run", "no host-labeled call counters", "no exemplars captured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty report missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesUntrustedStrings(t *testing.T) {
+	d := Data{Title: `<script>alert(1)</script>`, Notes: []string{`<img src=x>`}}
+	out := string(HTML(d))
+	if strings.Contains(out, "<script>") || strings.Contains(out, "<img") {
+		t.Fatal("report does not escape untrusted strings")
+	}
+}
+
+func TestJSONRoundTripsSeries(t *testing.T) {
+	d := sampleData()
+	out, err := JSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title": "chaos seed=1993"`, `"windows"`, `"exemplars"`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("json report missing %q", want)
+		}
+	}
+}
+
+func TestFoldSeriesCapsAtEight(t *testing.T) {
+	rows := map[string][]float64{}
+	var names []string
+	for i := 0; i < 12; i++ {
+		n := fmt.Sprintf("host%02d", i)
+		names = append(names, n)
+		rows[n] = []float64{1, 2}
+	}
+	folded, frows := foldSeries(names, rows, 2)
+	if len(folded) != maxSeries {
+		t.Fatalf("folded to %d series, want %d", len(folded), maxSeries)
+	}
+	if folded[maxSeries-1] != "Other" {
+		t.Fatalf("last series = %q, want Other", folded[maxSeries-1])
+	}
+	// 12 - 7 kept = 5 folded hosts, each contributing 1 and 2.
+	if frows["Other"][0] != 5 || frows["Other"][1] != 10 {
+		t.Fatalf("Other sums = %v", frows["Other"])
+	}
+}
+
+func TestSeriesByLabelAndHistsByLabel(t *testing.T) {
+	d := sampleData()
+	names, rows := seriesByLabel(d.Series, "schooner.client.calls", "host")
+	if len(names) != 2 || names[0] != "cray" || names[1] != "rs6000-lerc" {
+		t.Fatalf("host names = %v", names)
+	}
+	if rows["rs6000-lerc"][0] != 400 { // 40 calls / 100ms
+		t.Fatalf("rs6000 rate[0] = %v, want 400", rows["rs6000-lerc"][0])
+	}
+	if rows["rs6000-lerc"][5] != 0 {
+		t.Fatalf("rs6000 rate after crash = %v, want 0", rows["rs6000-lerc"][5])
+	}
+	hnames, hrows := histsByLabel(d.Series, "schooner.client.call", "proc",
+		func(h tseries.WindowHist) int64 { return h.P95 })
+	if len(hnames) != 1 || hnames[0] != "add" {
+		t.Fatalf("proc names = %v", hnames)
+	}
+	if hrows["add"][5] != int64(6*time.Millisecond) {
+		t.Fatalf("p95[5] = %v", time.Duration(hrows["add"][5]))
+	}
+}
+
+func TestOverlayEventsFilters(t *testing.T) {
+	ov := OverlayEvents(sampleData().Events)
+	if len(ov) != 2 {
+		t.Fatalf("overlay events = %d, want 2 (call-attempt excluded)", len(ov))
+	}
+}
+
+func TestTopExemplarsOrder(t *testing.T) {
+	rows := topExemplars(sampleData().Series, 3)
+	if len(rows) != 3 {
+		t.Fatalf("exemplars = %d, want 3", len(rows))
+	}
+	if rows[0].Ex.Span != 0xb0 || rows[0].Ex.Dur < rows[1].Ex.Dur {
+		t.Fatalf("exemplars not slowest-first: %+v", rows)
+	}
+}

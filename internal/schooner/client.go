@@ -11,6 +11,7 @@ import (
 	"npss/internal/logx"
 	"npss/internal/machine"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 	"npss/internal/uts"
 	"npss/internal/wire"
 )
@@ -732,6 +733,16 @@ func (l *Line) Call(name string, args ...uts.Value) ([]uts.Value, error) {
 	res, err := l.call(name, args, sp)
 	d := clk().Since(start)
 	trace.Observe("schooner.client.call", d)
+	if tseries.Enabled() {
+		// Tail-latency exemplar capture: the active sampler keeps the
+		// slowest calls of each window with their span IDs, so a p99
+		// spike in a report links back to the exact spans.
+		ctx := sp.Context()
+		tseries.Observe("schooner.client.call", d, ctx.Trace, ctx.Span)
+		if sp != nil {
+			tseries.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "proc", Value: name}), d, ctx.Trace, ctx.Span)
+		}
+	}
 	if sp != nil {
 		trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "proc", Value: name}), d)
 		trace.Count(trace.LKey("schooner.client.calls", trace.Label{Key: "line", Value: strconv.FormatUint(uint64(l.id), 10)}))
@@ -900,6 +911,10 @@ func (l *Line) call(name string, args []uts.Value, sp *trace.Span) ([]uts.Value,
 				d := clk().Since(attStart)
 				trace.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "host", Value: host}), d)
 				trace.Count(trace.LKey("schooner.client.calls", trace.Label{Key: "host", Value: host}))
+				if tseries.Enabled() {
+					actx := att.Context()
+					tseries.Observe(trace.LKey("schooner.client.call", trace.Label{Key: "host", Value: host}), d, actx.Trace, actx.Span)
+				}
 			}
 			att.End()
 		}

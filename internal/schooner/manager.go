@@ -475,6 +475,8 @@ func (m *Manager) serve(conn wire.Conn) {
 			resp = &wire.Message{Kind: wire.KStatusOK, Data: []byte(m.StatusReport())}
 		case wire.KMetrics:
 			resp = metricsReply()
+		case wire.KSeries:
+			resp = seriesReply()
 		case wire.KFlightDump:
 			resp = &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 		case wire.KQuitLine:

@@ -8,6 +8,7 @@ import (
 	"npss/internal/flight"
 	"npss/internal/machine"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 	"npss/internal/uts"
 	"npss/internal/wire"
 )
@@ -152,6 +153,8 @@ func (p *process) dispatch(m *wire.Message) *wire.Message {
 		return &wire.Message{Kind: wire.KPong}
 	case wire.KMetrics:
 		return metricsReply()
+	case wire.KSeries:
+		return seriesReply()
 	case wire.KFlightDump:
 		return &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 	default:
@@ -288,6 +291,14 @@ func (p *process) handleCall(m *wire.Message) *wire.Message {
 		body.End()
 		trace.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "proc", Value: m.Name}), d)
 		trace.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "host", Value: p.host}), d)
+		if tseries.Enabled() {
+			ctx := body.Context()
+			if ctx.Trace == 0 {
+				ctx = trace.SpanContext{Trace: m.Trace, Span: m.Span}
+			}
+			tseries.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "proc", Value: m.Name}), d, ctx.Trace, ctx.Span)
+			tseries.Observe(trace.LKey("schooner.proc.call", trace.Label{Key: "host", Value: p.host}), d, ctx.Trace, ctx.Span)
+		}
 	}
 	trace.Count("schooner.proc.calls")
 	if err != nil {

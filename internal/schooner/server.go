@@ -110,6 +110,8 @@ func (s *Server) serve(conn wire.Conn) {
 				Data: []byte(fmt.Sprintf("schooner server on %s: %d processes\n", s.host, s.ProcessCount()))}
 		case wire.KMetrics:
 			resp = metricsReply()
+		case wire.KSeries:
+			resp = seriesReply()
 		case wire.KFlightDump:
 			resp = &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 		case wire.KShutdown:

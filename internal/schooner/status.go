@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"npss/internal/trace"
+	"npss/internal/tseries"
 	"npss/internal/wire"
 )
 
@@ -49,6 +50,11 @@ func (m *Manager) StatusReport() string {
 
 	b.WriteString("-- counters --\n")
 	b.WriteString(trace.Snapshot())
+
+	if s := tseries.Active(); s != nil {
+		b.WriteString("-- series --\n")
+		b.WriteString(s.Snapshot().Format())
+	}
 	return b.String()
 }
 
@@ -82,6 +88,43 @@ func metricsReply() *wire.Message {
 		return errMsg("schooner: encoding metrics: %v", err)
 	}
 	return &wire.Message{Kind: wire.KMetricsOK, Data: data}
+}
+
+// seriesReply builds the KSeriesOK answer: the process's active
+// sampler's windowed series (an empty Series when no sampler is
+// installed — still a valid, mergeable reply).
+func seriesReply() *wire.Message {
+	data, err := tseries.ActiveSnapshot().EncodeJSON()
+	if err != nil {
+		return errMsg("schooner: encoding series: %v", err)
+	}
+	return &wire.Message{Kind: wire.KSeriesOK, Data: data}
+}
+
+// QuerySeries asks the component listening on addr (a Manager's
+// "host:port" or bare Manager host) for its windowed time-series
+// snapshot. Series are mergeable: callers roll several components'
+// series into the cluster-wide view with Series.Merge.
+func QuerySeries(t Transport, fromHost, addr string) (tseries.Series, error) {
+	if !strings.Contains(addr, ":") {
+		addr += ":" + ManagerPort
+	}
+	conn, err := t.Dial(fromHost, addr)
+	if err != nil {
+		return tseries.Series{}, fmt.Errorf("schooner: cannot reach %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KSeries}); err != nil {
+		return tseries.Series{}, err
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	if err != nil {
+		return tseries.Series{}, err
+	}
+	if resp.Kind != wire.KSeriesOK {
+		return tseries.Series{}, fmt.Errorf("schooner: series query failed: %s", resp.Err)
+	}
+	return tseries.DecodeSeries(resp.Data)
 }
 
 // QueryMetrics asks the component listening on addr (a Manager's

@@ -5,6 +5,8 @@
 //	/metrics  the live trace.Set in Prometheus text exposition format
 //	/statusz  the Manager's plain-text status report
 //	/flightz  the flight recorder's recent events
+//	/seriesz  the time-series sampler's latest window (Prometheus
+//	          gauges; ?format=json serves the full windowed series)
 //	/debug/pprof/...  the standard Go profiler endpoints
 //
 // Nothing here runs unless the listener is opened, so the disabled
@@ -23,6 +25,7 @@ import (
 
 	"npss/internal/flight"
 	"npss/internal/trace"
+	"npss/internal/tseries"
 )
 
 // Config selects what the endpoints serve. Every field is optional:
@@ -33,6 +36,10 @@ type Config struct {
 	Status     func() string
 	Metrics    func() trace.MetricsSnapshot
 	FlightDump func() string
+	// Series provides the windowed time-series snapshot for /seriesz;
+	// nil serves the process's active tseries sampler (empty series
+	// when none is installed).
+	Series func() tseries.Series
 }
 
 // Server is a running telemetry listener.
@@ -53,6 +60,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if cfg.FlightDump == nil {
 		cfg.FlightDump = flight.DumpString
 	}
+	if cfg.Series == nil {
+		cfg.Series = tseries.ActiveSnapshot
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +76,21 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, cfg.FlightDump())
+	})
+	mux.HandleFunc("/seriesz", func(w http.ResponseWriter, r *http.Request) {
+		s := cfg.Series()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			data, err := s.EncodeJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteSeriesProm(w, s)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -157,6 +182,90 @@ func WriteProm(w io.Writer, m trace.MetricsSnapshot) error {
 		}
 		for _, s := range f.samples {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesProm renders the latest window of a time series in the
+// Prometheus text exposition format: per-window counter rates as
+// `<family>_rate` gauges (events per second), per-window histogram
+// quantiles as `<family>_window{quantile=...}` gauges in seconds with
+// a `<family>_window_count` companion, plus always-present meta gauges
+// (`npss_series_windows`, `npss_series_interval_seconds`) so a scrape
+// of an idle sampler is still a conforming exposition. Output is
+// sorted and deterministic.
+func WriteSeriesProm(w io.Writer, s tseries.Series) error {
+	if _, err := fmt.Fprintf(w, "# TYPE npss_series_windows gauge\nnpss_series_windows %d\n", len(s.Windows)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE npss_series_interval_seconds gauge\nnpss_series_interval_seconds %s\n",
+		formatSeconds(time.Duration(s.Interval))); err != nil {
+		return err
+	}
+	if len(s.Windows) == 0 {
+		return nil
+	}
+	win := s.Windows[len(s.Windows)-1]
+
+	type family struct {
+		kind    string
+		samples []promSample
+	}
+	families := make(map[string]*family)
+	add := func(famName string, smp promSample, kind string) {
+		f, ok := families[famName]
+		if !ok {
+			f = &family{kind: kind}
+			families[famName] = f
+		}
+		f.samples = append(f.samples, smp)
+	}
+
+	for key := range win.Counters {
+		name, labels := splitKey(key)
+		name += "_rate"
+		add(name, promSample{name: name, labels: labels,
+			value: fmt.Sprintf("%g", win.Rate(key))}, "gauge")
+	}
+	quantiles := []struct {
+		v func(tseries.WindowHist) int64
+		s string
+	}{
+		{func(h tseries.WindowHist) int64 { return h.P50 }, "0.5"},
+		{func(h tseries.WindowHist) int64 { return h.P95 }, "0.95"},
+		{func(h tseries.WindowHist) int64 { return h.P99 }, "0.99"},
+	}
+	for key, h := range win.Hists {
+		name, labels := splitKey(key)
+		wname := name + "_window"
+		for _, q := range quantiles {
+			ql := mergeLabels(labels, `quantile="`+q.s+`"`)
+			add(wname, promSample{name: wname, labels: ql,
+				value: formatSeconds(time.Duration(q.v(h)))}, "gauge")
+		}
+		cname := wname + "_count"
+		add(cname, promSample{name: cname, labels: labels,
+			value: fmt.Sprintf("%d", h.Count)}, "gauge")
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		sort.Slice(f.samples, func(i, j int) bool {
+			return f.samples[i].labels < f.samples[j].labels
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", smp.name, smp.labels, smp.value); err != nil {
 				return err
 			}
 		}

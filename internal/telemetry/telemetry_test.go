@@ -9,6 +9,8 @@ import (
 
 	"npss/internal/flight"
 	"npss/internal/trace"
+	"npss/internal/tseries"
+	"npss/internal/vclock"
 )
 
 func sampleSnapshot() trace.MetricsSnapshot {
@@ -119,5 +121,96 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if got := get("/debug/pprof/cmdline"); got == "" {
 		t.Errorf("pprof cmdline empty")
+	}
+}
+
+func sampleSeries() tseries.Series {
+	return tseries.Series{Interval: int64(250 * time.Millisecond), Windows: []tseries.Window{
+		{Seq: 0, Start: vclock.Epoch1993, Dur: int64(250 * time.Millisecond),
+			Counters: map[string]int64{"schooner.client.calls{host=cray}": 25}},
+		{Seq: 1, Start: vclock.Epoch1993.Add(250 * time.Millisecond), Dur: int64(250 * time.Millisecond),
+			Counters: map[string]int64{
+				"schooner.client.calls{host=cray}": 50,
+				"netsim.drops":                     2,
+			},
+			Hists: map[string]tseries.WindowHist{
+				"schooner.client.call{proc=add}": {
+					Count: 50, Sum: int64(10 * time.Millisecond),
+					P50: int64(150 * time.Microsecond), P95: int64(400 * time.Microsecond), P99: int64(2 * time.Millisecond),
+					Exemplars: []tseries.Exemplar{{Dur: int64(2 * time.Millisecond), Trace: 0xa1, Span: 0xb2}},
+				},
+			}},
+	}}
+}
+
+func TestWriteSeriesPromAndLint(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesProm(&b, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE npss_series_windows gauge",
+		"npss_series_windows 2",
+		"# TYPE schooner_client_calls_rate gauge",
+		`schooner_client_calls_rate{host="cray"} 200`,
+		"netsim_drops_rate 8",
+		`schooner_client_call_window{proc="add",quantile="0.99"} 0.002`,
+		`schooner_client_call_window_count{proc="add"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("series exposition fails lint: %v\n%s", err, out)
+	}
+}
+
+func TestWriteSeriesPromEmptyStillLints(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesProm(&b, tseries.Series{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint([]byte(b.String())); err != nil {
+		t.Errorf("empty series exposition fails lint: %v\n%s", err, b.String())
+	}
+}
+
+func TestSerieszEndpoint(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{Series: sampleSeries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	prom := get("/seriesz")
+	if !strings.Contains(prom, "schooner_client_calls_rate") {
+		t.Errorf("/seriesz missing rate gauge:\n%s", prom)
+	}
+	if err := Lint([]byte(prom)); err != nil {
+		t.Errorf("/seriesz fails lint: %v", err)
+	}
+
+	js := get("/seriesz?format=json")
+	got, err := tseries.DecodeSeries([]byte(js))
+	if err != nil {
+		t.Fatalf("/seriesz json does not decode: %v\n%s", err, js)
+	}
+	if len(got.Windows) != 2 {
+		t.Errorf("/seriesz json windows = %d, want 2", len(got.Windows))
+	}
+	if got.Windows[1].Hists["schooner.client.call{proc=add}"].Exemplars[0].Span != 0xb2 {
+		t.Errorf("/seriesz json lost exemplars: %s", js)
 	}
 }

@@ -151,3 +151,53 @@ func TestChromeTraceSurfacesDropped(t *testing.T) {
 		t.Errorf("Chrome trace missing dropped_spans metadata:\n%s", b.String())
 	}
 }
+
+// TestMergeSkewedSnapshotsQuantileBounds merges two hosts' snapshots
+// whose observations occupy disjoint bucket ranges — one all-fast (a
+// short, trimmed bucket array) and one all-slow (a much longer one) —
+// and demands the merged quantiles stay inside the merged [Min, Max].
+// This is the cluster roll-up shape: a Cray answering in microseconds
+// merged with a congested workstation answering in milliseconds.
+func TestMergeSkewedSnapshotsQuantileBounds(t *testing.T) {
+	fast := NewSet()
+	for i := 0; i < 90; i++ {
+		fast.Observe("lat", 2*time.Microsecond)
+	}
+	slow := NewSet()
+	for i := 0; i < 10; i++ {
+		slow.Observe("lat", 30*time.Millisecond)
+	}
+
+	for _, order := range []string{"fast<-slow", "slow<-fast"} {
+		var m MetricsSnapshot
+		if order == "fast<-slow" {
+			m = fast.Export()
+			m.Merge(slow.Export())
+		} else {
+			m = slow.Export()
+			m.Merge(fast.Export())
+		}
+		h := m.Hists["lat"]
+		if h.Count != 100 {
+			t.Fatalf("%s: merged count = %d, want 100", order, h.Count)
+		}
+		if len(h.Buckets) == 0 {
+			t.Fatalf("%s: merged snapshot lost its buckets", order)
+		}
+		min, max := time.Duration(h.Min), time.Duration(h.Max)
+		if min != 2*time.Microsecond || max < 30*time.Millisecond {
+			t.Fatalf("%s: merged min/max = %v/%v", order, min, max)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < min || v > max {
+				t.Errorf("%s: q%.2f = %v outside [%v, %v]", order, q, v, min, max)
+			}
+		}
+		// 90 of 100 observations are 2µs: the median must report the
+		// fast bucket, not be dragged into the slow host's range.
+		if med := h.Quantile(0.5); med > 4*time.Microsecond {
+			t.Errorf("%s: median = %v, want <= 4µs", order, med)
+		}
+	}
+}

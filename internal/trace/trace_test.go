@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -252,5 +253,76 @@ func TestBucketOf(t *testing.T) {
 	// Huge values saturate at the last bucket.
 	if bucketOf(24*time.Hour) != 30 {
 		t.Errorf("bucketOf(24h) = %d", bucketOf(24*time.Hour))
+	}
+}
+
+// TestExportConcurrentWithLabeledWrites hammers a set with labeled
+// counter increments and histogram observations while another
+// goroutine continuously exports snapshots — the sampler's exact
+// access pattern. Run under -race this pins Export's two-phase
+// locking (set lock for the maps, per-histogram lock for the
+// buckets); the final export must account for every write.
+func TestExportConcurrentWithLabeledWrites(t *testing.T) {
+	s := NewSet()
+	const workers, perWorker = 8, 2000
+	stop := make(chan struct{})
+	exported := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				exported <- n
+				return
+			default:
+			}
+			snap := s.Export()
+			// Read everything the snapshot holds, so a torn copy
+			// would trip the race detector or the bounds checks.
+			for _, h := range snap.Hists {
+				var inBuckets int64
+				for _, b := range h.Buckets {
+					inBuckets += b
+				}
+				if inBuckets != h.Count {
+					panic("snapshot buckets disagree with count")
+				}
+			}
+			n++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := Label{Key: "host", Value: fmt.Sprintf("h%d", w%3)}
+			for j := 0; j < perWorker; j++ {
+				s.Count(LKey("calls", host))
+				s.Observe(LKey("lat", host), time.Duration(j)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if n := <-exported; n == 0 {
+		t.Fatal("exporter never ran")
+	}
+
+	final := s.Export()
+	var calls, lats int64
+	for k, v := range final.Counters {
+		if strings.HasPrefix(k, "calls{") {
+			calls += v
+		}
+	}
+	for k, h := range final.Hists {
+		if strings.HasPrefix(k, "lat{") {
+			lats += h.Count
+		}
+	}
+	if calls != workers*perWorker || lats != workers*perWorker {
+		t.Fatalf("final export: calls=%d lats=%d, want %d each", calls, lats, workers*perWorker)
 	}
 }

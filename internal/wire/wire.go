@@ -132,6 +132,14 @@ const (
 	// (KReply or KError).
 	KBatchOK
 
+	// KSeries asks a component for its windowed time-series snapshot
+	// (the tseries sampler's ring); KSeriesOK answers with the
+	// tseries.Series JSON, an empty Series when no sampler is
+	// installed. The manager rolls per-component series into the
+	// cluster view the same way KMetrics rolls counters.
+	KSeries
+	KSeriesOK
+
 	// kindMax is the decode bound sentinel; every valid Kind is below
 	// it. Keep it last.
 	kindMax
@@ -155,6 +163,7 @@ var kindNames = map[Kind]string{
 	KAttachLine: "AttachLine", KJournalTail: "JournalTail",
 	KJournalEntry: "JournalEntry",
 	KBatch:        "Batch", KBatchOK: "BatchOK",
+	KSeries: "Series", KSeriesOK: "SeriesOK",
 }
 
 // String names the message kind for diagnostics.
