@@ -21,6 +21,14 @@
 //	                                       # scenario (not part of "all";
 //	                                       # it checks invariants rather
 //	                                       # than producing an artifact)
+//	npss-exp -exp scenario -f scenarios/stress-1000.yaml
+//	                                       # a declarative YAML scenario:
+//	                                       # fleet templates + weights,
+//	                                       # timed fault events, stress
+//	                                       # blocks, assertions — run as
+//	                                       # one DST cluster simulation
+//	npss-exp -exp scenario -f file.yaml -validate
+//	                                       # parse + semantic-check only
 //	npss-exp -exp chaos -report out.html -trace out.json
 //	                                       # a self-contained HTML report
 //	                                       # of the faulty run: per-host
@@ -41,12 +49,13 @@ import (
 	"npss/internal/exper"
 	"npss/internal/logx"
 	"npss/internal/report"
+	"npss/internal/scenario"
 	"npss/internal/telemetry"
 	"npss/internal/trace"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, chaos, dst, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, incremental, lines, zooming, ablations, chaos, dst, scenario, all")
 	transient := flag.Float64("transient", 0.5, "transient length, s")
 	step := flag.Float64("step", 5e-4, "integration step, s")
 	timescale := flag.Float64("timescale", 0, "fraction of simulated network delay to actually sleep")
@@ -59,6 +68,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	seed := flag.Int64("seed", 1, "scenario seed for the dst experiment")
 	ops := flag.Int("ops", 40, "operation count for the dst experiment")
+	scenarioFile := flag.String("f", "", "scenario YAML file for the scenario experiment")
+	validate := flag.Bool("validate", false, "with -exp scenario: parse, compile, and semantic-check the scenario without running it")
 	reportOut := flag.String("report", "", "write a self-contained HTML report of the chaos or dst run to this file")
 	reportJSON := flag.String("report-json", "", "write the machine-readable report bundle (series, events) as JSON to this file")
 	seriesInterval := flag.Duration("series-interval", 0, "time-series sampling window (0 picks a default when -report/-report-json is set: 25ms wall for chaos, 50ms virtual for dst)")
@@ -205,6 +216,44 @@ func main() {
 				reportWritten = true
 			}
 			if !ok {
+				os.Exit(1)
+			}
+		},
+		"scenario": func() {
+			if *scenarioFile == "" {
+				fmt.Fprintln(os.Stderr, "npss-exp: -exp scenario needs -f <file.yaml>")
+				os.Exit(2)
+			}
+			spec, err := scenario.Load(*scenarioFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npss-exp: %v\n", err)
+				os.Exit(1)
+			}
+			if _, err := scenario.Compile(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "npss-exp: %s: %v\n", *scenarioFile, err)
+				os.Exit(1)
+			}
+			if *validate {
+				fmt.Printf("npss-exp: %s: scenario %q ok\n", *scenarioFile, spec.Name)
+				return
+			}
+			if reporting && spec.SeriesInterval == 0 {
+				spec.SeriesInterval = dstInterval
+			}
+			fmt.Printf("== Scenario: %s ==\n", *scenarioFile)
+			res, err := scenario.Run(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npss-exp: %s: %v\n", *scenarioFile, err)
+				os.Exit(1)
+			}
+			fmt.Print(scenario.Format(res))
+			if reporting {
+				// Written here, not at exit: a violation exits nonzero
+				// below and the report must survive that.
+				writeReports(scenario.Report(res), *reportOut, *reportJSON)
+				reportWritten = true
+			}
+			if res.DST.Violation != nil {
 				os.Exit(1)
 			}
 		},

@@ -1,0 +1,99 @@
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runExit executes a binary expecting a specific exit code, returning
+// the combined output.
+func runExit(t *testing.T, wantCode int, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Fatalf("%s %v: exit %d, want %d\n%s", filepath.Base(bin), args, code, wantCode, out)
+	}
+	return string(out)
+}
+
+// TestNpssExpScenario drives the scenario experiment end to end
+// through the CLI: validate-only dry runs, a passing run, and the
+// failing run that must exit 1 with the violating assertion and the
+// reproduction seed printed — with the HTML report still written.
+func TestNpssExpScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs scenarios")
+	}
+	bin := build(t, "npss/cmd/npss-exp")
+	root := repoRoot(t)
+	small := filepath.Join(root, "internal", "scenario", "testdata", "replay-small.yaml")
+	broken := filepath.Join(root, "internal", "scenario", "testdata", "broken-assert.yaml")
+
+	// -validate dry-runs the whole shipped corpus without simulating.
+	corpus, err := filepath.Glob(filepath.Join(root, "scenarios", "*.yaml"))
+	if err != nil || len(corpus) < 6 {
+		t.Fatalf("scenario corpus: %v (%d files)", err, len(corpus))
+	}
+	for _, f := range corpus {
+		out := run(t, bin, "-exp", "scenario", "-f", f, "-validate")
+		if !strings.Contains(out, "ok") {
+			t.Errorf("-validate %s: %q", f, out)
+		}
+	}
+
+	// Missing -f is a usage error.
+	runExit(t, 2, bin, "-exp", "scenario")
+
+	// A malformed file fails validation with the line number.
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("name: x\nduration: 1s\nfleet:\n\tcount: 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runExit(t, 1, bin, "-exp", "scenario", "-f", bad, "-validate")
+	if !strings.Contains(out, "line 4") || !strings.Contains(out, "tab in indentation") {
+		t.Errorf("bad file error lacks location: %q", out)
+	}
+
+	// A passing scenario runs to the all-clear and exits 0.
+	out = run(t, bin, "-exp", "scenario", "-f", small)
+	for _, want := range []string{`scenario "replay-small" passed`, "assert ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("passing run missing %q:\n%s", want, out)
+		}
+	}
+
+	// The deliberately broken assertion exits 1, names the violation
+	// with its line, prints the seed — and still writes the report.
+	html := filepath.Join(t.TempDir(), "broken.html")
+	out = runExit(t, 1, bin, "-exp", "scenario", "-f", broken, "-report", html)
+	for _, want := range []string{
+		`scenario "broken-assert" FAILED`,
+		"assert-counter",
+		"line 23",
+		"seed 11",
+		"reproduce with",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failing run missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatalf("report not written on failure: %v", err)
+	}
+	if !strings.Contains(string(data), "broken-assert") {
+		t.Error("report HTML does not mention the scenario")
+	}
+}

@@ -43,6 +43,22 @@ type Config struct {
 	// Result.Series and must be bit-identical across same-schedule
 	// replays.
 	SeriesInterval time.Duration
+	// Fleet names the worker machines and their simulated
+	// architectures explicitly, overriding Hosts (which generates
+	// h1..hN over the paper's architecture cycle). The declarative
+	// scenario harness compiles its fleet templates into this.
+	Fleet []HostSpec
+	// Health overrides the Manager's health-monitoring policy. Nil
+	// keeps the DST default (25ms sweeps); a negative Interval disables
+	// monitoring entirely — necessary for thousand-host fleets, where
+	// per-sweep pinging of every machine would dominate the run.
+	Health *schooner.HealthPolicy
+}
+
+// HostSpec is one worker machine of an explicit fleet.
+type HostSpec struct {
+	Name string
+	Arch *machine.Arch
 }
 
 // Violation is one invariant failure, tied to the op after which it
@@ -77,6 +93,15 @@ type Result struct {
 	// windows trimmed, so same-schedule replays encode byte-identical
 	// series.
 	Series tseries.Series
+	// Events is the run's cluster-shape transitions (crashes, health
+	// verdicts, failovers, takeovers, violations) from the run-scoped
+	// flight recorder, timestamped on the same clock as Series so a
+	// report can overlay them.
+	Events []flight.Event
+	// FlightDump is the scoped flight recorder's dump, captured only
+	// when the run ended in a violation — the post-mortem's starting
+	// point.
+	FlightDump string
 }
 
 // signatureKeys are the counters included in Result.Signature: every
@@ -201,12 +226,24 @@ func (l *ledger) doubleCommit() (key [2]int64, n int, found bool) {
 	return [2]int64{}, 0, false
 }
 
-// cluster is one simulated deployment under test.
-type cluster struct {
+// Cluster is one simulated deployment under driver control: a whole
+// Schooner cluster — Manager, a Server per machine, the shared work
+// and accumulator procedures — on a virtual clock, with the scoped
+// metric set, flight recorder, and invariant machinery of a DST run.
+//
+// Replay drives it with a generated schedule; the declarative
+// scenario harness (package scenario) steps it explicitly: NewCluster,
+// any interleaving of Apply / Sleep / AddHost / assertion probes
+// (Counter, BoundHost), then Converge and Finish. A Cluster owns the
+// process-global clock and metric set between NewCluster and Finish,
+// so at most one exists at a time (NewCluster serializes on an
+// internal lock).
+type Cluster struct {
 	cfg     Config
 	v       *vclock.Virtual
 	net     *netsim.Network
 	tr      *schooner.SimTransport
+	reg     *schooner.Registry
 	mgr     *schooner.Manager
 	servers map[string]*schooner.Server
 	hosts   []string // h1..hN
@@ -236,17 +273,32 @@ type cluster struct {
 	outcomes  []string
 	violation *Violation
 	verifySeq int64
+
+	// Driver-stepping state: ops and step mirror what Replay's loop
+	// tracked, so explicit Apply calls produce the same outcome log and
+	// violation indices; the prev* fields restore the process globals
+	// (clock, metric set, flight recorder) the run scoped, exactly
+	// once, at Finish.
+	ops       []Op
+	step      int
+	set       *trace.Set
+	rec       *flight.Recorder
+	prevClock vclock.Clock
+	prevSet   *trace.Set
+	prevRec   *flight.Recorder
+	realStart time.Time
+	finished  bool
 }
 
 // clean reports whether no fault is currently injected — the state in
 // which availability invariants must hold.
-func (c *cluster) clean() bool {
+func (c *Cluster) clean() bool {
 	return len(c.downs) == 0 && len(c.parts) == 0 && !c.mgrDown
 }
 
 // violate records the first invariant failure; later ones are ignored
 // (the run stops at the first anyway).
-func (c *cluster) violate(op int, name, detail string) {
+func (c *Cluster) violate(op int, name, detail string) {
 	if c.violation == nil {
 		c.violation = &Violation{Op: op, Name: name, Detail: detail}
 		flight.Record(flight.Event{Kind: flight.KindViolation, Component: "dst",
@@ -273,7 +325,7 @@ func near(got, want float64) bool {
 // (commits, then holds the reply past any call deadline). Both report
 // to the run's ledger; nap sleeps on the run's virtual clock so the
 // stall costs no wall time.
-func (c *cluster) counterProgram() *schooner.Program {
+func (c *Cluster) counterProgram() *schooner.Program {
 	return &schooner.Program{
 		Path:     "dst-counter",
 		Language: schooner.LangC,
@@ -307,7 +359,7 @@ func (c *cluster) counterProgram() *schooner.Program {
 // workProgram exports the shared work procedure. Its line keeps the
 // full client retry policy, so commits per ID are bounded but not
 // unique — the ledger entry uses attempt -1.
-func (c *cluster) workProgram() *schooner.Program {
+func (c *Cluster) workProgram() *schooner.Program {
 	return &schooner.Program{
 		Path:     "dst-work",
 		Language: schooner.LangC,
@@ -329,7 +381,7 @@ func (c *cluster) workProgram() *schooner.Program {
 // to a running total and returns it. The state clause makes it the
 // checkpoint/restore machinery's subject — after a crash of its host,
 // the total must come back no older than the last acked checkpoint.
-func (c *cluster) accProgram() *schooner.Program {
+func (c *Cluster) accProgram() *schooner.Program {
 	return &schooner.Program{
 		Path:     "dst-acc",
 		Language: schooner.LangC,
@@ -413,31 +465,67 @@ func Run(cfg Config) (*Result, error) {
 // Replay executes an explicit schedule — the same path Run uses, so a
 // shrunk trace reproduces exactly what its parent run did.
 func Replay(cfg Config, ops []Op) (*Result, error) {
-	runMu.Lock()
-	defer runMu.Unlock()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range ops {
+		c.Apply(op)
+		if c.violation != nil {
+			break
+		}
+	}
+	c.Converge()
+	return c.Finish(), nil
+}
+
+// fleet resolves the configured worker machines: the explicit Fleet
+// when given, h1..hN over the paper's architecture cycle otherwise.
+func (cfg *Config) fleet() []HostSpec {
+	if len(cfg.Fleet) > 0 {
+		return cfg.Fleet
+	}
 	if cfg.Hosts <= 0 {
 		cfg.Hosts = 3
 	}
-	realStart := time.Now()
+	fleet := make([]HostSpec, cfg.Hosts)
+	for i, h := range workerHosts(cfg.Hosts) {
+		fleet[i] = HostSpec{Name: h, Arch: archCycle[i%len(archCycle)]}
+	}
+	return fleet
+}
 
-	c := &cluster{
+// NewCluster stands a cluster up and scopes the process globals —
+// clock, metric set, flight recorder — to it. The caller must Finish
+// the cluster (even after a violation) to restore them; until then no
+// other DST run can start.
+func NewCluster(cfg Config) (*Cluster, error) {
+	runMu.Lock()
+	fleet := cfg.fleet()
+
+	c := &Cluster{
 		cfg:           cfg,
 		v:             vclock.NewVirtual(),
-		hosts:         workerHosts(cfg.Hosts),
 		led:           newLedger(),
 		servers:       make(map[string]*schooner.Server),
 		downs:         make(map[string]bool),
 		parts:         make(map[string]bool),
 		backend:       wal.NewMemBackend(),
 		restoredTotal: make(map[string]int),
+		realStart:     time.Now(),
 	}
 
 	// Scope metrics to this run and install the virtual clock into the
 	// network and the Schooner runtime. SwapClock also pins the retry
 	// jitter to a fixed seed, making backoff durations reproducible.
-	set := trace.NewSet()
-	prevSet := trace.Swap(set)
-	prevClock := schooner.SwapClock(c.v)
+	// The flight recorder is scoped too, sized so tens of thousands of
+	// per-call events cannot evict the transition events a report
+	// overlays.
+	c.set = trace.NewSet()
+	c.prevSet = trace.Swap(c.set)
+	c.prevClock = schooner.SwapClock(c.v)
+	c.rec = flight.NewRecorder(1 << 16)
+	c.prevRec = flight.Swap(c.rec)
 	if cfg.SeriesInterval > 0 {
 		// The phase offset keeps window boundaries off the round
 		// virtual instants where periodic timers (heartbeats, probes)
@@ -447,7 +535,7 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 			Interval: cfg.SeriesInterval,
 			Phase:    seriesPhase,
 			Clock:    c.v,
-			Source:   set.Export,
+			Source:   c.set.Export,
 		})
 		tseries.SetActive(c.sampler)
 	}
@@ -461,53 +549,58 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 		c.net.MustAddHost("mgr2", machine.SPARC)
 		ctrlHosts = append(ctrlHosts, "mgr2")
 	}
-	for i, h := range c.hosts {
-		c.net.MustAddHost(h, archCycle[i%len(archCycle)])
+	for _, h := range fleet {
+		c.hosts = append(c.hosts, h.Name)
+		c.net.MustAddHost(h.Name, h.Arch)
 	}
 	c.tr = schooner.NewSimTransport(c.net)
-	reg := schooner.NewRegistry()
-	reg.MustRegister(c.counterProgram())
-	reg.MustRegister(c.workProgram())
-	reg.MustRegister(c.accProgram())
+	c.reg = schooner.NewRegistry()
+	c.reg.MustRegister(c.counterProgram())
+	c.reg.MustRegister(c.workProgram())
+	c.reg.MustRegister(c.accProgram())
 
 	// The Manager journals every name-database mutation into an
 	// in-memory WAL; the backend outlives Manager crashes, so
 	// OpManagerRecover replays exactly what an acked client saw.
 	jlog, err := wal.Open(c.backend, wal.Options{})
 	if err != nil {
-		teardown(c, prevClock, prevSet)
+		c.teardown()
 		return nil, err
 	}
 	c.mgr, err = schooner.StartManagerConfig(c.tr, "mgr", schooner.ManagerConfig{Journal: jlog})
 	if err != nil {
-		teardown(c, prevClock, prevSet)
+		c.teardown()
 		return nil, err
 	}
 	for _, h := range append(ctrlHosts, c.hosts...) {
-		srv, serr := schooner.StartServer(c.tr, h, reg)
+		srv, serr := schooner.StartServer(c.tr, h, c.reg)
 		if serr != nil {
-			teardown(c, prevClock, prevSet)
+			c.teardown()
 			return nil, serr
 		}
 		c.servers[h] = srv
 	}
-	c.mgr.StartHealth(healthPolicy)
+	hp := c.healthPolicy()
+	if hp.Interval >= 0 {
+		c.mgr.StartHealth(hp)
+	}
 	if cfg.Standby {
 		slog, serr := wal.Open(wal.NewMemBackend(), wal.Options{})
 		if serr != nil {
-			teardown(c, prevClock, prevSet)
+			c.teardown()
 			return nil, serr
 		}
 		c.standby = schooner.StartStandby(c.tr, "mgr2", "mgr", slog, schooner.StandbyPolicy{
 			HeartbeatInterval: 25 * time.Millisecond,
 			Threshold:         3,
 			PingTimeout:       40 * time.Millisecond,
-			Health:            healthPolicy,
+			Health:            hp,
 		})
 	}
 
 	// The shared work line exists for the whole run, its procedure
-	// initially on h1; the stateful accumulator starts on h2.
+	// initially on the first worker; the stateful accumulator starts on
+	// the second.
 	client := &schooner.Client{Transport: c.tr, Host: "mgr", ManagerHost: "mgr",
 		Managers: c.standbyHosts(), Policy: workPolicy}
 	c.workLine, err = client.ContactSchx("dst-work-driver")
@@ -528,32 +621,110 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 		err = c.workLine.StartShared("dst-acc", accHost)
 	}
 	if err != nil {
-		teardown(c, prevClock, prevSet)
+		c.teardown()
 		return nil, err
 	}
+	return c, nil
+}
 
-	for i, op := range ops {
-		c.outcomes = append(c.outcomes, fmt.Sprintf("%d %s: %s", i, op, c.apply(i, op)))
-		c.checkLedger(i)
-		if c.violation != nil {
-			break
-		}
+// healthPolicy resolves the Manager monitoring policy: the DST default
+// unless the config overrides it (negative Interval disables).
+func (c *Cluster) healthPolicy() schooner.HealthPolicy {
+	if c.cfg.Health != nil {
+		return *c.cfg.Health
 	}
-	if c.violation == nil {
-		c.converge(len(ops))
-		c.checkLedger(len(ops))
-	}
+	return healthPolicy
+}
 
+// Apply executes one op as the next step of the schedule, returning
+// its outcome word. After a violation further ops are still applied
+// (Replay stops instead); the first violation wins.
+func (c *Cluster) Apply(op Op) string {
+	idx := c.step
+	c.step++
+	c.ops = append(c.ops, op)
+	out := c.apply(idx, op)
+	c.outcomes = append(c.outcomes, fmt.Sprintf("%d %s: %s", idx, op, out))
+	c.checkLedger(idx)
+	return out
+}
+
+// Sleep advances the cluster's virtual clock by d.
+func (c *Cluster) Sleep(d time.Duration) { c.v.Sleep(d) }
+
+// Elapsed reports how much virtual time the run has covered.
+func (c *Cluster) Elapsed() time.Duration { return c.v.Elapsed() }
+
+// Violation reports the first invariant or assertion failure, nil on
+// a clean run so far.
+func (c *Cluster) Violation() *Violation { return c.violation }
+
+// Violate records a driver-level invariant failure (an assertion of a
+// declarative scenario, say) through the same machinery as the
+// built-in invariants: first failure wins, and it lands in the flight
+// recorder.
+func (c *Cluster) Violate(name, detail string) { c.violate(c.step, name, detail) }
+
+// Counter reads one metric counter from the run's scoped set — the
+// raw material for scenario assert_counter checks.
+func (c *Cluster) Counter(key string) int64 { return c.set.Get(key) }
+
+// BoundHost reports which machine the name database currently binds a
+// shared procedure to ("" when unbound). The scenario DSL's procedure
+// names are the UTS names: "work", "acc".
+func (c *Cluster) BoundHost(proc string) string {
+	c.adoptPromoted()
+	if c.mgrDown {
+		return ""
+	}
+	return c.mgr.NameBindings(0)[proc]
+}
+
+// AddHost joins a fresh worker machine to the running cluster — the
+// scenario harness's startup ramp adds most of a thousand-host fleet
+// this way, at staggered virtual instants — and starts its Server.
+func (c *Cluster) AddHost(name string, arch *machine.Arch) error {
+	if _, err := c.net.AddHost(name, arch); err != nil {
+		return err
+	}
+	srv, err := schooner.StartServer(c.tr, name, c.reg)
+	if err != nil {
+		return err
+	}
+	c.servers[name] = srv
+	c.hosts = append(c.hosts, name)
+	return nil
+}
+
+// Hosts lists the worker machines currently joined, in join order.
+func (c *Cluster) Hosts() []string { return append([]string(nil), c.hosts...) }
+
+// Converge runs the final convergence invariant (all faults lifted,
+// workload answers the locally computed result) unless a violation
+// already ended the run.
+func (c *Cluster) Converge() {
+	if c.violation != nil {
+		return
+	}
+	c.converge(c.step)
+	c.checkLedger(c.step)
+}
+
+// Finish collects the run's Result and dismantles the cluster,
+// restoring the process-global clock, metric set, and flight
+// recorder. It must be called exactly once; the Cluster is dead
+// afterwards.
+func (c *Cluster) Finish() *Result {
 	res := &Result{
-		Seed:           cfg.Seed,
-		Ops:            ops,
+		Seed:           c.cfg.Seed,
+		Ops:            c.ops,
 		Outcomes:       c.outcomes,
 		Violation:      c.violation,
 		Signature:      make(map[string]int64, len(signatureKeys)),
 		VirtualElapsed: c.v.Elapsed(),
 	}
 	for _, k := range signatureKeys {
-		res.Signature[k] = set.Get(k)
+		res.Signature[k] = c.set.Get(k)
 	}
 	if c.sampler != nil {
 		// Stop the sampler while the virtual clock still runs so the
@@ -566,21 +737,36 @@ func Replay(cfg Config, ops []Op) (*Result, error) {
 		c.sampler.Stop()
 		res.Series = sanitizeSeries(c.sampler.Snapshot())
 	}
-	teardown(c, prevClock, prevSet)
-	res.RealElapsed = time.Since(realStart)
-	return res, nil
+	// The scoped recorder's transition events overlay the series in a
+	// report; on a violation the full dump is the post-mortem.
+	if c.violation != nil {
+		res.FlightDump = flight.DumpString()
+	}
+	for _, e := range c.rec.Events() {
+		if e.Kind.IsTransition() {
+			res.Events = append(res.Events, e)
+		}
+	}
+	c.teardown()
+	res.RealElapsed = time.Since(c.realStart)
+	return res
 }
 
 // teardown dismantles the cluster in dependency order: the health
 // prober first (it sleeps on the virtual clock, which must still be
 // running), then the Manager and Servers, then the clock itself —
 // stopping it releases any straggling virtual sleepers — and finally
-// the global clock and metric set are restored.
-func teardown(c *cluster, prevClock vclock.Clock, prevSet *trace.Set) {
+// the global clock, metric set, and flight recorder are restored and
+// the run lock released. Idempotent via c.finished.
+func (c *Cluster) teardown() {
+	if c.finished {
+		return
+	}
+	c.finished = true
 	if c.sampler != nil {
-		// Normally already stopped by the success path; on an error
-		// path this releases the sampler's virtual-clock timer before
-		// the clock halts. Stop is idempotent.
+		// Normally already stopped by Finish; on an error path this
+		// releases the sampler's virtual-clock timer before the clock
+		// halts. Stop is idempotent.
 		tseries.SetActive(nil)
 		c.sampler.Stop()
 	}
@@ -602,8 +788,10 @@ func teardown(c *cluster, prevClock vclock.Clock, prevSet *trace.Set) {
 	// Give released sleepers a moment to observe closed connections and
 	// exit before the real clock comes back.
 	time.Sleep(2 * time.Millisecond)
-	schooner.SwapClock(prevClock)
-	trace.Swap(prevSet)
+	schooner.SwapClock(c.prevClock)
+	trace.Swap(c.prevSet)
+	flight.Swap(c.prevRec)
+	runMu.Unlock()
 }
 
 func workerHosts(n int) []string {
@@ -625,7 +813,7 @@ func partKey(a, b string) string {
 // apply executes one op and returns a short outcome word. Ops whose
 // precondition no longer holds (their setup op was shrunk away) are
 // skipped, never failed — shrinking must not manufacture violations.
-func (c *cluster) apply(idx int, op Op) string {
+func (c *Cluster) apply(idx int, op Op) string {
 	c.adoptPromoted()
 	switch op.Kind {
 	case OpSpawnLine:
@@ -908,7 +1096,7 @@ func (c *cluster) apply(idx int, op Op) string {
 	return c.skip()
 }
 
-func (c *cluster) skip() string {
+func (c *Cluster) skip() string {
 	trace.Count("dst.ops.skipped")
 	return "skipped"
 }
@@ -917,7 +1105,7 @@ func (c *cluster) skip() string {
 // line policy allows a single network attempt, so every attempt is
 // tagged with its number and the ledger can detect a request that
 // committed twice under one (id, attempt).
-func (c *cluster) bumpCall(idx int, ln *schooner.Line, id int64) bool {
+func (c *Cluster) bumpCall(idx int, ln *schooner.Line, id int64) bool {
 	x := xFor(id)
 	for attempt := int64(0); attempt < 4; attempt++ {
 		res, err := ln.Call("bump", uts.LongVal(id), uts.LongVal(attempt), uts.DoubleVal(x))
@@ -938,7 +1126,7 @@ func (c *cluster) bumpCall(idx int, ln *schooner.Line, id int64) bool {
 // verifiedBumpCall checks a moved procedure answers at its new home,
 // using IDs outside the generated space so the check cannot collide
 // with scenario calls (or with an injected bug keyed on scenario IDs).
-func (c *cluster) verifiedBumpCall(ln *schooner.Line) bool {
+func (c *Cluster) verifiedBumpCall(ln *schooner.Line) bool {
 	c.verifySeq++
 	id := verifyIDBase + c.verifySeq
 	x := xFor(id)
@@ -954,7 +1142,7 @@ func (c *cluster) verifiedBumpCall(ln *schooner.Line) bool {
 
 // workCallOnce performs one work call (the line's own retry policy
 // applies) and reports the result.
-func (c *cluster) workCallOnce(id int64) (float64, bool) {
+func (c *Cluster) workCallOnce(id int64) (float64, bool) {
 	res, err := c.workLine.Call("work", uts.LongVal(id), uts.DoubleVal(xFor(id)))
 	if err != nil {
 		return 0, false
@@ -964,7 +1152,7 @@ func (c *cluster) workCallOnce(id int64) (float64, bool) {
 
 // verifiedWorkCall retries a work call at the driver level, for
 // availability invariants that must tolerate one stale cache miss.
-func (c *cluster) verifiedWorkCall() (float64, bool) {
+func (c *Cluster) verifiedWorkCall() (float64, bool) {
 	c.verifySeq++
 	id := verifyIDBase + c.verifySeq
 	for attempt := 0; attempt < 4; attempt++ {
@@ -979,7 +1167,7 @@ func (c *cluster) verifiedWorkCall() (float64, bool) {
 
 // standbyHosts lists the standby Manager machines clients may reattach
 // to, or nil without a standby.
-func (c *cluster) standbyHosts() []string {
+func (c *Cluster) standbyHosts() []string {
 	if c.cfg.Standby {
 		return []string{"mgr2"}
 	}
@@ -988,7 +1176,7 @@ func (c *cluster) standbyHosts() []string {
 
 // accCall performs one accumulator call (the work line's retry policy
 // applies) and returns the reported total.
-func (c *cluster) accCall(id int64) (float64, bool) {
+func (c *Cluster) accCall(id int64) (float64, bool) {
 	res, err := c.workLine.Call("acc", uts.DoubleVal(xFor(id)))
 	if err != nil {
 		return 0, false
@@ -1000,7 +1188,7 @@ func (c *cluster) accCall(id int64) (float64, bool) {
 // driver-level retries. Callers flush the work line's cache first so
 // the probe consults the name database's copy, not a cached — possibly
 // superseded — address.
-func (c *cluster) accProbe() (float64, bool) {
+func (c *Cluster) accProbe() (float64, bool) {
 	for attempt := 0; attempt < 4; attempt++ {
 		res, err := c.workLine.Call("acc", uts.DoubleVal(0))
 		if err == nil {
@@ -1014,7 +1202,7 @@ func (c *cluster) accProbe() (float64, bool) {
 // nameKeySets snapshots the name database's key sets: which names are
 // bound, per line, ignoring where they point (failover legitimately
 // repoints names while the Manager is down recovering).
-func (c *cluster) nameKeySets() map[uint32][]string {
+func (c *Cluster) nameKeySets() map[uint32][]string {
 	sets := make(map[uint32][]string)
 	add := func(id uint32) {
 		names := c.mgr.NameBindings(id)
@@ -1038,7 +1226,7 @@ func (c *cluster) nameKeySets() map[uint32][]string {
 // checkRecovered asserts the journal round trip lost nothing: the
 // recovered Manager's name database binds exactly the names the
 // pre-crash snapshot had.
-func (c *cluster) checkRecovered(idx int) {
+func (c *Cluster) checkRecovered(idx int) {
 	after := c.nameKeySets()
 	for id, want := range c.preCrash {
 		if !equalStrings(after[id], want) {
@@ -1071,7 +1259,7 @@ func equalStrings(a, b []string) bool {
 // or at convergence for the final one — so counts never double. Any
 // process restored from checkpoint more than once across the whole run
 // means a failover re-ran against an already-superseded victim.
-func (c *cluster) mergeRestores(idx int) {
+func (c *Cluster) mergeRestores(idx int) {
 	addrs := make([]string, 0)
 	ledger := c.mgr.RestoreLedger()
 	for addr := range ledger {
@@ -1089,7 +1277,7 @@ func (c *cluster) mergeRestores(idx int) {
 
 // adoptPromoted swaps the cluster's Manager handle to the standby's
 // promoted incarnation once takeover has happened.
-func (c *cluster) adoptPromoted() {
+func (c *Cluster) adoptPromoted() {
 	if !c.mgrDown || c.standby == nil || !c.standby.TookOver() {
 		return
 	}
@@ -1101,7 +1289,7 @@ func (c *cluster) adoptPromoted() {
 
 // recoverManager restarts the Manager on its original machine from the
 // journal backend, the DST equivalent of `schooner-manager -recover`.
-func (c *cluster) recoverManager() error {
+func (c *Cluster) recoverManager() error {
 	lg, err := wal.Open(c.backend, wal.Options{})
 	if err != nil {
 		return err
@@ -1110,14 +1298,16 @@ func (c *cluster) recoverManager() error {
 	if err != nil {
 		return err
 	}
-	mgr.StartHealth(healthPolicy)
+	if hp := c.healthPolicy(); hp.Interval >= 0 {
+		mgr.StartHealth(hp)
+	}
 	c.mgr = mgr
 	c.mgrDown = false
 	return nil
 }
 
 // checkLedger runs the double-commit invariant.
-func (c *cluster) checkLedger(idx int) {
+func (c *Cluster) checkLedger(idx int) {
 	if k, n, found := c.led.doubleCommit(); found {
 		c.violate(idx, "double-commit", fmt.Sprintf("call id=%d attempt=%d committed %d times", k[0], k[1], n))
 	}
@@ -1127,7 +1317,7 @@ func (c *cluster) checkLedger(idx int) {
 // cluster has settled, the workload must return the locally computed
 // answer — the Table-2 property that distribution changes where the
 // computation runs, not what it computes.
-func (c *cluster) converge(idx int) {
+func (c *Cluster) converge(idx int) {
 	for h := range c.downs {
 		c.net.SetHostDown(h, false)
 	}

@@ -13,6 +13,16 @@ const workIDBase = 1 << 20
 // 1024, so xFor cycles through the same half-integer inputs.
 const accIDBase = 1 << 25
 
+// WorkIDBase and AccIDBase export the ID spaces for external schedule
+// builders (the declarative scenario compiler): a schedule mixing
+// hand-placed traffic with generated ops must allocate work and
+// accumulator call IDs from the same disjoint ranges the generator
+// uses, or the per-ID ledgers would collide.
+const (
+	WorkIDBase = workIDBase
+	AccIDBase  = accIDBase
+)
+
 // genModel is the generator's view of the cluster. It exists only to
 // keep the schedule sensible (no move to a down host, at most one
 // crash at a time); the driver re-checks everything at run time, so a

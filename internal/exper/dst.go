@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"npss/internal/dst"
-	"npss/internal/flight"
 	"npss/internal/tseries"
 )
 
@@ -47,9 +46,10 @@ func DSTReport(seed int64, ops int, seriesInterval time.Duration) (string, tseri
 	}
 
 	fmt.Fprintf(&b, "INVARIANT VIOLATED: %s\n", res.Violation)
-	// The flight recorder's last events are the post-mortem's starting
-	// point; dump before shrinking replays bury the original history.
-	b.WriteString(flight.DumpString())
+	// The run-scoped flight recorder's last events are the post-mortem's
+	// starting point; the Result captured the dump at teardown, before
+	// shrinking replays bury the original history.
+	b.WriteString(res.FlightDump)
 	if n := len(res.Series.Windows); n > 0 {
 		// The last windows before the violation ride along, the same
 		// section a live sampler appends to an in-flight dump.

@@ -1,0 +1,141 @@
+package exper
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npss/internal/scenario"
+)
+
+// loadTable2Scenario loads the shipped YAML port of the chaos
+// experiment from the repo's scenario corpus.
+func loadTable2Scenario(t *testing.T) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Load(filepath.Join("..", "..", "scenarios", "chaos-table2.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestTable2ScenarioSpecParity pins the mapping layer exactly: the
+// shipped YAML port must compile to the same ChaosSpec the hand-coded
+// experiment defaults to — same seed, same crashed machine, and the
+// same mid-transient crash step — for any engine RunSpec.
+func TestTable2ScenarioSpecParity(t *testing.T) {
+	spec := loadTable2Scenario(t)
+	for _, run := range []RunSpec{
+		{Throttle: true}, // production defaults
+		{Transient: 0.05, Step: 5e-4, Throttle: true}, // the shortened test spec
+	} {
+		cs, err := table2ChaosSpec(spec, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hand := ChaosSpec{Run: run, Seed: 1993}
+		hand.defaults()
+		if cs.Seed != hand.Seed {
+			t.Errorf("seed = %d, hand-coded %d", cs.Seed, hand.Seed)
+		}
+		if cs.CrashHost != hand.CrashHost {
+			t.Errorf("crash host = %q, hand-coded %q", cs.CrashHost, hand.CrashHost)
+		}
+		if cs.CrashStep != hand.CrashStep {
+			t.Errorf("crash step = %d, hand-coded %d (transient %v)", cs.CrashStep, hand.CrashStep, run.Transient)
+		}
+	}
+}
+
+// TestTable2ScenarioRunParity runs the YAML port and the hand-coded
+// chaos experiment over the same shortened transient and demands they
+// agree on the outcomes the schedule determines: both converge within
+// tolerance, and both see the crash (hostdown) and the health
+// monitor's response (failovers). Raw retry/drop counts depend on
+// real-clock timing, so parity holds them to presence, not equality.
+func TestTable2ScenarioRunParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the combined test twice under fault injection")
+	}
+	run := RunSpec{Transient: 0.05, Step: 5e-4, Throttle: true}
+
+	spec := loadTable2Scenario(t)
+	res, err := RunTable2Scenario(spec, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := Chaos(ChaosSpec{Run: run, Seed: spec.Seed})
+	if hand.Row.Err != nil {
+		t.Fatalf("hand-coded run: %v", hand.Row.Err)
+	}
+
+	if res.DST.Violation != nil {
+		t.Fatalf("scenario run failed: %s", res.DST.Violation)
+	}
+	if !hand.Row.Converged {
+		t.Fatal("hand-coded run did not converge")
+	}
+	if hand.Row.MaxRelErr > relErrTolerance {
+		t.Errorf("hand-coded maxRelErr = %g", hand.Row.MaxRelErr)
+	}
+	for _, key := range []string{"schooner.manager.hostdown", "schooner.manager.failovers"} {
+		y, h := res.DST.Signature[key], hand.Counters[key]
+		if y < 1 || h < 1 {
+			t.Errorf("%s: yaml=%d hand=%d, want both >= 1", key, y, h)
+		}
+	}
+	// Every assertion in the shipped file must have held.
+	for _, a := range res.Asserts {
+		if !a.OK {
+			t.Errorf("assert failed: %s (%s)", a.Desc, a.Detail)
+		}
+	}
+}
+
+// TestTable2ScenarioRejects pins the adapter's scope errors: the
+// chaos engine runs a fixed topology, so fleet-style constructs are
+// line-numbered rejections, not silent no-ops.
+func TestTable2ScenarioRejects(t *testing.T) {
+	base := "name: t\nseed: 1\nduration: 1s\nworkload: table2\nfleet:\n  hosts:\n    - name: sparc10-ua\n      arch: sparc\n    - name: rs6000-lerc\n      arch: rs6000\n"
+	cases := []struct {
+		name string
+		add  string
+		want string
+	}{
+		{
+			"second crash",
+			"events:\n  - at: 100ms\n    action: crash_host\n    host: rs6000-lerc\n  - at: 200ms\n    action: crash_host\n    host: sparc10-ua\n",
+			"exactly one crash_host",
+		},
+		{
+			"unsupported action",
+			"events:\n  - at: 100ms\n    action: manager_crash\n",
+			`does not support action "manager_crash"`,
+		},
+		{
+			"stress block",
+			"stress:\n  - at: 0s\n    duration: 1s\n    ops: 5\n",
+			"does not support stress blocks",
+		},
+		{
+			"bound_host assert",
+			"assertions:\n  - check: bound_host\n    proc: work\n    host: sparc10-ua\n",
+			"does not support bound_host assertions",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := scenario.Decode([]byte(base + tc.add))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = table2ChaosSpec(spec, RunSpec{Throttle: true})
+			if err == nil {
+				t.Fatal("adapter accepted unsupported scenario")
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("err = %q, want %q with a line number", err, tc.want)
+			}
+		})
+	}
+}

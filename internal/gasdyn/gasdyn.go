@@ -46,9 +46,18 @@ var cpFuelCorr = [8]float64{
 	3.081778, -0.361112, -0.003919,
 }
 
-// Cp returns the specific heat at constant pressure, J/(kg K), of air
-// with the given fuel-air ratio at static (or total) temperature T.
-func Cp(t, far float64) float64 {
+// The polynomial fit's validity range. Outside it the high-order
+// terms dominate and the raw polynomial is non-physical (cp can even
+// go negative above ~2500 K, which used to make the Newton solvers
+// below diverge), so cp is held constant at the boundary value beyond
+// these temperatures and h/phi continue as its exact integrals.
+const (
+	cpTmin = 200.0
+	cpTmax = 2000.0
+)
+
+// cpRaw evaluates the polynomial fit without range clamping.
+func cpRaw(t, far float64) float64 {
 	tz := t / 1000
 	var cp float64
 	pow := 1.0
@@ -66,6 +75,19 @@ func Cp(t, far float64) float64 {
 		cp += far / (1 + far) * corr
 	}
 	return cp * 1000 // kJ -> J
+}
+
+// Cp returns the specific heat at constant pressure, J/(kg K), of air
+// with the given fuel-air ratio at static (or total) temperature T.
+// Outside the fit's 200-2000 K validity range the boundary value is
+// used, keeping cp positive and H/Phi strictly increasing everywhere.
+func Cp(t, far float64) float64 {
+	if t < cpTmin {
+		t = cpTmin
+	} else if t > cpTmax {
+		t = cpTmax
+	}
+	return cpRaw(t, far)
 }
 
 // R returns the specific gas constant, J/(kg K), for the mixture. The
@@ -87,8 +109,16 @@ func H(t, far float64) float64 {
 	return hAbs(t, far) - hAbs(TRef, far)
 }
 
-// hAbs integrates the cp polynomial from 0 (formal antiderivative).
+// hAbs integrates the cp polynomial from 0 (formal antiderivative),
+// extended with constant cp outside the fit range so dh = cp dT holds
+// everywhere.
 func hAbs(t, far float64) float64 {
+	if t < cpTmin {
+		return hAbs(cpTmin, far) + Cp(cpTmin, far)*(t-cpTmin)
+	}
+	if t > cpTmax {
+		return hAbs(cpTmax, far) + Cp(cpTmax, far)*(t-cpTmax)
+	}
 	tz := t / 1000
 	var h float64
 	pow := tz
@@ -114,7 +144,15 @@ func Phi(t, far float64) float64 {
 	return phiAbs(t, far) - phiAbs(TRef, far)
 }
 
+// phiAbs is the formal antiderivative of cp/T, extended with constant
+// cp outside the fit range so d phi = cp/T dT holds everywhere.
 func phiAbs(t, far float64) float64 {
+	if t < cpTmin {
+		return phiAbs(cpTmin, far) + Cp(cpTmin, far)*math.Log(t/cpTmin)
+	}
+	if t > cpTmax {
+		return phiAbs(cpTmax, far) + Cp(cpTmax, far)*math.Log(t/cpTmax)
+	}
 	tz := t / 1000
 	ln := math.Log(tz)
 	phi := cpAir[0] * ln

@@ -1,0 +1,367 @@
+// Package scenario is the declarative face of the DST harness: it
+// parses YAML scenario files — fleet templates with weights and a
+// startup ramp, timed fault events, seeded stress blocks, assertions —
+// compiles them onto the internal/dst op vocabulary, and runs them as
+// one deterministic cluster simulation on the virtual clock. A
+// thousand-host, thirty-virtual-minute stress scenario costs seconds
+// of real time, and the same file with the same seed replays to
+// byte-identical op traces and metric signatures.
+//
+// The module has zero dependencies, so the parser implements only the
+// YAML subset the DSL needs: block mappings, block sequences, plain or
+// double-quoted scalars, comments, and nothing else — no flow style,
+// no anchors, no multi-document streams. Every parse and decode error
+// carries the 1-based line number it was found on.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// nodeKind discriminates the three node shapes of the subset.
+type nodeKind int
+
+const (
+	nScalar nodeKind = iota
+	nMap
+	nSeq
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case nScalar:
+		return "scalar"
+	case nMap:
+		return "mapping"
+	case nSeq:
+		return "sequence"
+	}
+	return fmt.Sprintf("nodeKind(%d)", int(k))
+}
+
+// node is one parsed YAML value. Mappings keep their pairs in file
+// order so decoding errors point at the offending line.
+type node struct {
+	line  int
+	kind  nodeKind
+	val   string  // nScalar
+	pairs []pair  // nMap
+	items []*node // nSeq
+}
+
+type pair struct {
+	key  string
+	line int
+	val  *node
+}
+
+// get returns the value of a mapping key, nil when absent.
+func (n *node) get(key string) *node {
+	for _, p := range n.pairs {
+		if p.key == key {
+			return p.val
+		}
+	}
+	return nil
+}
+
+// errAt formats a line-numbered parse or decode error. Every error the
+// package reports about a scenario file goes through here, so the
+// "line N:" prefix is uniform and tests can assert on it.
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// srcLine is one meaningful line of the input: indentation stripped
+// and measured, comments removed.
+type srcLine struct {
+	indent int
+	text   string
+	num    int // 1-based
+}
+
+// parse parses a scenario document into its root mapping.
+func parse(data []byte) (*node, error) {
+	lines, err := scan(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errAt(1, "empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, errAt(lines[0].num, "top level must start at column 0")
+	}
+	root, rest, err := parseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, errAt(rest[0].num, "unexpected indent")
+	}
+	if root.kind != nMap {
+		return nil, errAt(root.line, "top level must be a mapping")
+	}
+	return root, nil
+}
+
+// scan splits the input into meaningful lines: blanks and comment-only
+// lines dropped, trailing comments stripped, indentation measured.
+// Tabs in indentation are an error — YAML forbids them and silently
+// mixing them with spaces is the classic bad-indent bug.
+func scan(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, errAt(num, "tab in indentation (use spaces)")
+		}
+		text := stripComment(raw[indent:])
+		text = strings.TrimRight(text, " \r")
+		if text == "" {
+			continue
+		}
+		out = append(out, srcLine{indent: indent, text: text, num: num})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#..." comment. A '#' inside a
+// double-quoted scalar does not start a comment; per YAML, neither
+// does one glued to the preceding word ("a#b" is a plain scalar).
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if inQuote {
+				continue
+			}
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the block starting at lines[0], which must sit at
+// exactly the given indent, and returns the unconsumed tail. The block
+// is a sequence if its first line starts with "-", a mapping
+// otherwise.
+func parseBlock(lines []srcLine, indent int) (*node, []srcLine, error) {
+	if isSeqItem(lines[0].text) {
+		return parseSeq(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// parseMap parses consecutive "key: value" lines at the given indent.
+func parseMap(lines []srcLine, indent int) (*node, []srcLine, error) {
+	n := &node{line: lines[0].num, kind: nMap}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, errAt(ln.num, "unexpected indent (expected column %d, got %d)", indent, ln.indent)
+		}
+		if isSeqItem(ln.text) {
+			return nil, nil, errAt(ln.num, "sequence item in a mapping block")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range n.pairs {
+			if p.key == key {
+				return nil, nil, errAt(ln.num, "duplicate key %q (first at line %d)", key, p.line)
+			}
+		}
+		lines = lines[1:]
+		var val *node
+		if rest != "" {
+			val = &node{line: ln.num, kind: nScalar, val: rest}
+			if len(lines) > 0 && lines[0].indent > indent {
+				return nil, nil, errAt(lines[0].num, "unexpected indent under scalar value of %q", key)
+			}
+		} else {
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, errAt(ln.num, "key %q has no value (expected an indented block)", key)
+			}
+			val, lines, err = parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		n.pairs = append(n.pairs, pair{key: key, line: ln.num, val: val})
+	}
+	return n, lines, nil
+}
+
+// splitKey splits "key: value" (or "key:") and unquotes the scalar
+// remainder.
+func splitKey(ln srcLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	if i <= 0 {
+		return "", "", errAt(ln.num, "expected \"key: value\", got %q", ln.text)
+	}
+	if i+1 < len(ln.text) && ln.text[i+1] != ' ' {
+		return "", "", errAt(ln.num, "missing space after %q", ln.text[:i+1])
+	}
+	key = strings.TrimSpace(ln.text[:i])
+	if strings.ContainsAny(key, "\"' ") {
+		return "", "", errAt(ln.num, "invalid key %q", key)
+	}
+	rest = strings.TrimSpace(ln.text[i+1:])
+	return key, unquote(rest), nil
+}
+
+// parseSeq parses consecutive "- item" lines at the given indent.
+func parseSeq(lines []srcLine, indent int) (*node, []srcLine, error) {
+	n := &node{line: lines[0].num, kind: nSeq}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, errAt(ln.num, "unexpected indent (expected column %d, got %d)", indent, ln.indent)
+		}
+		if !isSeqItem(ln.text) {
+			break
+		}
+		var item *node
+		var err error
+		if ln.text == "-" {
+			// Item body is the following indented block.
+			lines = lines[1:]
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, errAt(ln.num, "empty sequence item")
+			}
+			item, lines, err = parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			rest := strings.TrimLeft(ln.text[1:], " ")
+			// The item's content column: everything after "- ". An item
+			// like "- name: x" opens an inline mapping whose later keys
+			// continue at that column on the following lines.
+			effIndent := ln.indent + (len(ln.text) - len(rest))
+			if k := strings.Index(rest, ":"); k > 0 && (k+1 == len(rest) || rest[k+1] == ' ') && !strings.HasPrefix(rest, "\"") {
+				rewritten := append([]srcLine{{indent: effIndent, text: rest, num: ln.num}}, lines[1:]...)
+				item, lines, err = parseMap(rewritten, effIndent)
+				if err != nil {
+					return nil, nil, err
+				}
+			} else {
+				item = &node{line: ln.num, kind: nScalar, val: unquote(rest)}
+				lines = lines[1:]
+				if len(lines) > 0 && lines[0].indent > indent {
+					return nil, nil, errAt(lines[0].num, "unexpected indent under sequence scalar")
+				}
+			}
+		}
+		n.items = append(n.items, item)
+	}
+	return n, lines, nil
+}
+
+// unquote strips one level of surrounding double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// --- typed scalar accessors -------------------------------------------
+
+func (n *node) scalar(what string) (string, error) {
+	if n.kind != nScalar {
+		return "", errAt(n.line, "%s: expected a scalar, got a %s", what, n.kind)
+	}
+	return n.val, nil
+}
+
+func (n *node) asString(what string) (string, error) {
+	return n.scalar(what)
+}
+
+func (n *node) asInt(what string) (int, error) {
+	s, err := n.scalar(what)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not an integer", what, s)
+	}
+	return v, nil
+}
+
+func (n *node) asInt64(what string) (int64, error) {
+	s, err := n.scalar(what)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not an integer", what, s)
+	}
+	return v, nil
+}
+
+func (n *node) asFloat(what string) (float64, error) {
+	s, err := n.scalar(what)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not a number", what, s)
+	}
+	return v, nil
+}
+
+func (n *node) asBool(what string) (bool, error) {
+	s, err := n.scalar(what)
+	if err != nil {
+		return false, err
+	}
+	switch s {
+	case "true", "yes", "on":
+		return true, nil
+	case "false", "no", "off":
+		return false, nil
+	}
+	return false, errAt(n.line, "%s: %q is not a boolean", what, s)
+}
+
+// asDur parses a Go-style duration ("250ms", "2s", "30m").
+func (n *node) asDur(what string) (time.Duration, error) {
+	s, err := n.scalar(what)
+	if err != nil {
+		return 0, err
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not a duration (want e.g. \"250ms\", \"2s\")", what, s)
+	}
+	return d, nil
+}
