@@ -11,7 +11,18 @@ GO ?= go
 BENCH_NEW  ?= BENCH_8.json
 BENCH_BASE ?= $(shell $(GO) run ./cmd/bench-snapshot latest -exclude $(BENCH_NEW))
 
-.PHONY: all test race bench bench-check
+# The committed golden attribution profile: PROFILE_<n>.json, captured
+# from the batched Table 2 run below. `make profile` recaptures
+# profile.out.json and compares it warn-only against the newest
+# golden; `make profile-check` fails when the critical-path length or
+# any attribution bucket drifts >15% of the golden critical path.
+# -timescale makes simulated network delay manifest as wall time, so
+# the network bucket carries signal; committing a new golden is
+# `cp profile.out.json PROFILE_<n+1>.json`.
+PROFILE_GOLD ?= $(shell $(GO) run ./cmd/profile-check latest)
+PROFILE_ARGS ?= -exp table2 -batch -transient 0.02 -timescale 0.05
+
+.PHONY: all test race bench bench-check profile profile-check
 
 all: test
 
@@ -42,4 +53,22 @@ bench-check:
 		$(GO) run ./cmd/bench-snapshot compare $(BENCH_BASE) $(BENCH_NEW); \
 	else \
 		echo "no previous BENCH_*.json; nothing to check"; \
+	fi
+
+# profile captures the batched Table 2 attribution profile and
+# compares it (warn-only) against the committed golden.
+profile:
+	$(GO) run ./cmd/npss-exp $(PROFILE_ARGS) -profile profile.out.json
+	@if [ -n "$(PROFILE_GOLD)" ]; then \
+		$(GO) run ./cmd/profile-check compare -warn $(PROFILE_GOLD) profile.out.json; \
+	else \
+		echo "no PROFILE_*.json golden; profile.out.json is the first"; \
+	fi
+
+profile-check:
+	$(GO) run ./cmd/npss-exp $(PROFILE_ARGS) -profile profile.out.json
+	@if [ -n "$(PROFILE_GOLD)" ]; then \
+		$(GO) run ./cmd/profile-check compare $(PROFILE_GOLD) profile.out.json; \
+	else \
+		echo "no PROFILE_*.json golden; nothing to check"; \
 	fi

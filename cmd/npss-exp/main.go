@@ -46,6 +46,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/exper"
 	"npss/internal/logx"
 	"npss/internal/report"
@@ -63,6 +64,8 @@ func main() {
 	parallel := flag.Bool("parallel", false, "overlap remote module calls (wavefront execution + concurrent hooks)")
 	batch := flag.Bool("batch", false, "coalesce simultaneous same-host remote calls into batch envelopes (implies -parallel)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this JSON file")
+	profileOut := flag.String("profile", "", "write the run's critical-path attribution profile as JSON to this file (implies span recording)")
+	netScale := flag.Float64("netscale", 0, "multiply every simulated link's latency by this factor (0 or 1 = the paper's topology)")
 	metricsOut := flag.String("metrics", "", "write the run's aggregated metric snapshot as JSON to this file")
 	telemetryAddr := flag.String("telemetry", "", "serve live /metrics, /statusz, /flightz and pprof on this address while the experiments run")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -70,6 +73,8 @@ func main() {
 	ops := flag.Int("ops", 40, "operation count for the dst experiment")
 	scenarioFile := flag.String("f", "", "scenario YAML file for the scenario experiment")
 	validate := flag.Bool("validate", false, "with -exp scenario: parse, compile, and semantic-check the scenario without running it")
+	expectFile := flag.String("expect", "", "with -exp scenario: golden expectation file to check the run's fingerprint against")
+	expectUpdate := flag.Bool("expect-update", false, "with -expect: rewrite the golden instead of failing on a mismatch")
 	reportOut := flag.String("report", "", "write a self-contained HTML report of the chaos or dst run to this file")
 	reportJSON := flag.String("report-json", "", "write the machine-readable report bundle (series, events) as JSON to this file")
 	seriesInterval := flag.Duration("series-interval", 0, "time-series sampling window (0 picks a default when -report/-report-json is set: 25ms wall for chaos, 50ms virtual for dst)")
@@ -82,7 +87,7 @@ func main() {
 	lg := logx.For("npss-exp", "")
 
 	var rec *trace.Recorder
-	if *traceOut != "" {
+	if *traceOut != "" || *profileOut != "" {
 		rec = trace.NewRecorder()
 		trace.SetRecorder(rec)
 	}
@@ -105,6 +110,11 @@ func main() {
 	// writes eagerly instead and records that via reportWritten.
 	var reportData *report.Data
 	reportWritten := false
+	// profileWritten mirrors reportWritten: the dst experiment writes
+	// its attribution profile eagerly, because its spans live in a
+	// run-scoped recorder on the virtual clock — the process recorder
+	// the end-of-main analyzer reads never sees them.
+	profileWritten := false
 	// chaosInterval and dstInterval are the sampling windows a report
 	// uses when -series-interval is left at its zero default: chaos
 	// samples wall time, dst samples virtual time (which a scenario
@@ -115,16 +125,27 @@ func main() {
 		dstInterval = 50 * time.Millisecond
 	}
 
-	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel, Batch: *batch}
+	spec := exper.RunSpec{Transient: *transient, Step: *step, Throttle: true, TimeScale: *timescale, Parallel: *parallel, Batch: *batch, NetScale: *netScale}
+
+	// profileLinks accumulates the runs' per-link traffic so the
+	// -profile attribution carries link cost profiles alongside the
+	// span-derived host profiles.
+	var profileLinks map[string]critpath.LinkIO
 
 	run := map[string]func(){
 		"table1": func() {
 			fmt.Println("== Table 1: TESS and Schooner individual module tests ==")
-			fmt.Print(exper.FormatTable1(exper.Table1(spec)))
+			rows := exper.Table1(spec)
+			for _, r := range rows {
+				profileLinks = exper.MergeLinks(profileLinks, r.Links)
+			}
+			fmt.Print(exper.FormatTable1(rows))
 		},
 		"table2": func() {
 			fmt.Println("== Table 2: TESS and Schooner combined test ==")
-			fmt.Print(exper.FormatTable2(exper.Table2(spec)))
+			r := exper.Table2(spec)
+			profileLinks = exper.MergeLinks(profileLinks, r.Links)
+			fmt.Print(exper.FormatTable2(r))
 		},
 		"fig1": func() {
 			events, err := exper.Fig1()
@@ -182,6 +203,7 @@ func main() {
 			// The chaos run records into its own scoped trace set; fold
 			// its snapshot into the -metrics aggregate explicitly.
 			agg.Merge(r.Metrics)
+			profileLinks = exper.MergeLinks(profileLinks, r.Row.Links)
 			fmt.Print(exper.FormatChaos(r))
 			if reporting {
 				reportData = &report.Data{
@@ -198,12 +220,21 @@ func main() {
 		},
 		"dst": func() {
 			fmt.Println("== DST: deterministic cluster simulation in virtual time ==")
-			out, series, ok := exper.DSTReport(*seed, *ops, dstInterval)
+			out, series, prof, ok := exper.DSTReport(*seed, *ops, dstInterval, *profileOut != "" || reporting)
 			fmt.Print(out)
+			if prof != nil && *profileOut != "" {
+				if err := os.WriteFile(*profileOut, prof.EncodeJSON(), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("npss-exp: wrote attribution profile (%d phases, %d spans, critical path %s) to %s\n",
+					len(prof.Phases), prof.Spans, prof.Total.CriticalPath, *profileOut)
+				profileWritten = true
+			}
 			if reporting {
 				reportData = &report.Data{
-					Title:  fmt.Sprintf("dst seed=%d ops=%d", *seed, *ops),
-					Series: series,
+					Title:   fmt.Sprintf("dst seed=%d ops=%d", *seed, *ops),
+					Series:  series,
+					Profile: prof,
 					Notes: []string{
 						"virtual-time series: windows advance with the scenario's simulated clock",
 						fmt.Sprintf("invariants held: %v", ok),
@@ -253,6 +284,27 @@ func main() {
 				writeReports(scenario.Report(res), *reportOut, *reportJSON)
 				reportWritten = true
 			}
+			if *expectFile != "" {
+				got := scenario.Expectation(spec, res)
+				if *expectUpdate {
+					if err := os.WriteFile(*expectFile, []byte(got), 0o644); err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("npss-exp: wrote expectation to %s\n", *expectFile)
+				} else {
+					golden, err := os.ReadFile(*expectFile)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "npss-exp: %v (run with -expect-update to create it)\n", err)
+						os.Exit(1)
+					}
+					if diff := scenario.DiffExpectation(string(golden), got); diff != "" {
+						fmt.Fprintf(os.Stderr, "npss-exp: %s: run diverged from golden %s:\n%s\n",
+							*scenarioFile, *expectFile, diff)
+						os.Exit(1)
+					}
+					fmt.Printf("npss-exp: fingerprint matches golden %s\n", *expectFile)
+				}
+			}
 			if res.DST.Violation != nil {
 				os.Exit(1)
 			}
@@ -288,12 +340,22 @@ func main() {
 		printCounters()
 	}
 
-	if rec != nil {
+	if rec != nil && *traceOut != "" {
 		if err := writeTimeline(rec, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 	}
+	var prof *critpath.Profile
+	if *profileOut != "" && !profileWritten {
+		prof = critpath.Analyze(rec.Spans(), profileLinks, rec.Dropped())
+		if err := os.WriteFile(*profileOut, prof.EncodeJSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("npss-exp: wrote attribution profile (%d phases, %d spans, critical path %s) to %s\n",
+			len(prof.Phases), prof.Spans, prof.Total.CriticalPath, *profileOut)
+	}
 	if reportData != nil {
+		reportData.Profile = prof
 		writeReports(reportData, *reportOut, *reportJSON)
 	} else if reporting && !reportWritten {
 		fmt.Fprintln(os.Stderr, "npss-exp: -report/-report-json need the chaos or dst experiment; no report written")

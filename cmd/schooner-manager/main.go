@@ -41,6 +41,7 @@ import (
 	"os/signal"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/daemon"
 	"npss/internal/flight"
 	"npss/internal/logx"
@@ -205,6 +206,28 @@ func clusterStatus(managerAddr, hostTable string) (string, error) {
 	if len(aggSeries.Windows) > 0 {
 		report += "-- cluster series --\n"
 		report += aggSeries.Format()
+	}
+
+	// Profile roll-up: each component's critical-path attribution of
+	// its live span recorder. Profiles describe one process's span
+	// forest, so they are reported per source rather than merged.
+	var profileSection string
+	for _, src := range sources {
+		data, err := queryKind(src.addr, wire.KProfile, wire.KProfileOK)
+		if err != nil {
+			continue // daemons predating KProfile or unreachable: skip
+		}
+		p, err := critpath.DecodeProfile(data)
+		if err != nil {
+			return "", fmt.Errorf("schooner-manager: %s profile: %w", src.name, err)
+		}
+		if p.Spans == 0 {
+			continue // tracing off: nothing to attribute
+		}
+		profileSection += fmt.Sprintf("[%s]\n%s\n", src.name, p.Format())
+	}
+	if profileSection != "" {
+		report += "-- cluster profile --\n" + profileSection
 	}
 	return report, nil
 }

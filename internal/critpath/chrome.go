@@ -1,0 +1,94 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"npss/internal/trace"
+)
+
+// The Chrome trace-event subset trace.WriteChromeTrace emits: "X"
+// complete events carrying span identity in args, and "M" metadata
+// events naming each pid's host. Parsing it back lets the analyzer
+// run over a previously exported timeline file instead of a live
+// recorder.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ParseChromeTrace reconstructs span records from the Chrome
+// trace-event JSON that trace.WriteChromeTrace exported. Timestamps
+// are rebased onto the Unix epoch — the analyzer only ever uses
+// offsets, so the absolute base is immaterial.
+func ParseChromeTrace(r io.Reader) ([]trace.SpanRecord, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("critpath: parse chrome trace: %w", err)
+	}
+	base := time.Unix(0, 0).UTC()
+	hostOf := map[int]string{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			name := e.Args["name"]
+			if name == "local" {
+				name = ""
+			}
+			hostOf[e.Pid] = name
+		}
+	}
+	var spans []trace.SpanRecord
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		s := trace.SpanRecord{
+			Name:  e.Name,
+			Host:  hostOf[e.Pid],
+			Track: e.Tid,
+			Start: base.Add(time.Duration(e.Ts * float64(time.Microsecond))),
+			Dur:   time.Duration(e.Dur * float64(time.Microsecond)),
+		}
+		var noteKeys []string
+		for k, v := range e.Args {
+			switch k {
+			case "trace":
+				s.Trace = parseHex(v)
+			case "span":
+				s.ID = parseHex(v)
+			case "parent":
+				s.Parent = parseHex(v)
+			default:
+				_ = v
+				noteKeys = append(noteKeys, k)
+			}
+		}
+		sort.Strings(noteKeys)
+		for _, k := range noteKeys {
+			s.Notes = append(s.Notes, trace.Label{Key: k, Value: e.Args[k]})
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}
+
+func parseHex(s string) uint64 {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

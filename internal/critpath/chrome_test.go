@@ -1,0 +1,78 @@
+package critpath
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"npss/internal/trace"
+)
+
+// TestChromeTraceRoundTrip records a span tree on a virtual-ish
+// clock, exports the Chrome timeline, parses it back, and checks the
+// analysis of the parsed spans matches the analysis of the recorder's
+// own spans (Chrome timestamps are µs floats, so the fixture sticks
+// to µs-aligned instants).
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(500, 0).UTC()
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+
+	rec := trace.NewRecorderClock(clock)
+	trace.SetRecorder(rec)
+	t.Cleanup(func() { trace.SetRecorder(nil) })
+
+	phase := trace.StartSpan("phase t", "avs")
+	advance(2 * time.Millisecond)
+	call := trace.StartSpan("call a.x", "avs")
+	att := call.Child("attempt a.x", "avs")
+	advance(3 * time.Millisecond)
+	disp := trace.StartChild(att.Context(), "dispatch a.x", "cray")
+	advance(5 * time.Millisecond)
+	disp.End()
+	advance(3 * time.Millisecond)
+	att.End()
+	call.End()
+	advance(2 * time.Millisecond)
+	phase.End()
+
+	direct := Analyze(rec.Spans(), nil, 0)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(rec.Spans()) {
+		t.Fatalf("parsed %d spans, recorded %d", len(parsed), len(rec.Spans()))
+	}
+	reparsed := Analyze(parsed, nil, 0)
+
+	if len(direct.Phases) != len(reparsed.Phases) {
+		t.Fatalf("phase count: direct %d, reparsed %d", len(direct.Phases), len(reparsed.Phases))
+	}
+	for i := range direct.Phases {
+		d, r := direct.Phases[i], reparsed.Phases[i]
+		if d.Name != r.Name || d.Dur != r.Dur {
+			t.Errorf("phase %d: direct %s/%s, reparsed %s/%s", i, d.Name, d.Dur, r.Name, r.Dur)
+		}
+		for _, b := range Buckets {
+			if d.Buckets[b] != r.Buckets[b] {
+				t.Errorf("phase %d bucket %s: direct %s, reparsed %s", i, b, d.Buckets[b], r.Buckets[b])
+			}
+		}
+	}
+}

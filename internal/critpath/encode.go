@@ -1,0 +1,149 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EncodeJSON renders the profile deterministically: struct fields in
+// declaration order, map keys sorted by the encoder, trailing newline.
+// Two same-seed DST replays must produce byte-identical output.
+func (p *Profile) EncodeJSON() []byte {
+	b, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		// Profile contains only marshalable fields; this is a bug.
+		panic("critpath: encode: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// DecodeProfile parses what EncodeJSON wrote.
+func DecodeProfile(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("critpath: decode profile: %w", err)
+	}
+	return &p, nil
+}
+
+// DefaultThreshold is the relative drift the regression gate
+// tolerates, mirroring the bench-snapshot gate.
+const DefaultThreshold = 0.15
+
+// Compare diffs two profiles for the regression gate. It returns one
+// line per drift of the critical-path length or an attribution bucket
+// beyond the threshold, and an empty slice when cur is within bounds.
+//
+// Bucket drift is measured against the baseline critical-path length,
+// not the bucket's own value: both a 2%-share bucket halving (pure
+// scheduler noise) and a 60%-share bucket growing 20% (a real
+// regression) are judged by the same yardstick — how much of the
+// end-to-end latency moved.
+func Compare(base, cur *Profile, threshold float64) []string {
+	var out []string
+	bTot, cTot := base.Total.CriticalPath, cur.Total.CriticalPath
+	if d, bad := drift(float64(bTot), float64(cTot), threshold); bad {
+		out = append(out, fmt.Sprintf("critical path: %s -> %s (%+.1f%%, limit ±%.0f%%)",
+			bTot, cTot, d*100, threshold*100))
+	}
+	if bTot <= 0 {
+		return out
+	}
+	keys := map[string]bool{}
+	for k := range base.Total.Buckets {
+		keys[k] = true
+	}
+	for k := range cur.Total.Buckets {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		b, c := base.Total.Buckets[k], cur.Total.Buckets[k]
+		d := float64(c-b) / float64(bTot)
+		if d > threshold || d < -threshold {
+			out = append(out, fmt.Sprintf("bucket %s: %s -> %s (%+.1f%% of baseline critical path, limit ±%.0f%%)",
+				k, b, c, d*100, threshold*100))
+		}
+	}
+	return out
+}
+
+func drift(base, cur, threshold float64) (float64, bool) {
+	if base == 0 {
+		return 0, cur != 0
+	}
+	d := (cur - base) / base
+	return d, d > threshold || d < -threshold
+}
+
+// Format renders the profile for a terminal: per-phase decomposition
+// with bucket shares, host and link profiles, and the top edges.
+func (p *Profile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path %s over %d phase(s), %d spans",
+		p.Total.CriticalPath, len(p.Phases), p.Spans)
+	if p.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped: attribution is partial)", p.Dropped)
+	}
+	b.WriteString("\n")
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&b, "  phase %-12s %10s  %s\n", ph.Name, ph.Dur, bucketLine(ph.Buckets, ph.Dur))
+	}
+	if len(p.Hosts) > 0 {
+		b.WriteString("  hosts:\n")
+		for _, h := range p.Hosts {
+			name := h.Host
+			if name == "" {
+				name = "local"
+			}
+			fmt.Fprintf(&b, "    %-16s busy %10s  depth max %d avg %.2f  %s\n",
+				name, h.Busy, h.MaxDepth, h.AvgDepth, bucketLine(h.Buckets, h.Busy))
+		}
+	}
+	if len(p.Links) > 0 {
+		b.WriteString("  links:\n")
+		for _, l := range p.Links {
+			fmt.Fprintf(&b, "    %-36s %6d msgs %9d B  delay %10s  byte-delay %.3f\n",
+				l.Link, l.Messages, l.Bytes, l.Delay, l.ByteDelay)
+		}
+	}
+	if top := TopEdges(p, 3); len(top) > 0 {
+		b.WriteString("  top edges:\n")
+		for _, e := range top {
+			host := e.Host
+			if host == "" {
+				host = "local"
+			}
+			fmt.Fprintf(&b, "    %-10s %-24s on %-16s %10s\n", e.Bucket, e.Name, host, e.Dur)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// bucketLine renders the nonzero buckets with their share of total,
+// in canonical bucket order.
+func bucketLine(m map[string]time.Duration, total time.Duration) string {
+	var parts []string
+	for _, k := range Buckets {
+		v := m[k]
+		if v == 0 {
+			continue
+		}
+		if total > 0 {
+			parts = append(parts, fmt.Sprintf("%s %s (%.0f%%)", k, v, 100*float64(v)/float64(total)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s %s", k, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/machine"
 	"npss/internal/netsim"
@@ -53,6 +54,13 @@ type Config struct {
 	// monitoring entirely — necessary for thousand-host fleets, where
 	// per-sweep pinging of every machine would dominate the run.
 	Health *schooner.HealthPolicy
+	// Profile records spans on the run's virtual clock and captures
+	// the critical-path attribution at the convergence check — the
+	// run's deterministic end point, before the teardown tail whose
+	// length real time shapes. Every span timestamp is then a pure
+	// function of the op schedule, so Result.Profile encodes
+	// byte-identically across same-seed replays.
+	Profile bool
 }
 
 // HostSpec is one worker machine of an explicit fleet.
@@ -102,6 +110,11 @@ type Result struct {
 	// when the run ended in a violation — the post-mortem's starting
 	// point.
 	FlightDump string
+	// Profile is the critical-path attribution captured at the
+	// convergence check when Config.Profile was set. No link costs ride
+	// along: the netsim byte counters are excluded for the same
+	// teardown-tail reason as the heartbeat families above.
+	Profile *critpath.Profile
 }
 
 // signatureKeys are the counters included in Result.Signature: every
@@ -288,6 +301,13 @@ type Cluster struct {
 	prevRec   *flight.Recorder
 	realStart time.Time
 	finished  bool
+
+	// Profiling state (Config.Profile): a span recorder reading the
+	// virtual clock, the recorder it displaced, and the attribution
+	// captured at the convergence check.
+	spanRec     *trace.Recorder
+	prevSpanRec *trace.Recorder
+	profile     *critpath.Profile
 }
 
 // clean reports whether no fault is currently injected — the state in
@@ -526,6 +546,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.prevClock = schooner.SwapClock(c.v)
 	c.rec = flight.NewRecorder(1 << 16)
 	c.prevRec = flight.Swap(c.rec)
+	if cfg.Profile {
+		// Span timestamps read the virtual clock, so the profile
+		// captured at convergence is a pure function of the schedule.
+		// The aux section puts the top critical-path edges into any
+		// flight dump a violation triggers.
+		c.spanRec = trace.NewRecorderClock(c.v.Now)
+		c.prevSpanRec = trace.ActiveRecorder()
+		trace.SetRecorder(c.spanRec)
+		flight.SetAuxDump("critical path", critpath.FlightSection)
+	}
 	if cfg.SeriesInterval > 0 {
 		// The phase offset keeps window boundaries off the round
 		// virtual instants where periodic timers (heartbeats, probes)
@@ -703,11 +733,32 @@ func (c *Cluster) Hosts() []string { return append([]string(nil), c.hosts...) }
 // workload answers the locally computed result) unless a violation
 // already ended the run.
 func (c *Cluster) Converge() {
-	if c.violation != nil {
+	if c.violation == nil {
+		c.converge(c.step)
+		c.checkLedger(c.step)
+	}
+	c.captureProfile()
+}
+
+// captureProfile analyzes the scoped span recorder. It runs at the
+// convergence check — the run's deterministic end point — because the
+// tail after it is schedule-dependent: the virtual clock keeps
+// advancing for however long teardown takes in real time (the reason
+// signatureKeys excludes heartbeat counters). Probe pings carry no
+// span context, so no spans accrue during that tail and the snapshot
+// here is a pure function of the op schedule. The top edges are also
+// recorded as attribution events, so a violation's flight dump leads
+// from "what broke" to "where the time went".
+func (c *Cluster) captureProfile() {
+	if c.spanRec == nil || c.profile != nil {
 		return
 	}
-	c.converge(c.step)
-	c.checkLedger(c.step)
+	c.profile = critpath.Analyze(c.spanRec.Spans(), nil, c.spanRec.Dropped())
+	for _, e := range critpath.TopEdges(c.profile, 3) {
+		flight.Record(flight.Event{Kind: flight.KindAttribution, Component: "critpath",
+			Host: e.Host, Name: e.Name,
+			Detail: fmt.Sprintf("%s %s at +%s", e.Bucket, e.Dur, e.Start)})
+	}
 }
 
 // Finish collects the run's Result and dismantles the cluster,
@@ -715,6 +766,9 @@ func (c *Cluster) Converge() {
 // recorder. It must be called exactly once; the Cluster is dead
 // afterwards.
 func (c *Cluster) Finish() *Result {
+	// Normally captured by Converge; a caller that tears down early
+	// (scenario error paths) still gets whatever spans accrued.
+	c.captureProfile()
 	res := &Result{
 		Seed:           c.cfg.Seed,
 		Ops:            c.ops,
@@ -747,6 +801,7 @@ func (c *Cluster) Finish() *Result {
 			res.Events = append(res.Events, e)
 		}
 	}
+	res.Profile = c.profile
 	c.teardown()
 	res.RealElapsed = time.Since(c.realStart)
 	return res
@@ -788,6 +843,10 @@ func (c *Cluster) teardown() {
 	// Give released sleepers a moment to observe closed connections and
 	// exit before the real clock comes back.
 	time.Sleep(2 * time.Millisecond)
+	if c.spanRec != nil {
+		flight.SetAuxDump("critical path", nil)
+		trace.SetRecorder(c.prevSpanRec)
+	}
 	schooner.SwapClock(c.prevClock)
 	trace.Swap(c.prevSet)
 	flight.Swap(c.prevRec)

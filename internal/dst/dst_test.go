@@ -256,3 +256,51 @@ func TestSeriesOffByDefault(t *testing.T) {
 		t.Fatalf("series sampled without SeriesInterval: %d windows", len(res.Series.Windows))
 	}
 }
+
+// TestProfileReplayIdentical is the determinism contract of the
+// attribution plane: two runs of the same seed with profiling on must
+// encode byte-identical critical-path profiles, because every span
+// timestamp reads the virtual clock and the capture happens at the
+// convergence check, before the schedule-dependent teardown tail.
+func TestProfileReplayIdentical(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 30, Profile: true}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Violation != nil {
+		t.Fatalf("unexpected violation: %s", first.Violation)
+	}
+	if first.Profile == nil || first.Profile.Spans == 0 {
+		t.Fatalf("profiling on but no spans captured: %+v", first.Profile)
+	}
+	if first.Profile.Total.CriticalPath <= 0 {
+		t.Fatalf("empty critical path:\n%s", first.Profile.Format())
+	}
+	firstJSON := first.Profile.EncodeJSON()
+	for i := 0; i < 2; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Profile == nil {
+			t.Fatalf("run %d: no profile", i)
+		}
+		if !bytes.Equal(firstJSON, res.Profile.EncodeJSON()) {
+			t.Fatalf("run %d: profile diverged:\nfirst:\n%s\nnow:\n%s",
+				i, first.Profile.Format(), res.Profile.Format())
+		}
+	}
+}
+
+// TestProfileOffByDefault confirms a plain run installs no span
+// recorder and returns no profile.
+func TestProfileOffByDefault(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Ops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatalf("profile captured without Config.Profile: %d spans", res.Profile.Spans)
+	}
+}

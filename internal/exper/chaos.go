@@ -182,6 +182,7 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	}
 	defer tb.Stop()
 	tb.Net.SetTimeScale(spec.Run.TimeScale)
+	tb.Net.ScaleLatency(spec.Run.NetScale)
 	exec, err := tb.NewExecutive()
 	if err != nil {
 		row.Err = err
@@ -260,6 +261,7 @@ func Chaos(spec ChaosSpec) *ChaosResult {
 	start := time.Now()
 	remote, err := exec.Run(core.RunOptions{Observe: observe})
 	row.Wall = time.Since(start)
+	row.Links = linkIO(tb.Net.Stats())
 	if err != nil {
 		// Capture the dump before deactivating the sampler so it ships
 		// with the "-- series tail --" section: the last windows before

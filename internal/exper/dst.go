@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/dst"
 	"npss/internal/tseries"
 )
@@ -15,14 +16,17 @@ import (
 // migrations, in virtual time — and renders a report. A positive
 // seriesInterval additionally samples windowed metric series on the
 // scenario's virtual clock (returned for the HTML report; the series
-// is a pure function of the seed). The boolean is false when an
-// invariant was violated; the report then carries the seed and the
-// shrunk trace needed to reproduce the failure.
-func DSTReport(seed int64, ops int, seriesInterval time.Duration) (string, tseries.Series, bool) {
-	cfg := dst.Config{Seed: seed, Ops: ops, SeriesInterval: seriesInterval}
+// is a pure function of the seed). With profile set the run records
+// spans on its virtual clock and returns the critical-path
+// attribution captured at the convergence check — byte-identical
+// across same-seed runs. The boolean is false when an invariant was
+// violated; the report then carries the seed and the shrunk trace
+// needed to reproduce the failure.
+func DSTReport(seed int64, ops int, seriesInterval time.Duration, profile bool) (string, tseries.Series, *critpath.Profile, bool) {
+	cfg := dst.Config{Seed: seed, Ops: ops, SeriesInterval: seriesInterval, Profile: profile}
 	res, err := dst.Run(cfg)
 	if err != nil {
-		return fmt.Sprintf("dst: harness error: %v\n", err), tseries.Series{}, false
+		return fmt.Sprintf("dst: harness error: %v\n", err), tseries.Series{}, nil, false
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed %d: %d ops, %v virtual in %v real\n",
@@ -39,10 +43,14 @@ func DSTReport(seed int64, ops int, seriesInterval time.Duration) (string, tseri
 	if n := len(res.Series.Windows); n > 0 {
 		fmt.Fprintf(&b, "sampled %d windows of %v virtual time\n", n, time.Duration(res.Series.Interval))
 	}
+	if res.Profile != nil {
+		fmt.Fprintf(&b, "attribution: critical path %v across %d phase(s), %d spans\n",
+			res.Profile.Total.CriticalPath, len(res.Profile.Phases), res.Profile.Spans)
+	}
 
 	if res.Violation == nil {
 		b.WriteString("all invariants held\n")
-		return b.String(), res.Series, true
+		return b.String(), res.Series, res.Profile, true
 	}
 
 	fmt.Fprintf(&b, "INVARIANT VIOLATED: %s\n", res.Violation)
@@ -63,9 +71,9 @@ func DSTReport(seed int64, ops int, seriesInterval time.Duration) (string, tseri
 	shrunk, serr := dst.Shrink(cfg, res.Ops, res.Violation.Name)
 	if serr != nil {
 		fmt.Fprintf(&b, "shrink failed (%v); full trace:\n%s", serr, dst.FormatTrace(seed, res.Ops))
-		return b.String(), res.Series, false
+		return b.String(), res.Series, res.Profile, false
 	}
 	fmt.Fprintf(&b, "minimized to %d of %d ops:\n%s", len(shrunk), len(res.Ops), dst.FormatTrace(seed, shrunk))
 	fmt.Fprintf(&b, "reproduce with: npss-exp -exp dst -seed %d -ops %d\n", seed, ops)
-	return b.String(), res.Series, false
+	return b.String(), res.Series, res.Profile, false
 }

@@ -3,6 +3,10 @@ package exper
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"npss/internal/critpath"
+	"npss/internal/trace"
 )
 
 func TestTopology(t *testing.T) {
@@ -224,5 +228,94 @@ func TestZooming(t *testing.T) {
 	out := FormatZooming(rows)
 	if !strings.Contains(out, "stage-stacked") {
 		t.Errorf("FormatZooming:\n%s", out)
+	}
+}
+
+// TestTable2BatchedAttribution runs the batched combined test with
+// span recording on and feeds the spans plus the run's link
+// accounting to the critical-path analyzer: the attribution must
+// partition the measured wall clock — bucket sums equal the summed
+// phase durations exactly, and the remote phase agrees with the
+// row's own wall-clock measurement within 1% — and the link cost
+// profile must carry the topology's traffic.
+func TestTable2BatchedAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined run is slow")
+	}
+	rec := trace.NewRecorder()
+	trace.SetRecorder(rec)
+	defer trace.SetRecorder(nil)
+	spec := RunSpec{Transient: 0.02, Step: 5e-4, Throttle: true, Batch: true}
+	row := Table2(spec)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	p := critpath.Analyze(rec.Spans(), row.Links, rec.Dropped())
+	if len(p.Phases) < 2 {
+		t.Fatalf("phases = %d, want local + remote run", len(p.Phases))
+	}
+	var sum time.Duration
+	for _, v := range p.Total.Buckets {
+		sum += v
+	}
+	if sum != p.Total.CriticalPath {
+		t.Errorf("bucket sum %s != critical path %s", sum, p.Total.CriticalPath)
+	}
+	var remote *critpath.Phase
+	for i := range p.Phases {
+		if p.Phases[i].Name == "remote run" {
+			remote = &p.Phases[i]
+		}
+	}
+	if remote == nil {
+		t.Fatalf("no remote run phase among %+v", p.Phases)
+	}
+	// The phase span brackets the timed run; the two clocks must agree
+	// to within 1% of the measured wall time.
+	if diff := remote.Dur - row.Wall; diff < 0 || float64(diff) > 0.01*float64(row.Wall) {
+		t.Errorf("remote phase %s vs measured wall %s: off by %s (>1%%)", remote.Dur, row.Wall, diff)
+	}
+	if remote.Buckets[critpath.Network] == 0 {
+		t.Error("no network time attributed to the remote run")
+	}
+	if len(p.Links) == 0 {
+		t.Fatal("no link cost profiles")
+	}
+	seen := map[string]bool{}
+	for _, l := range p.Links {
+		seen[l.Link] = true
+		if l.Messages == 0 {
+			t.Errorf("link %s has no traffic", l.Link)
+		}
+	}
+	if !seen["via Internet"] {
+		t.Errorf("links = %v, want the Internet path of the two-site topology", seen)
+	}
+}
+
+// TestNetScaleDoublesSimNet pins the -netscale fault injection the
+// profile regression gate relies on: doubling every link latency must
+// grow the run's simulated network time by roughly the latency share.
+func TestNetScaleDoublesSimNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined run is slow")
+	}
+	spec := RunSpec{Transient: 0.02, Step: 5e-4, Throttle: true, Batch: true}
+	base := Table2(spec)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	spec.NetScale = 2
+	scaled := Table2(spec)
+	if scaled.Err != nil {
+		t.Fatal(scaled.Err)
+	}
+	// Latency dominates these links' delay, so 2× latency means close
+	// to 2× simulated network time; well above the 15% gate threshold.
+	if float64(scaled.SimNet) < 1.5*float64(base.SimNet) {
+		t.Errorf("SimNet %s with netscale=2, want >= 1.5× the baseline %s", scaled.SimNet, base.SimNet)
+	}
+	if scaled.MaxRelErr > 1e-12 {
+		t.Errorf("netscale changed the answer: MaxRelErr = %g", scaled.MaxRelErr)
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"npss/internal/core"
+	"npss/internal/critpath"
 	"npss/internal/engine"
+	"npss/internal/netsim"
 	"npss/internal/trace"
 )
 
@@ -35,6 +37,11 @@ type RunSpec struct {
 	// into single wire messages (the two shaft calls of the parallel
 	// pass share one envelope to the RS/6000). Implies Parallel.
 	Batch bool
+	// NetScale multiplies every link's propagation latency (0 and 1
+	// leave the paper's topology untouched). The profile regression
+	// gate injects NetScale=2 to prove the comparator catches a
+	// doubled network.
+	NetScale float64
 }
 
 func (s *RunSpec) defaults() {
@@ -71,7 +78,49 @@ type ModuleRun struct {
 	Calls  int64
 	SimNet time.Duration // simulated network time spent
 	Wall   time.Duration // wall-clock of the remote run
-	Err    error
+	// Links is the per-link traffic accounting of the remote run, in
+	// the shape the critical-path analyzer consumes for its link cost
+	// profiles.
+	Links map[string]critpath.LinkIO
+	Err   error
+}
+
+// linkIO converts the simulator's per-link stats into the analyzer's
+// transport-agnostic shape.
+func linkIO(stats map[string]netsim.LinkStats) map[string]critpath.LinkIO {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make(map[string]critpath.LinkIO, len(stats))
+	for name, st := range stats {
+		out[name] = critpath.LinkIO{
+			Messages: st.Messages,
+			Bytes:    st.Bytes,
+			Delay:    st.SimDelay,
+			Dropped:  st.Dropped,
+		}
+	}
+	return out
+}
+
+// MergeLinks folds one run's link accounting into an accumulator, so
+// a multi-experiment invocation profiles its total traffic.
+func MergeLinks(into map[string]critpath.LinkIO, from map[string]critpath.LinkIO) map[string]critpath.LinkIO {
+	if len(from) == 0 {
+		return into
+	}
+	if into == nil {
+		into = make(map[string]critpath.LinkIO, len(from))
+	}
+	for name, io := range from {
+		agg := into[name]
+		agg.Messages += io.Messages
+		agg.Bytes += io.Bytes
+		agg.Delay += io.Delay
+		agg.Dropped += io.Dropped
+		into[name] = agg
+	}
+	return into
 }
 
 // runConfigured executes the local baseline and the placed run on a
@@ -92,6 +141,7 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	}
 	defer tb.Stop()
 	tb.Net.SetTimeScale(spec.TimeScale)
+	tb.Net.ScaleLatency(spec.NetScale)
 	exec, err := tb.NewExecutive()
 	if err != nil {
 		row.Err = err
@@ -133,6 +183,7 @@ func runConfigured(avs string, placements map[string]string, spec RunSpec) *Modu
 	remote, err := exec.Run(core.RunOptions{Parallel: spec.Parallel || spec.Batch, Batch: spec.Batch})
 	row.Wall = time.Since(start)
 	remoteSp.End()
+	row.Links = linkIO(tb.Net.Stats())
 	if err != nil {
 		row.Err = fmt.Errorf("remote run: %w", err)
 		return row

@@ -16,6 +16,7 @@ package flight
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ const (
 	KindReadopt           // manager: surviving process re-adopted after recovery
 	KindRecover           // manager: name database rebuilt from the journal
 	KindTakeover          // standby: leader declared dead, standby promoted
+	KindAttribution       // critpath: a critical-path edge captured with a profile
 
 	kindMax
 )
@@ -82,6 +84,7 @@ var kindNames = [...]string{
 	KindReadopt:      "readopt",
 	KindRecover:      "recover",
 	KindTakeover:     "takeover",
+	KindAttribution:  "attribution",
 }
 
 func (k Kind) String() string {
@@ -90,6 +93,12 @@ func (k Kind) String() string {
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
+
+// IsAttribution reports whether k carries latency-attribution context
+// — a critical-path edge recorded alongside a captured profile — so a
+// post-mortem reader can filter the "why was this slow" events from
+// the what-happened stream.
+func (k Kind) IsAttribution() bool { return k == KindAttribution }
 
 // IsTransition reports whether k marks a cluster-shape change — a
 // crash, failover, takeover, migration, recovery, or violation —
@@ -208,27 +217,43 @@ func (r *Recorder) Reset() {
 	r.mu.Unlock()
 }
 
-// auxDump is an optional extra post-mortem section appended to every
-// Dump — e.g. the time-series plane registers the last few metric
-// windows here, so a chaos/DST failure dump shows the minutes before
-// the violation, not just the instant. Held behind an atomic pointer
-// so registration costs dumps nothing when unset.
-type auxDump struct {
-	name string
-	fn   func() string
-}
+// Aux dumps are optional extra post-mortem sections appended to every
+// Dump — the time-series plane registers the last few metric windows
+// ("series tail"), the attribution plane the top critical-path edges
+// ("critical path") — so a chaos/DST failure dump shows the minutes
+// and the costs before the violation, not just the instant. Sections
+// render sorted by name so dumps stay deterministic regardless of
+// registration order.
+var (
+	auxMu    sync.Mutex
+	auxDumps = map[string]func() string{}
+)
 
-var auxDumper atomic.Pointer[auxDump]
-
-// SetAuxDump registers fn to contribute a named section to future
-// dumps; a nil fn unregisters. Only one aux dumper is held — the
-// latest registration wins.
+// SetAuxDump registers fn to contribute the named section to future
+// dumps; a nil fn unregisters that name. Re-registering a name
+// replaces its section.
 func SetAuxDump(name string, fn func() string) {
+	auxMu.Lock()
+	defer auxMu.Unlock()
 	if fn == nil {
-		auxDumper.Store(nil)
+		delete(auxDumps, name)
 		return
 	}
-	auxDumper.Store(&auxDump{name: name, fn: fn})
+	auxDumps[name] = fn
+}
+
+// auxSections snapshots the registered sections in name order.
+func auxSections() (names []string, fns []func() string) {
+	auxMu.Lock()
+	defer auxMu.Unlock()
+	for n := range auxDumps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, auxDumps[n])
+	}
+	return names, fns
 }
 
 // Dump writes the ring's events oldest-first as one line each:
@@ -260,12 +285,19 @@ func (r *Recorder) Dump(w io.Writer) error {
 			return err
 		}
 	}
-	if aux := auxDumper.Load(); aux != nil {
-		if _, err := fmt.Fprintf(w, "-- %s --\n", aux.name); err != nil {
+	names, fns := auxSections()
+	for i, name := range names {
+		if _, err := fmt.Fprintf(w, "-- %s --\n", name); err != nil {
 			return err
 		}
-		if _, err := io.WriteString(w, aux.fn()); err != nil {
+		out := fns[i]()
+		if _, err := io.WriteString(w, out); err != nil {
 			return err
+		}
+		if !strings.HasSuffix(out, "\n") {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

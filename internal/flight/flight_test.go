@@ -166,3 +166,41 @@ func TestTimestampsMonotonicWithinDump(t *testing.T) {
 		t.Fatalf("timestamps not increasing: %v then %v", ev[0].Time, ev[1].Time)
 	}
 }
+
+func TestMultiSectionAuxDump(t *testing.T) {
+	SetAuxDump("zeta", func() string { return "zeta section" })
+	SetAuxDump("alpha", func() string { return "alpha section\n" })
+	t.Cleanup(func() {
+		SetAuxDump("zeta", nil)
+		SetAuxDump("alpha", nil)
+	})
+	r := NewRecorder(8)
+	r.Record(Event{Kind: KindNote, Component: "test"})
+	out := r.DumpString()
+	ai := strings.Index(out, "-- alpha --\nalpha section")
+	zi := strings.Index(out, "-- zeta --\nzeta section")
+	if ai < 0 || zi < 0 {
+		t.Fatalf("missing aux sections:\n%s", out)
+	}
+	if ai > zi {
+		t.Fatalf("sections not sorted by name:\n%s", out)
+	}
+	// Unregistering one name must leave the other.
+	SetAuxDump("zeta", nil)
+	out = r.DumpString()
+	if strings.Contains(out, "zeta") || !strings.Contains(out, "alpha section") {
+		t.Fatalf("unregister removed the wrong section:\n%s", out)
+	}
+}
+
+func TestKindAttribution(t *testing.T) {
+	if KindAttribution.String() != "attribution" {
+		t.Errorf("String = %q", KindAttribution.String())
+	}
+	if !KindAttribution.IsAttribution() || KindViolation.IsAttribution() {
+		t.Error("IsAttribution misclassifies")
+	}
+	if KindAttribution.IsTransition() {
+		t.Error("attribution events must not be treated as cluster transitions")
+	}
+}

@@ -190,6 +190,25 @@ func (n *Network) SetDefaultLink(l LinkSpec) {
 	n.defaultLink = l
 }
 
+// ScaleLatency multiplies every configured link's propagation latency
+// by f — the default link and every explicit pair — leaving bandwidth
+// untouched. The profile regression gate uses it to model a degraded
+// network (f=2 doubles every path's delay); self-loopback paths that
+// fall back to the Loopback preset are not scaled. Nonpositive f is
+// ignored.
+func (n *Network) ScaleLatency(f float64) {
+	if f <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLink.Latency = time.Duration(float64(n.defaultLink.Latency) * f)
+	for k, l := range n.links {
+		l.Latency = time.Duration(float64(l.Latency) * f)
+		n.links[k] = l
+	}
+}
+
 // AddHost creates a host with the given simulated architecture.
 func (n *Network) AddHost(name string, arch *machine.Arch) (*Host, error) {
 	if arch == nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/tseries"
 )
@@ -49,6 +50,7 @@ func HTML(d Data) []byte {
 	writeSummary(&b, d)
 	writeLoadTimeline(&b, d)
 	writeLatencyHeatmap(&b, d)
+	writeAttribution(&b, d)
 	writeExemplars(&b, d)
 	writeEvents(&b, d)
 	b.WriteString("</body>\n</html>\n")
@@ -334,6 +336,217 @@ func writeLatencyHeatmap(b *strings.Builder, d Data) {
 	}
 	b.WriteString("</table>\n")
 	fmt.Fprintf(b, "<p class=\"note\">cell shade: worst p95 in the bucket, 0 to %v (light → dark); hover a cell for its value</p>\n", time.Duration(maxV))
+}
+
+// bucketSlot fixes each attribution bucket onto a categorical palette
+// slot, so compute/network/queueing/retry/conversion wear the same
+// hues in every report.
+var bucketSlot = map[string]int{
+	critpath.Compute:    1,
+	critpath.Network:    2,
+	critpath.Queueing:   4,
+	critpath.Retry:      8,
+	critpath.Conversion: 7,
+}
+
+// writeAttribution renders the run's critical-path attribution: one
+// stacked bucket bar per phase (scaled to the longest phase so
+// absolute durations compare across rows), the critical-path lane
+// with every edge drawn at its position in run time, and the host and
+// link cost profiles the placement model consumes.
+func writeAttribution(b *strings.Builder, d Data) {
+	if d.Profile == nil {
+		return
+	}
+	p := d.Profile
+	b.WriteString("<h2>Critical-path attribution</h2>\n<div class=\"card\">\n")
+	defer b.WriteString("</div>\n")
+	if p.Spans == 0 || len(p.Phases) == 0 {
+		b.WriteString("<p class=\"empty\">no spans recorded (run with tracing enabled)</p>\n")
+		return
+	}
+	fmt.Fprintf(b, "<p class=\"note\">critical path %v across %d phase(s), %d spans analyzed</p>\n",
+		p.Total.CriticalPath, len(p.Phases), p.Spans)
+	if p.Dropped > 0 {
+		fmt.Fprintf(b, "<p class=\"note\">⚠ %d spans dropped at the recorder cap — attribution is incomplete</p>\n", p.Dropped)
+	}
+
+	// Stacked bars: phases plus the total roll-up, bucket segments in
+	// fixed bucket order. Geometry mirrors the line chart's width.
+	const (
+		labelW = 170
+		rowH   = 20
+		rowGap = 8
+	)
+	barW := float64(chartW - labelW - 90) // right gutter for duration labels
+	longest := p.Total.CriticalPath
+	for _, ph := range p.Phases {
+		if ph.Dur > longest {
+			longest = ph.Dur
+		}
+	}
+	if longest <= 0 {
+		longest = 1
+	}
+	type barRow struct {
+		label   string
+		dur     time.Duration
+		buckets map[string]time.Duration
+	}
+	rows := make([]barRow, 0, len(p.Phases)+1)
+	for _, ph := range p.Phases {
+		label := ph.Name
+		if ph.Host != "" {
+			label += "@" + ph.Host
+		}
+		rows = append(rows, barRow{label, ph.Dur, ph.Buckets})
+	}
+	rows = append(rows, barRow{"total", p.Total.CriticalPath, p.Total.Buckets})
+	svgH := len(rows)*(rowH+rowGap) + rowGap
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"100%%\" role=\"img\" aria-label=\"per-phase latency attribution\">\n", chartW, svgH)
+	for ri, r := range rows {
+		y := rowGap + ri*(rowH+rowGap)
+		fmt.Fprintf(b, "<text class=\"axis-label\" x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+			labelW-8, y+rowH-6, html.EscapeString(r.label))
+		x := float64(labelW)
+		for _, bucket := range critpath.Buckets {
+			v := r.buckets[bucket]
+			if v <= 0 {
+				continue
+			}
+			w := barW * float64(v) / float64(longest)
+			fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"var(--s%d)\"><title>%s: %v (%.1f%%)</title></rect>\n",
+				x, y, w, rowH, bucketSlot[bucket], bucket, v, 100*float64(v)/float64(r.dur))
+			x += w
+		}
+		fmt.Fprintf(b, "<text class=\"axis-label\" x=\"%.1f\" y=\"%d\">%v</text>\n",
+			x+6, y+rowH-6, r.dur)
+	}
+	b.WriteString("</svg>\n")
+	b.WriteString("<div class=\"legend\">")
+	for _, bucket := range critpath.Buckets {
+		fmt.Fprintf(b, "<span><i style=\"background:var(--s%d)\"></i>%s</span>", bucketSlot[bucket], bucket)
+	}
+	b.WriteString("</div>\n")
+
+	writeCriticalLane(b, p)
+	writeCostProfiles(b, p)
+}
+
+// writeCriticalLane draws the critical path itself: one lane per
+// phase on a shared run-time axis, every edge a rect colored by its
+// bucket, so the eye follows where the run's time actually went.
+func writeCriticalLane(b *strings.Builder, p *critpath.Profile) {
+	t0 := p.Phases[0].Start
+	t1 := t0
+	for _, ph := range p.Phases {
+		if ph.Start < t0 {
+			t0 = ph.Start
+		}
+		if end := ph.Start + ph.Dur; end > t1 {
+			t1 = end
+		}
+	}
+	total := t1 - t0
+	if total <= 0 {
+		total = 1
+	}
+	const (
+		labelW = 170
+		laneH   = 16
+		laneGap = 10
+	)
+	x := func(off time.Duration) float64 {
+		return labelW + float64(chartW-labelW-20)*float64(off-t0)/float64(total)
+	}
+	b.WriteString("<h2>Critical-path lane</h2>\n")
+	svgH := len(p.Phases)*(laneH+laneGap) + laneGap + chartBot
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"100%%\" role=\"img\" aria-label=\"critical path timeline\">\n", chartW, svgH)
+	for i := 0; i <= 4; i++ {
+		off := t0 + total*time.Duration(i)/4
+		fmt.Fprintf(b, "<line class=\"chart-grid\" x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\"/>\n",
+			x(off), laneGap, x(off), svgH-chartBot)
+		fmt.Fprintf(b, "<text class=\"axis-label\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">+%v</text>\n",
+			x(off), svgH-chartBot+16, (off - t0).Round(time.Millisecond))
+	}
+	for pi, ph := range p.Phases {
+		y := laneGap + pi*(laneH+laneGap)
+		label := ph.Name
+		if ph.Host != "" {
+			label += "@" + ph.Host
+		}
+		fmt.Fprintf(b, "<text class=\"axis-label\" x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+			labelW-8, y+laneH-4, html.EscapeString(label))
+		for _, e := range ph.Path {
+			w := x(e.Start+e.Dur) - x(e.Start)
+			if w < 0.5 {
+				w = 0.5 // keep sub-pixel edges visible
+			}
+			where := e.Name
+			if e.Host != "" {
+				where += "@" + e.Host
+			}
+			fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"var(--s%d)\"><title>%s (%s) %v @ +%v</title></rect>\n",
+				x(e.Start), y, w, laneH, bucketSlot[e.Bucket],
+				html.EscapeString(where), e.Bucket, e.Dur, e.Start-t0)
+		}
+	}
+	b.WriteString("</svg>\n")
+
+	edges := critpath.TopEdges(p, 10)
+	if len(edges) == 0 {
+		return
+	}
+	b.WriteString("<h2>Longest critical-path edges</h2>\n")
+	b.WriteString("<table><tr><th>span</th><th>host</th><th>bucket</th><th>start</th><th>duration</th></tr>\n")
+	for _, e := range edges {
+		host := e.Host
+		if host == "" {
+			host = "local"
+		}
+		fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%s</td><td>%s</td><td>+%v</td><td>%v</td></tr>\n",
+			html.EscapeString(e.Name), html.EscapeString(host), e.Bucket, e.Start-t0, e.Dur)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeCostProfiles renders the per-host and per-link cost tables —
+// the placement model's inputs, in the same units the analyzer
+// exports them.
+func writeCostProfiles(b *strings.Builder, p *critpath.Profile) {
+	if len(p.Hosts) > 0 {
+		b.WriteString("<h2>Host cost profile</h2>\n")
+		b.WriteString("<table><tr><th>host</th><th>spans</th><th>busy</th><th>depth max/avg</th><th>dominant bucket</th></tr>\n")
+		for _, h := range p.Hosts {
+			name := h.Host
+			if name == "" {
+				name = "local"
+			}
+			var top string
+			var topV time.Duration
+			for _, bucket := range critpath.Buckets {
+				if v := h.Buckets[bucket]; v > topV {
+					top, topV = bucket, v
+				}
+			}
+			dom := "-"
+			if top != "" {
+				dom = fmt.Sprintf("%s (%v)", top, topV)
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%v</td><td>%d / %.3f</td><td>%s</td></tr>\n",
+				html.EscapeString(name), h.Spans, h.Busy, h.MaxDepth, h.AvgDepth, dom)
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(p.Links) > 0 {
+		b.WriteString("<h2>Link cost profile</h2>\n")
+		b.WriteString("<table><tr><th>link</th><th>messages</th><th>bytes</th><th>sim delay</th><th>byte·s weight</th><th>dropped</th></tr>\n")
+		for _, l := range p.Links {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%v</td><td>%.3f</td><td>%d</td></tr>\n",
+				html.EscapeString(l.Link), l.Messages, l.Bytes, l.Delay, l.ByteDelay, l.Dropped)
+		}
+		b.WriteString("</table>\n")
+	}
 }
 
 // writeExemplars renders the run's slowest calls with their span IDs

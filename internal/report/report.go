@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/tseries"
 )
@@ -31,6 +32,9 @@ type Data struct {
 	// TimelineFile names the Chrome-trace timeline captured for the
 	// same run, if any — exemplar span IDs resolve inside it.
 	TimelineFile string `json:"timeline_file,omitempty"`
+	// Profile is the run's critical-path attribution, rendered as
+	// stacked bucket bars per phase and a critical-path lane.
+	Profile *critpath.Profile `json:"profile,omitempty"`
 	// Notes are free-form lines shown under the title.
 	Notes []string `json:"notes,omitempty"`
 }

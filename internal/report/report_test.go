@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/tseries"
 	"npss/internal/vclock"
@@ -90,6 +91,83 @@ func TestHTMLReportContent(t *testing.T) {
 		if strings.Contains(out, banned) {
 			t.Errorf("report not self-contained: found %q", banned)
 		}
+	}
+}
+
+// sampleProfile builds a tiny two-phase attribution with hosts and a
+// link, the shape npss-exp -profile emits.
+func sampleProfile() *critpath.Profile {
+	return &critpath.Profile{
+		Phases: []critpath.Phase{
+			{
+				Name: "remote run", Host: "avs", Start: 0, Dur: 50 * time.Millisecond,
+				Buckets: map[string]time.Duration{
+					critpath.Compute: 30 * time.Millisecond,
+					critpath.Network: 15 * time.Millisecond,
+					critpath.Retry:   5 * time.Millisecond,
+				},
+				Path: []critpath.Edge{
+					{Name: "call nozzle", Bucket: critpath.Retry, Start: 0, Dur: 5 * time.Millisecond},
+					{Name: "attempt nozzle", Bucket: critpath.Network, Start: 5 * time.Millisecond, Dur: 15 * time.Millisecond},
+					{Name: "proc nozzle", Host: "cray-ymp", Bucket: critpath.Compute, Start: 20 * time.Millisecond, Dur: 30 * time.Millisecond},
+				},
+			},
+		},
+		Hosts: []critpath.HostProfile{
+			{Host: "cray-ymp", Spans: 3, Busy: 30 * time.Millisecond, MaxDepth: 2, AvgDepth: 1.25,
+				Buckets: map[string]time.Duration{critpath.Compute: 30 * time.Millisecond}},
+		},
+		Links: []critpath.LinkProfile{
+			{Link: "avs->cray-ymp", Messages: 6, Bytes: 1200, Delay: 6 * time.Millisecond, ByteDelay: 1.2},
+		},
+		Total: critpath.Totals{
+			CriticalPath: 50 * time.Millisecond,
+			Buckets: map[string]time.Duration{
+				critpath.Compute: 30 * time.Millisecond,
+				critpath.Network: 15 * time.Millisecond,
+				critpath.Retry:   5 * time.Millisecond,
+			},
+		},
+		Spans: 5,
+	}
+}
+
+func TestHTMLReportAttributionSection(t *testing.T) {
+	d := sampleData()
+	d.Profile = sampleProfile()
+	out := string(HTML(d))
+	for _, want := range []string{
+		"Critical-path attribution",
+		"critical path 50ms across 1 phase(s), 5 spans",
+		"remote run@avs",
+		"Critical-path lane",
+		"attempt nozzle",              // lane edge tooltip
+		"Longest critical-path edges", // top-edges table
+		"Host cost profile",
+		"cray-ymp",
+		"2 / 1.250", // depth max/avg column
+		"Link cost profile",
+		"avs-&gt;cray-ymp",
+		"compute", "network", "retry", // legend buckets
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution report missing %q", want)
+		}
+	}
+	// Still self-contained with the new SVG sections in place.
+	for _, banned := range []string{"http://", "https://", "<script", "src=", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("attribution report not self-contained: found %q", banned)
+		}
+	}
+	// A report without a profile renders no attribution section at all.
+	if strings.Contains(string(HTML(sampleData())), "Critical-path attribution") {
+		t.Error("profile-less report grew an attribution section")
+	}
+	// A profile with zero spans states so instead of drawing nothing.
+	d.Profile = &critpath.Profile{}
+	if !strings.Contains(string(HTML(d)), "no spans recorded") {
+		t.Error("empty profile not reported")
 	}
 }
 

@@ -201,6 +201,18 @@ func sendProcessBatch(group []*preparedCall) {
 		fallbackAll(group)
 		return
 	}
+	// One attempt span covers the whole envelope's round trip; each
+	// sub-call carries its context so the remote dispatch spans parent
+	// under it and the wire transit shows up as the attempt's
+	// self-time, exactly as on the per-call path.
+	var att *trace.Span
+	if trace.Enabled() {
+		att = trace.StartSpan(fmt.Sprintf("attempt batch ×%d %s", len(group), addrHost(owner.addr)), l.client.Host)
+	}
+	var attCtx trace.SpanContext
+	if att != nil {
+		attCtx = att.Context()
+	}
 	// The envelope payload is dead once exchange returns (the reply is
 	// a fresh message), so a pooled scratch buffer carries it; one
 	// request message is reused across the sub-frames (AppendSub
@@ -212,15 +224,21 @@ func sendProcessBatch(group []*preparedCall) {
 		req = wire.Message{
 			Kind: wire.KCall, Seq: l.nextSeq(), Line: l.id,
 			Name: m.b.exportName, Str: m.imp.Signature(), Data: m.data,
+			Trace: attCtx.Trace, Span: attCtx.Span,
 		}
 		subs, err = wire.AppendSub(subs, "", &req)
 		if err != nil {
+			att.End()
 			fallbackAll(group)
 			return
 		}
 	}
 	env := &wire.Message{Kind: wire.KBatch, Seq: l.nextSeq(), Line: l.id, Data: subs}
 	resp, err := pc.exchange(env, group[0].pol.Timeout)
+	if att != nil && err != nil {
+		att.Annotate("error", err.Error())
+	}
+	att.End()
 	if err != nil {
 		// The envelope never made it (or timed out): the process may be
 		// gone or moving. Invalidate once and let each call retry
@@ -277,6 +295,17 @@ func sendHostBatch(c *Client, host string, group []*preparedCall) {
 		fallbackAll(group)
 		return
 	}
+	// As on the process-batch path: one attempt span for the envelope's
+	// round trip, its context carried on every sub-call so the remote
+	// dispatch spans parent under it.
+	var att *trace.Span
+	if trace.Enabled() {
+		att = trace.StartSpan(fmt.Sprintf("attempt batch ×%d %s", len(group), host), c.Host)
+	}
+	var attCtx trace.SpanContext
+	if att != nil {
+		attCtx = att.Context()
+	}
 	subs := wire.GetBuf()
 	defer func() { wire.PutBuf(subs) }()
 	var req wire.Message
@@ -284,15 +313,21 @@ func sendHostBatch(c *Client, host string, group []*preparedCall) {
 		req = wire.Message{
 			Kind: wire.KCall, Seq: c.nextBatchSeq(), Line: m.line.id,
 			Name: m.b.exportName, Str: m.imp.Signature(), Data: m.data,
+			Trace: attCtx.Trace, Span: attCtx.Span,
 		}
 		subs, err = wire.AppendSub(subs, m.b.addr, &req)
 		if err != nil {
+			att.End()
 			fallbackAll(group)
 			return
 		}
 	}
 	env := &wire.Message{Kind: wire.KBatch, Seq: c.nextBatchSeq(), Data: subs}
 	resp, err := g.exchange(env, group[0].pol.Timeout)
+	if att != nil && err != nil {
+		att.Annotate("error", err.Error())
+	}
+	att.End()
 	if err != nil {
 		fallbackAll(group)
 		return

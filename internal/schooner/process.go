@@ -155,6 +155,8 @@ func (p *process) dispatch(m *wire.Message) *wire.Message {
 		return metricsReply()
 	case wire.KSeries:
 		return seriesReply()
+	case wire.KProfile:
+		return profileReply()
 	case wire.KFlightDump:
 		return &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 	default:

@@ -112,6 +112,8 @@ func (s *Server) serve(conn wire.Conn) {
 			resp = metricsReply()
 		case wire.KSeries:
 			resp = seriesReply()
+		case wire.KProfile:
+			resp = profileReply()
 		case wire.KFlightDump:
 			resp = &wire.Message{Kind: wire.KFlightDumpOK, Data: []byte(flight.DumpString())}
 		case wire.KShutdown:

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"npss/internal/critpath"
 	"npss/internal/trace"
 	"npss/internal/tseries"
 	"npss/internal/wire"
@@ -99,6 +100,38 @@ func seriesReply() *wire.Message {
 		return errMsg("schooner: encoding series: %v", err)
 	}
 	return &wire.Message{Kind: wire.KSeriesOK, Data: data}
+}
+
+// profileReply builds the KProfileOK answer: the critical-path
+// attribution of the process's live span recorder (an empty profile
+// when tracing is off — still a valid reply).
+func profileReply() *wire.Message {
+	return &wire.Message{Kind: wire.KProfileOK, Data: critpath.ActiveSnapshot().EncodeJSON()}
+}
+
+// QueryProfile asks the component listening on addr (a Manager's
+// "host:port" or bare Manager host) for its critical-path attribution
+// profile.
+func QueryProfile(t Transport, fromHost, addr string) (*critpath.Profile, error) {
+	if !strings.Contains(addr, ":") {
+		addr += ":" + ManagerPort
+	}
+	conn, err := t.Dial(fromHost, addr)
+	if err != nil {
+		return nil, fmt.Errorf("schooner: cannot reach %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Kind: wire.KProfile}); err != nil {
+		return nil, err
+	}
+	resp, err := recvTimeout(conn, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KProfileOK {
+		return nil, fmt.Errorf("schooner: profile query failed: %s", resp.Err)
+	}
+	return critpath.DecodeProfile(resp.Data)
 }
 
 // QuerySeries asks the component listening on addr (a Manager's

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/trace"
 	"npss/internal/uts"
@@ -183,5 +185,61 @@ func TestQueryFlightRoundTrip(t *testing.T) {
 		if !strings.Contains(dump, want) {
 			t.Errorf("flight dump missing %q:\n%s", want, dump)
 		}
+	}
+}
+
+// TestQueryProfileRoundTrip drives traced calls through a deployment
+// and fetches the critical-path attribution over the wire: the
+// KProfile reply must decode into a profile whose span DAG covers the
+// calls just made, with a nonzero network share (the calls crossed
+// the simulated wire).
+func TestQueryProfileRoundTrip(t *testing.T) {
+	d := newDeployment(t, "avs-sparc", ieeeHosts())
+	d.reg.MustRegister(adderProgram("/npss/adder"))
+	rec := trace.NewRecorder()
+	trace.SetRecorder(rec)
+	defer trace.SetRecorder(nil)
+
+	ln, err := d.client("sgi-lerc").ContactSchx("profile-module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.IQuit()
+	if err := ln.StartRemote("/npss/adder", "rs6000"); err != nil {
+		t.Fatal(err)
+	}
+	ln.Import(uts.MustParseProc(`import add prog("a" val double, "b" val double, "sum" res double)`))
+	for i := 0; i < 3; i++ {
+		if _, err := ln.Call("add", uts.DoubleVal(1), uts.DoubleVal(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := QueryProfile(d.tr, "sgi-lerc", "avs-sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spans == 0 || len(p.Phases) == 0 {
+		t.Fatalf("profile empty: %+v", p)
+	}
+	if p.Total.Buckets[critpath.Network] == 0 {
+		t.Errorf("no network time attributed: %s", p.Format())
+	}
+	var sum time.Duration
+	for _, v := range p.Total.Buckets {
+		sum += v
+	}
+	if sum != p.Total.CriticalPath {
+		t.Errorf("bucket sum %s != critical path %s", sum, p.Total.CriticalPath)
+	}
+
+	// With tracing off the reply is still well-formed, just empty.
+	trace.SetRecorder(nil)
+	p, err = QueryProfile(d.tr, "sgi-lerc", "avs-sparc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spans != 0 {
+		t.Errorf("profile with tracing off has %d spans", p.Spans)
 	}
 }

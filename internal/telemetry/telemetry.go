@@ -7,6 +7,9 @@
 //	/flightz  the flight recorder's recent events
 //	/seriesz  the time-series sampler's latest window (Prometheus
 //	          gauges; ?format=json serves the full windowed series)
+//	/profilez the critical-path attribution profile of the live span
+//	          recorder (Prometheus gauges; ?format=json serves the
+//	          full critpath.Profile)
 //	/debug/pprof/...  the standard Go profiler endpoints
 //
 // Nothing here runs unless the listener is opened, so the disabled
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/trace"
 	"npss/internal/tseries"
@@ -40,6 +44,10 @@ type Config struct {
 	// nil serves the process's active tseries sampler (empty series
 	// when none is installed).
 	Series func() tseries.Series
+	// Profile provides the attribution profile for /profilez; nil
+	// serves the critpath analysis of the process's active span
+	// recorder (an empty profile when tracing is off).
+	Profile func() *critpath.Profile
 }
 
 // Server is a running telemetry listener.
@@ -62,6 +70,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 	}
 	if cfg.Series == nil {
 		cfg.Series = tseries.ActiveSnapshot
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = critpath.ActiveSnapshot
 	}
 
 	mux := http.NewServeMux()
@@ -91,6 +102,16 @@ func Start(addr string, cfg Config) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteSeriesProm(w, s)
+	})
+	mux.HandleFunc("/profilez", func(w http.ResponseWriter, r *http.Request) {
+		p := cfg.Profile()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(p.EncodeJSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProfileProm(w, p)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -271,6 +292,109 @@ func WriteSeriesProm(w io.Writer, s tseries.Series) error {
 		}
 	}
 	return nil
+}
+
+// WriteProfileProm renders an attribution profile in the Prometheus
+// text exposition format: the critical-path length and per-phase
+// bucket decomposition, per-host busy time and queue depth, and
+// per-link traffic costs, all as gauges (a profile is a snapshot of
+// one run, not a monotone series). The always-present
+// `npss_profile_spans` gauge keeps a scrape of an untraced process a
+// conforming exposition. Output is sorted and deterministic.
+func WriteProfileProm(w io.Writer, p *critpath.Profile) error {
+	if _, err := fmt.Fprintf(w, "# TYPE npss_profile_spans gauge\nnpss_profile_spans %d\n", p.Spans); err != nil {
+		return err
+	}
+	if p.Spans == 0 && len(p.Links) == 0 {
+		return nil
+	}
+	emit := func(name string, lines []string) error {
+		if len(lines) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	hostLabel := func(h string) string {
+		if h == "" {
+			return "local"
+		}
+		return h
+	}
+
+	if err := emit("npss_profile_critical_path_seconds", []string{
+		fmt.Sprintf("npss_profile_critical_path_seconds %s", formatSeconds(p.Total.CriticalPath)),
+	}); err != nil {
+		return err
+	}
+	// seq disambiguates phases sharing a name (two windows of the
+	// same experiment would otherwise collide as series).
+	var phase, bucket []string
+	for i, ph := range p.Phases {
+		phase = append(phase, fmt.Sprintf(`npss_profile_phase_seconds{seq="%d",phase="%s"} %s`,
+			i, escapeLabel(ph.Name), formatSeconds(ph.Dur)))
+		for _, bk := range critpath.Buckets {
+			bucket = append(bucket, fmt.Sprintf(`npss_profile_phase_bucket_seconds{seq="%d",phase="%s",bucket="%s"} %s`,
+				i, escapeLabel(ph.Name), bk, formatSeconds(ph.Buckets[bk])))
+		}
+	}
+	if err := emit("npss_profile_phase_seconds", phase); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_phase_bucket_seconds", bucket); err != nil {
+		return err
+	}
+
+	var busy, depthMax, depthAvg, hostBucket []string
+	for _, h := range p.Hosts {
+		hl := escapeLabel(hostLabel(h.Host))
+		busy = append(busy, fmt.Sprintf(`npss_profile_host_busy_seconds{host="%s"} %s`, hl, formatSeconds(h.Busy)))
+		depthMax = append(depthMax, fmt.Sprintf(`npss_profile_host_depth_max{host="%s"} %d`, hl, h.MaxDepth))
+		depthAvg = append(depthAvg, fmt.Sprintf(`npss_profile_host_depth_avg{host="%s"} %g`, hl, h.AvgDepth))
+		for _, bk := range critpath.Buckets {
+			hostBucket = append(hostBucket, fmt.Sprintf(`npss_profile_host_bucket_seconds{host="%s",bucket="%s"} %s`,
+				hl, bk, formatSeconds(h.Buckets[bk])))
+		}
+	}
+	if err := emit("npss_profile_host_busy_seconds", busy); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_host_depth_max", depthMax); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_host_depth_avg", depthAvg); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_host_bucket_seconds", hostBucket); err != nil {
+		return err
+	}
+
+	var msgs, bytes, delay, byteDelay []string
+	for _, l := range p.Links {
+		ll := escapeLabel(l.Link)
+		msgs = append(msgs, fmt.Sprintf(`npss_profile_link_messages{link="%s"} %d`, ll, l.Messages))
+		bytes = append(bytes, fmt.Sprintf(`npss_profile_link_bytes{link="%s"} %d`, ll, l.Bytes))
+		delay = append(delay, fmt.Sprintf(`npss_profile_link_delay_seconds{link="%s"} %s`, ll, formatSeconds(l.Delay)))
+		byteDelay = append(byteDelay, fmt.Sprintf(`npss_profile_link_byte_seconds{link="%s"} %g`, ll, l.ByteDelay))
+	}
+	if err := emit("npss_profile_link_messages", msgs); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_link_bytes", bytes); err != nil {
+		return err
+	}
+	if err := emit("npss_profile_link_delay_seconds", delay); err != nil {
+		return err
+	}
+	return emit("npss_profile_link_byte_seconds", byteDelay)
 }
 
 // splitKey separates a runtime metric key into a sanitized Prometheus

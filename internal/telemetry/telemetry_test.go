@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"npss/internal/critpath"
 	"npss/internal/flight"
 	"npss/internal/trace"
 	"npss/internal/tseries"
@@ -212,5 +213,100 @@ func TestSerieszEndpoint(t *testing.T) {
 	}
 	if got.Windows[1].Hists["schooner.client.call{proc=add}"].Exemplars[0].Span != 0xb2 {
 		t.Errorf("/seriesz json lost exemplars: %s", js)
+	}
+}
+
+// sampleProfile analyzes a small span DAG so the exposition exercises
+// phases, hosts, and links at once.
+func sampleProfile() *critpath.Profile {
+	base := time.Unix(2000, 0).UTC()
+	ms := func(m int) time.Time { return base.Add(time.Duration(m) * time.Millisecond) }
+	spans := []trace.SpanRecord{
+		{Trace: 1, ID: 1, Name: "remote run", Host: "avs", Start: ms(0), Dur: 50 * time.Millisecond},
+		{Trace: 2, ID: 2, Name: "call add", Host: "avs", Start: ms(5), Dur: 30 * time.Millisecond},
+		{Trace: 2, ID: 3, Parent: 2, Name: "attempt add", Host: "avs", Start: ms(5), Dur: 28 * time.Millisecond},
+		{Trace: 2, ID: 4, Parent: 3, Name: "dispatch add", Host: "cray", Start: ms(10), Dur: 18 * time.Millisecond},
+		{Trace: 2, ID: 5, Parent: 4, Name: "proc add", Host: "cray", Start: ms(11), Dur: 15 * time.Millisecond},
+	}
+	links := map[string]critpath.LinkIO{
+		"avs->cray": {Messages: 4, Bytes: 800, Delay: 20 * time.Millisecond},
+	}
+	return critpath.Analyze(spans, links, 0)
+}
+
+func TestWriteProfilePromAndLint(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProfileProm(&b, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE npss_profile_spans gauge",
+		"npss_profile_spans 5",
+		"# TYPE npss_profile_critical_path_seconds gauge",
+		"npss_profile_critical_path_seconds 0.05",
+		`npss_profile_phase_seconds{seq="0",phase="remote run"} 0.05`,
+		`npss_profile_phase_bucket_seconds{seq="0",phase="remote run",bucket="network"}`,
+		`npss_profile_host_busy_seconds{host="cray"} 0.018`,
+		`npss_profile_host_depth_max{host="avs"}`,
+		`npss_profile_link_bytes{link="avs->cray"} 800`,
+		`npss_profile_link_delay_seconds{link="avs->cray"} 0.02`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Errorf("profile exposition fails lint: %v\n%s", err, out)
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	WriteProfileProm(&b2, sampleProfile())
+	if b2.String() != out {
+		t.Error("WriteProfileProm not deterministic")
+	}
+}
+
+func TestWriteProfilePromEmptyStillLints(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProfileProm(&b, critpath.Analyze(nil, nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint([]byte(b.String())); err != nil {
+		t.Errorf("empty profile exposition fails lint: %v\n%s", err, b.String())
+	}
+}
+
+func TestProfilezEndpoint(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{Profile: sampleProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	prom := get("/profilez")
+	if !strings.Contains(prom, "npss_profile_critical_path_seconds") {
+		t.Errorf("/profilez missing critical path gauge:\n%s", prom)
+	}
+	if err := Lint([]byte(prom)); err != nil {
+		t.Errorf("/profilez fails lint: %v", err)
+	}
+	js := get("/profilez?format=json")
+	p, err := critpath.DecodeProfile([]byte(js))
+	if err != nil {
+		t.Fatalf("/profilez?format=json not a profile: %v", err)
+	}
+	if p.Total.CriticalPath != 50*time.Millisecond {
+		t.Errorf("json critical path = %s, want 50ms", p.Total.CriticalPath)
 	}
 }

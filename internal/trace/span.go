@@ -151,7 +151,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	d := time.Since(s.start)
+	d := s.rec.now().Sub(s.start)
 	s.mu.Lock()
 	if s.ended {
 		s.mu.Unlock()
@@ -172,6 +172,7 @@ func (s *Span) End() {
 type Recorder struct {
 	epoch  time.Time
 	limit  int
+	now    func() time.Time
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
@@ -184,13 +185,21 @@ const DefaultSpanLimit = 1 << 20
 
 // NewRecorder creates an empty recorder with the default span cap.
 func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now(), limit: DefaultSpanLimit}
+	return NewRecorderClock(time.Now)
+}
+
+// NewRecorderClock creates a recorder that reads time from now
+// instead of the wall clock. Under the DST virtual clock this makes
+// every span timestamp deterministic, so a replay's profile is
+// byte-identical to the original run's.
+func NewRecorderClock(now func() time.Time) *Recorder {
+	return &Recorder{epoch: now(), now: now, limit: DefaultSpanLimit}
 }
 
 // start allocates a span. Roots take their own id as the trace id, so
 // ids never collide across the spans of one recorder.
 func (r *Recorder) start(name, host string, parent SpanContext) *Span {
-	s := &Span{rec: r, name: name, host: host, start: time.Now(), track: -1}
+	s := &Span{rec: r, name: name, host: host, start: r.now(), track: -1}
 	s.id = r.nextID.Add(1)
 	if parent.Valid() {
 		s.trace = parent.Trace

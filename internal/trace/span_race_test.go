@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrentFinishAndDrain race-stresses the recorder
+// drain path the critpath analyzer consumes: many goroutines start,
+// annotate, and finish span trees while others concurrently snapshot
+// Spans(), export the Chrome timeline, and read Dropped(). Run under
+// -race (CI does) this is the proof the analyzer can snapshot a live
+// run mid-flight.
+func TestRecorderConcurrentFinishAndDrain(t *testing.T) {
+	rec := NewRecorder()
+	SetRecorder(rec)
+	t.Cleanup(func() { SetRecorder(nil) })
+
+	const writers = 8
+	const spansPerWriter = 200
+	stop := make(chan struct{})
+
+	// Drainers: snapshot and export continuously while spans finish.
+	var drainers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		drainers.Add(1)
+		go func() {
+			defer drainers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = rec.Spans()
+				_ = rec.Dropped()
+				_ = rec.WriteChromeTrace(io.Discard)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPerWriter; i++ {
+				root := StartSpan("call x", "h")
+				att := root.Child("attempt x", "h")
+				att.Annotate("addr", "h:1")
+				d := StartChild(att.Context(), "dispatch x", "remote")
+				d.Child("proc x", "remote").End()
+				d.End()
+				att.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	drainers.Wait()
+
+	if n := len(rec.Spans()); n != writers*spansPerWriter*4 {
+		t.Fatalf("recorded %d spans, want %d", n, writers*spansPerWriter*4)
+	}
+}

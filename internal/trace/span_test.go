@@ -107,7 +107,7 @@ func TestStartChildInvalidContextRoots(t *testing.T) {
 }
 
 func TestRecorderLimit(t *testing.T) {
-	rec := &Recorder{epoch: time.Now(), limit: 2}
+	rec := &Recorder{epoch: time.Now(), now: time.Now, limit: 2}
 	SetRecorder(rec)
 	t.Cleanup(func() { SetRecorder(nil) })
 	for i := 0; i < 5; i++ {

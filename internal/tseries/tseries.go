@@ -626,7 +626,7 @@ func SetActive(s *Sampler) *Sampler {
 	var prev *Sampler
 	if s == nil {
 		prev = active.Swap(nil)
-		flight.SetAuxDump("", nil)
+		flight.SetAuxDump("series tail", nil)
 	} else {
 		prev = active.Swap(s)
 		flight.SetAuxDump("series tail", s.TailDump)

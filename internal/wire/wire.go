@@ -140,6 +140,15 @@ const (
 	KSeries
 	KSeriesOK
 
+	// KProfile asks a component for its critical-path attribution
+	// profile (the critpath analysis of its live span recorder);
+	// KProfileOK answers with the critpath.Profile JSON, an empty
+	// profile when no span recorder is installed. The manager rolls
+	// per-component profiles into the cluster view the same way
+	// KSeries rolls windowed series.
+	KProfile
+	KProfileOK
+
 	// kindMax is the decode bound sentinel; every valid Kind is below
 	// it. Keep it last.
 	kindMax
@@ -164,6 +173,7 @@ var kindNames = map[Kind]string{
 	KJournalEntry: "JournalEntry",
 	KBatch:        "Batch", KBatchOK: "BatchOK",
 	KSeries: "Series", KSeriesOK: "SeriesOK",
+	KProfile: "Profile", KProfileOK: "ProfileOK",
 }
 
 // String names the message kind for diagnostics.
